@@ -1,0 +1,143 @@
+//! Criterion microbenchmarks of the simulator's hot kernels.
+//!
+//! These are throughput sanity checks: the cycle loop touches the LLC,
+//! DRAM scheduler, ring and RNG millions of times per simulated
+//! millisecond, so regressions here directly stretch every figure's
+//! regeneration time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gat_cache::{AccessKind, CacheConfig, ReplacementPolicy, SetAssocCache, Source};
+use gat_core::{AccessThrottler, FrameRateEstimator, FrpuConfig};
+use gat_dram::{DramAddressMap, DramChannel, DramRequest, DramTiming, FrFcfs, SchedCtx};
+use gat_ring::{Ring, RingTopology, StopId};
+use gat_sim::rng::SimRng;
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_u64", |b| {
+        let mut r = SimRng::new(1);
+        b.iter(|| black_box(r.next_u64()));
+    });
+    g.bench_function("below", |b| {
+        let mut r = SimRng::new(1);
+        b.iter(|| black_box(r.below(1_000_003)));
+    });
+    g.finish();
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc");
+    g.throughput(Throughput::Elements(1));
+    let mut cfg = CacheConfig::new("LLC", 16 << 20, 16, 10, ReplacementPolicy::Srrip);
+    cfg.hashed_index = true;
+    g.bench_function("access_hit", |b| {
+        let mut llc = SetAssocCache::new(cfg.clone());
+        llc.fill(0x1000, Source::Cpu(0), false);
+        b.iter(|| black_box(llc.access(0x1000, AccessKind::Read, Source::Cpu(0))));
+    });
+    g.bench_function("fill_evict_stream", |b| {
+        let mut llc = SetAssocCache::new(cfg.clone());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            black_box(llc.fill(addr, Source::Gpu, false))
+        });
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    let map = DramAddressMap::table_one();
+    g.bench_function("streaming_channel", |b| {
+        b.iter(|| {
+            let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 64, Box::new(FrFcfs));
+            let mut out = Vec::new();
+            let mut now = 0u64;
+            for i in 0..64u64 {
+                let addr = i * 128;
+                while !ch.can_accept() {
+                    ch.tick(now, SchedCtx::default());
+                    ch.drain_completions(now, &mut out);
+                    now += 1;
+                }
+                ch.enqueue(
+                    DramRequest {
+                        id: i,
+                        addr,
+                        write: false,
+                        source: Source::Cpu(0),
+                    },
+                    map.decompose(addr),
+                    now,
+                );
+            }
+            while ch.busy() {
+                ch.tick(now, SchedCtx::default());
+                ch.drain_completions(now, &mut out);
+                now += 1;
+            }
+            black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("send_drain", |b| {
+        let mut ring = Ring::new(RingTopology::table_one());
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            ring.send(now, StopId(0), StopId(5), now);
+            now += 1;
+            out.clear();
+            ring.drain_delivered(now, &mut out);
+            black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_qos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qos");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("frpu_rtp_event", |b| {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        // Learn a frame first so the prediction path is exercised.
+        for _ in 0..4 {
+            f.on_rtp_complete(1000, 2500, 100, 400);
+        }
+        f.on_frame_complete(10_000);
+        let mut i = 0u32;
+        b.iter(|| {
+            f.on_rtp_complete(1000, 2500, 100, 400);
+            i += 1;
+            if i.is_multiple_of(4) {
+                f.on_frame_complete(10_000);
+            }
+            black_box(f.predicted_cycles_per_frame())
+        });
+    });
+    g.bench_function("atu_update_and_gate", |b| {
+        let mut atu = AccessThrottler::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            atu.update(2000.0, 1000.0, 100.0);
+            let q = atu.quota(now);
+            if q > 0 {
+                atu.note_sends(now, 1);
+            }
+            now += 1;
+            black_box(q)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rng, bench_llc, bench_dram, bench_ring, bench_qos);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! One representative end-to-end run per figure family.
+//!
+//! Full figure regeneration (all 14 mixes × all configurations) is the job
+//! of the `figures` binary; these benches time the *unit of work* each
+//! figure is built from, so `cargo bench` gives a stable, comparable
+//! signal without hours of runtime:
+//!
+//! * Fig. 1/2   — one W-mix heterogeneous run (motivation machine),
+//! * Fig. 3     — the same run with bypass-all GPU fills,
+//! * Fig. 8     — an observe-only M-mix run (frame-rate estimation),
+//! * Fig. 9–11  — an M-mix run under full throttling+CPU priority,
+//! * Fig. 12    — an SMS-0.9 M-mix run (scheduler comparison unit),
+//! * Fig. 13/14 — a DynPrio run on a non-amenable mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gat_dram::SchedulerKind;
+use gat_hetero::{FillPolicyKind, HeteroSystem, MachineConfig, QosMode, RunLimits};
+use gat_workloads::{mix_m, mix_w};
+use std::hint::black_box;
+
+fn bench_cfg(num_cpus: u8, seed: u64) -> MachineConfig {
+    let mut cfg = if num_cpus == 1 {
+        MachineConfig::motivation(256, seed)
+    } else {
+        MachineConfig::table_one(256, seed)
+    };
+    cfg.limits = RunLimits {
+        cpu_instructions: 150_000,
+        gpu_frames: 3,
+        warmup_cycles: 60_000,
+        max_cycles: 400_000_000,
+    };
+    cfg
+}
+
+fn figure_unit_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_units");
+    g.sample_size(10);
+
+    g.bench_function("fig1_2_motivation_w7", |b| {
+        let mix = mix_w(7);
+        b.iter(|| {
+            let cfg = bench_cfg(1, 11);
+            let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+            black_box(r.cycles)
+        });
+    });
+
+    g.bench_function("fig3_bypass_all_w7", |b| {
+        let mix = mix_w(7);
+        b.iter(|| {
+            let mut cfg = bench_cfg(1, 11);
+            cfg.fill_policy = FillPolicyKind::BypassAll;
+            let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+            black_box(r.cycles)
+        });
+    });
+
+    g.bench_function("fig8_observe_m7", |b| {
+        let mix = mix_m(7);
+        b.iter(|| {
+            let mut cfg = bench_cfg(4, 11);
+            cfg.qos = QosMode::Observe;
+            let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+            black_box(r.gpu.unwrap().est_error_mean)
+        });
+    });
+
+    g.bench_function("fig9_11_throttle_m7", |b| {
+        let mix = mix_m(7);
+        b.iter(|| {
+            let mut cfg = bench_cfg(4, 11);
+            cfg.qos = QosMode::ThrotCpuPrio;
+            cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+            let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+            black_box(r.gpu.unwrap().fps)
+        });
+    });
+
+    g.bench_function("fig12_sms09_m7", |b| {
+        let mix = mix_m(7);
+        b.iter(|| {
+            let mut cfg = bench_cfg(4, 11);
+            cfg.sched = SchedulerKind::Sms(0.9);
+            let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+            black_box(r.gpu.unwrap().fps)
+        });
+    });
+
+    g.bench_function("fig13_14_dynprio_m6", |b| {
+        let mix = mix_m(6);
+        b.iter(|| {
+            let mut cfg = bench_cfg(4, 11);
+            cfg.sched = SchedulerKind::DynPrio;
+            let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+            black_box(r.gpu.unwrap().fps)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(figure_benches, figure_unit_benches);
+criterion_main!(figure_benches);

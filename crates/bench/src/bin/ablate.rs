@@ -1,0 +1,141 @@
+//! Ablation studies beyond the paper (DESIGN.md §3): decompose the
+//! proposal and stress its design choices on one amenable mix.
+//!
+//! ```text
+//! cargo run --release -p gat-bench --bin ablate -- [mix-number] [--scale N]
+//! ```
+//!
+//! Variants:
+//! * baseline            — FR-FCFS, no QoS
+//! * throttle-only       — step 2 alone (Fig. 9 middle bars)
+//! * prio-only           — step 3 alone (not in the paper)
+//! * full                — the proposal
+//! * full-strict         — full, with Fig. 6's hard W_G reset on overshoot
+//! * full-llc-lru        — full, with an LRU LLC instead of SRRIP
+//! * full-sms-dram       — full throttling over an SMS-0.9 DRAM scheduler
+
+use gat_cache::ReplacementPolicy;
+use gat_dram::SchedulerKind;
+use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunLimits, RunResult};
+use gat_workloads::mix_m;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let scale: u32 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let mix = mix_m(k);
+    println!(
+        "ablation on M{k}: {} + CPUs {} (scale {scale})",
+        mix.game.name,
+        mix.cpu_label()
+    );
+
+    let limits = RunLimits {
+        cpu_instructions: 400_000,
+        gpu_frames: 4,
+        warmup_cycles: 200_000,
+        max_cycles: 4_000_000_000,
+    };
+
+    let base_cfg = || {
+        let mut c = MachineConfig::table_one(scale, 77);
+        c.limits = limits;
+        c
+    };
+    let variants: Vec<(&str, MachineConfig)> = vec![
+        ("baseline", base_cfg()),
+        ("throttle-only", {
+            let mut c = base_cfg();
+            c.qos = QosMode::Throttle;
+            c
+        }),
+        ("prio-only", {
+            let mut c = base_cfg();
+            c.qos = QosMode::CpuPrioOnly;
+            c.sched = SchedulerKind::FrFcfsCpuPrio;
+            c
+        }),
+        ("full", {
+            let mut c = base_cfg();
+            c.qos = QosMode::ThrotCpuPrio;
+            c.sched = SchedulerKind::FrFcfsCpuPrio;
+            c
+        }),
+        ("full-strict", {
+            let mut c = base_cfg();
+            c.qos = QosMode::ThrotCpuPrio;
+            c.sched = SchedulerKind::FrFcfsCpuPrio;
+            c.strict_release = true;
+            c
+        }),
+        ("full-llc-lru", {
+            let mut c = base_cfg();
+            c.qos = QosMode::ThrotCpuPrio;
+            c.sched = SchedulerKind::FrFcfsCpuPrio;
+            c.llc_policy = ReplacementPolicy::Lru;
+            c
+        }),
+        ("full-llc-drrip", {
+            let mut c = base_cfg();
+            c.qos = QosMode::ThrotCpuPrio;
+            c.sched = SchedulerKind::FrFcfsCpuPrio;
+            c.llc_policy = ReplacementPolicy::Drrip;
+            c
+        }),
+        ("full-sms-dram", {
+            let mut c = base_cfg();
+            c.qos = QosMode::Throttle; // SMS has no CPU-prio line
+            c.sched = SchedulerKind::Sms(0.9);
+            c
+        }),
+        // §IV's static-partitioning comparisons ([28]-style): shown by a
+        // later study (and by this ablation) to be sub-optimal.
+        ("static-llc-4w", {
+            let mut c = base_cfg();
+            c.gpu_llc_ways = Some(4);
+            c
+        }),
+        ("static-dram-ch", {
+            let mut c = base_cfg();
+            c.partition_channels = true;
+            c
+        }),
+        ("static-prio", {
+            let mut c = base_cfg();
+            c.sched = SchedulerKind::StaticCpuPrio;
+            c
+        }),
+    ];
+
+    println!(
+        "{:<15} {:>7} {:>8} {:>9} {:>9} {:>5}",
+        "variant", "FPS", "ΣIPC", "gpuB/c", "cpuB/c", "WG"
+    );
+    let mut base_ipc = 0.0;
+    for (label, cfg) in variants {
+        let r: RunResult = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+        let g = r.gpu.as_ref().unwrap();
+        let sum_ipc: f64 = r.cores.iter().map(|c| c.ipc).sum();
+        if label == "baseline" {
+            base_ipc = sum_ipc;
+        }
+        println!(
+            "{:<15} {:>7.1} {:>7.3}{:+5.1}% {:>9.3} {:>9.3} {:>5}",
+            label,
+            g.fps,
+            sum_ipc,
+            100.0 * (sum_ipc / base_ipc - 1.0),
+            r.dram.gpu_bytes() as f64 / r.cycles as f64,
+            r.dram.cpu_bytes() as f64 / r.cycles as f64,
+            g.throttle_w_g,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerate the paper's figures as text tables.
+//!
+//! ```text
+//! figures <fig1|fig2|fig3|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all>
+//!         [--scale N] [--frames N] [--instr N] [--seed N] [--threads N]
+//! ```
+//!
+//! `all` shares runs between figures that use the same experiments
+//! (Fig. 1+2, Fig. 9+10+11, Fig. 13+14), which roughly halves the wall
+//! time of a full regeneration.
+
+use gat_bench::run_figure;
+use gat_hetero::experiments::ExpConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <figN|all> [--scale N] [--frames N] [--instr N] [--seed N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let which = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = args.get(i + 1).unwrap_or_else(|| usage());
+        match key {
+            "--scale" => cfg.scale = val.parse().expect("--scale N"),
+            "--frames" => cfg.limits.gpu_frames = val.parse().expect("--frames N"),
+            "--instr" => cfg.limits.cpu_instructions = val.parse().expect("--instr N"),
+            "--seed" => cfg.seed = val.parse().expect("--seed N"),
+            "--warmup" => cfg.limits.warmup_cycles = val.parse().expect("--warmup N"),
+            "--threads" => cfg.threads = val.parse().expect("--threads N"),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    eprintln!(
+        "# scale={} frames={} instr={} seed={} threads={}",
+        cfg.scale, cfg.limits.gpu_frames, cfg.limits.cpu_instructions, cfg.seed, cfg.threads
+    );
+    let start = std::time::Instant::now();
+    match which.as_str() {
+        "all" => {
+            for id in ["fig1+2", "fig3", "fig8", "fig9+10+11", "fig12", "fig13+14"] {
+                let t = std::time::Instant::now();
+                println!("{}", run_figure(id, &cfg));
+                eprintln!("# {id} took {:.1}s", t.elapsed().as_secs_f64());
+            }
+        }
+        id => println!("{}", run_figure(id, &cfg)),
+    }
+    eprintln!("# total {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,93 @@
+//! Run an arbitrary heterogeneous configuration and print the full report.
+//!
+//! ```text
+//! runsim [--game DOOM3] [--cpus 470,410,433,462] [--sched frfcfs|cpuprio|sms09|sms0|dynprio|static]
+//!        [--qos off|observe|throttle|full|prioonly] [--fill base|bypass|helm]
+//!        [--scale N] [--instr N] [--frames N] [--warmup N] [--seed N]
+//!        [--gpu-ways K] [--partition-channels] [--llc-lru]
+//! ```
+//!
+//! Examples:
+//! * the paper's proposal on a custom mix:
+//!   `runsim --game HL2 --cpus 429,470,462,401 --qos full --sched cpuprio`
+//! * a CPU-only run: `runsim --cpus 429`
+//! * a GPU-only run: `runsim --game CRYSIS --cpus ""`
+
+use gat_cache::ReplacementPolicy;
+use gat_dram::SchedulerKind;
+use gat_hetero::{FillPolicyKind, HeteroSystem, MachineConfig, QosMode};
+use gat_workloads::{game, spec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    let scale: u32 = get("--scale").and_then(|v| v.parse().ok()).unwrap_or(128);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let mut cfg = MachineConfig::table_one(scale, seed);
+    if let Some(v) = get("--instr") {
+        cfg.limits.cpu_instructions = v.parse().expect("--instr N");
+    } else {
+        cfg.limits.cpu_instructions = 400_000;
+    }
+    if let Some(v) = get("--frames") {
+        cfg.limits.gpu_frames = v.parse().expect("--frames N");
+    } else {
+        cfg.limits.gpu_frames = 4;
+    }
+    cfg.limits.warmup_cycles = get("--warmup")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    cfg.sched = match get("--sched").as_deref() {
+        None | Some("frfcfs") => SchedulerKind::FrFcfs,
+        Some("cpuprio") => SchedulerKind::FrFcfsCpuPrio,
+        Some("sms09") => SchedulerKind::Sms(0.9),
+        Some("sms0") => SchedulerKind::Sms(0.0),
+        Some("dynprio") => SchedulerKind::DynPrio,
+        Some("static") => SchedulerKind::StaticCpuPrio,
+        Some(o) => panic!("unknown scheduler {o}"),
+    };
+    cfg.qos = match get("--qos").as_deref() {
+        None | Some("off") => QosMode::Off,
+        Some("observe") => QosMode::Observe,
+        Some("throttle") => QosMode::Throttle,
+        Some("full") => QosMode::ThrotCpuPrio,
+        Some("prioonly") => QosMode::CpuPrioOnly,
+        Some(o) => panic!("unknown qos mode {o}"),
+    };
+    cfg.fill_policy = match get("--fill").as_deref() {
+        None | Some("base") => FillPolicyKind::Baseline,
+        Some("bypass") => FillPolicyKind::BypassAll,
+        Some("helm") => FillPolicyKind::Helm,
+        Some(o) => panic!("unknown fill policy {o}"),
+    };
+    if let Some(v) = get("--gpu-ways") {
+        cfg.gpu_llc_ways = Some(v.parse().expect("--gpu-ways K"));
+    }
+    cfg.partition_channels = has("--partition-channels");
+    if has("--llc-lru") {
+        cfg.llc_policy = ReplacementPolicy::Lru;
+    }
+
+    let apps: Vec<_> = get("--cpus")
+        .unwrap_or_else(|| "470,410,433,462".into())
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|id| spec(id.trim().parse().expect("SPEC id")))
+        .collect();
+    let g = get("--game").map(|n| game(&n));
+    assert!(
+        g.is_some() || !apps.is_empty(),
+        "need at least one of --game/--cpus"
+    );
+
+    let result = HeteroSystem::new(cfg, &apps, g).run();
+    print!("{}", result.render_report());
+}

@@ -1,0 +1,74 @@
+//! Per-frame timeline of one heterogeneous run: watch the QoS control
+//! loop engage frame by frame (learning → prediction → throttling) and
+//! the CPU recover.
+//!
+//! ```text
+//! cargo run --release -p gat-bench --bin timeline -- [mix-number] [--scale N] [--frames N]
+//! ```
+
+use gat_dram::SchedulerKind;
+use gat_gpu::GpuEvent;
+use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunLimits};
+use gat_workloads::mix_m;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let get = |flag: &str, default: u32| -> u32 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = get("--scale", 128);
+    let frames = get("--frames", 12);
+    let mix = mix_m(k);
+    println!(
+        "timeline of M{k}: {} + CPUs {} (scale {scale}, {frames} frames, target 40 FPS)",
+        mix.game.name,
+        mix.cpu_label()
+    );
+
+    let mut cfg = MachineConfig::table_one(scale, 5);
+    cfg.qos = QosMode::ThrotCpuPrio;
+    cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+    cfg.limits = RunLimits {
+        cpu_instructions: u64::MAX, // run until the GPU finishes
+        gpu_frames: frames,
+        warmup_cycles: 0,
+        max_cycles: 40_000_000_000,
+    };
+
+    let mut sys = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone()));
+    sys.observe_events(true);
+    println!(
+        "{:>5} {:>9} {:>7} {:>6} {:>5} {:>10} {:>10}",
+        "frame", "cycles", "FPS", "WG", "boost", "gpu-sends", "retired"
+    );
+    let mut events = Vec::new();
+    let mut frame_count = 0u32;
+    while frame_count < frames {
+        sys.tick();
+        events.clear();
+        sys.drain_frame_events(&mut events);
+        for e in &events {
+            if let GpuEvent::FrameComplete { frame, cycles } = e {
+                frame_count += 1;
+                let (w_g, boost) = sys.qos_snapshot();
+                let fps = 1e9 / (*cycles as f64 * f64::from(scale));
+                println!(
+                    "{:>5} {:>9} {:>7.1} {:>6} {:>5} {:>10} {:>10}",
+                    frame,
+                    cycles,
+                    fps,
+                    w_g,
+                    if boost { "yes" } else { "no" },
+                    sys.gpu_llc_sends(),
+                    sys.total_retired(),
+                );
+            }
+        }
+        assert!(sys.now() < 40_000_000_000, "wedged");
+    }
+}

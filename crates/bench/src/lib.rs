@@ -1,0 +1,93 @@
+//! `gat-bench` — figure regeneration and performance benchmarks.
+//!
+//! The [`figures`](crate::run_figure) entry points drive the experiment
+//! harness in `gat-hetero` to regenerate each paper figure as a text
+//! table; the `figures` binary wraps them in a CLI:
+//!
+//! ```text
+//! cargo run --release -p gat-bench --bin figures -- all
+//! cargo run --release -p gat-bench --bin figures -- fig9 --scale 64 --frames 5
+//! ```
+//!
+//! Criterion benches (`benches/`) cover the hot simulator kernels
+//! (components) and one representative run per figure family (figures).
+
+use gat_hetero::experiments::{self, ExpConfig};
+
+/// All known figure ids, in paper order.
+pub const FIGURES: [&str; 10] = [
+    "fig1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+];
+
+/// Regenerate one figure; returns the rendered table(s).
+///
+/// # Panics
+/// Panics on an unknown figure id.
+pub fn run_figure(id: &str, cfg: &ExpConfig) -> String {
+    match id {
+        "fig1" => experiments::motivation(cfg).fig1_table().render(),
+        "fig2" => experiments::motivation(cfg).fig2_table().render(),
+        "fig1+2" | "motivation" => {
+            let m = experiments::motivation(cfg);
+            format!("{}\n{}", m.fig1_table().render(), m.fig2_table().render())
+        }
+        "fig3" => experiments::fig3(cfg).table().render(),
+        "fig8" => experiments::fig8(cfg).table().render(),
+        "fig9" => {
+            let e = experiments::throttle_eval(cfg);
+            format!(
+                "{}\n{}",
+                e.fig9_fps_table().render(),
+                e.fig9_ws_table().render()
+            )
+        }
+        "fig9+10+11" | "throttle" => {
+            let e = experiments::throttle_eval(cfg);
+            format!(
+                "{}\n{}\n{}\n{}",
+                e.fig9_fps_table().render(),
+                e.fig9_ws_table().render(),
+                e.fig10_table().render(),
+                e.fig11_table().render()
+            )
+        }
+        "fig10" => experiments::throttle_eval(cfg).fig10_table().render(),
+        "fig11" => experiments::throttle_eval(cfg).fig11_table().render(),
+        "fig12" => {
+            let c = experiments::comparison(cfg, true);
+            format!("{}\n{}", c.fps_table().render(), c.ws_table().render())
+        }
+        "fig13" => {
+            let c = experiments::comparison(cfg, false);
+            format!("{}\n{}", c.fps_table().render(), c.ws_table().render())
+        }
+        "fig13+14" => {
+            let c = experiments::comparison(cfg, false);
+            format!(
+                "{}\n{}\n{}",
+                c.fps_table().render(),
+                c.ws_table().render(),
+                c.fig14_table().render()
+            )
+        }
+        "fig14" => experiments::comparison(cfg, false).fig14_table().render(),
+        other => panic!("unknown figure id {other:?}; known: {FIGURES:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "unknown figure id")]
+    fn unknown_figure_panics() {
+        let _ = run_figure("fig99", &ExpConfig::smoke());
+    }
+
+    #[test]
+    fn figure_list_is_complete() {
+        assert_eq!(FIGURES.len(), 10);
+        assert!(FIGURES.contains(&"fig14"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Each cache level owns an [`MshrFile`] bounding how many distinct block
+//! misses can be outstanding below it, with secondary misses to the same
+//! block merged onto the primary. Two behaviours in the paper hinge on
+//! this structure:
+//!
+//! * CPU memory-level parallelism: the core keeps issuing until its L1/L2
+//!   MSHRs fill, which is what makes IPC sensitive to LLC/DRAM latency.
+//! * Throttling back-pressure (paper §III-B): "when the GPU requests are
+//!   denied access to the LLC, they are held back inside the GPU and occupy
+//!   GPU resources such as request buffers and MSHRs attached to the caches
+//!   internal to the GPU" — the GPU pipeline stalls exactly when these fill.
+
+use std::collections::HashMap;
+
+/// Result of trying to allocate an MSHR for a missed block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss to this block: the caller must forward the request to the
+    /// next level.
+    Primary,
+    /// Another miss to the same block is already in flight; this requester
+    /// was queued on it and must simply wait.
+    Merged,
+    /// Structural stall: no free entry (or the entry's waiter list is
+    /// full). The caller must retry later; nothing was recorded.
+    Full,
+}
+
+/// A bounded file of MSHR entries with same-block merging.
+#[derive(Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    max_waiters: usize,
+    entries: HashMap<u64, Vec<u64>>,
+    /// High-water mark of simultaneously live entries.
+    peak: usize,
+    stalls: u64,
+    merges: u64,
+}
+
+impl MshrFile {
+    /// `capacity` distinct outstanding blocks, each with up to
+    /// `max_waiters` queued requesters (including the primary).
+    pub fn new(capacity: usize, max_waiters: usize) -> Self {
+        assert!(capacity > 0 && max_waiters > 0);
+        Self {
+            capacity,
+            max_waiters,
+            entries: HashMap::with_capacity(capacity),
+            peak: 0,
+            stalls: 0,
+            merges: 0,
+        }
+    }
+
+    /// Attempt to record a miss on `block` for requester `token`.
+    pub fn allocate(&mut self, block: u64, token: u64) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&block) {
+            if waiters.len() >= self.max_waiters {
+                self.stalls += 1;
+                return MshrOutcome::Full;
+            }
+            waiters.push(token);
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(block, vec![token]);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Primary
+    }
+
+    /// The data for `block` returned: free the entry and hand back every
+    /// queued requester token (primary first, then merge order).
+    pub fn complete(&mut self, block: u64) -> Vec<u64> {
+        self.entries.remove(&block).unwrap_or_default()
+    }
+
+    /// Is a miss to `block` already outstanding?
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Currently live entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no new primary miss can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    pub fn stall_count(&self) -> u64 {
+        self.stalls
+    }
+
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// Drop all state (between simulation phases).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge_then_complete() {
+        let mut m = MshrFile::new(4, 4);
+        assert_eq!(m.allocate(100, 1), MshrOutcome::Primary);
+        assert_eq!(m.allocate(100, 2), MshrOutcome::Merged);
+        assert_eq!(m.allocate(100, 3), MshrOutcome::Merged);
+        assert!(m.contains(100));
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.complete(100), vec![1, 2, 3]);
+        assert!(!m.contains(100));
+        assert_eq!(m.merge_count(), 2);
+    }
+
+    #[test]
+    fn capacity_limits_distinct_blocks() {
+        let mut m = MshrFile::new(2, 8);
+        assert_eq!(m.allocate(1, 10), MshrOutcome::Primary);
+        assert_eq!(m.allocate(2, 11), MshrOutcome::Primary);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(3, 12), MshrOutcome::Full);
+        // Merging into an existing entry still works at capacity.
+        assert_eq!(m.allocate(1, 13), MshrOutcome::Merged);
+        assert_eq!(m.stall_count(), 1);
+        m.complete(1);
+        assert_eq!(m.allocate(3, 12), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn waiter_list_bound() {
+        let mut m = MshrFile::new(4, 2);
+        assert_eq!(m.allocate(9, 0), MshrOutcome::Primary);
+        assert_eq!(m.allocate(9, 1), MshrOutcome::Merged);
+        assert_eq!(m.allocate(9, 2), MshrOutcome::Full);
+    }
+
+    #[test]
+    fn complete_unknown_block_is_empty() {
+        let mut m = MshrFile::new(2, 2);
+        assert!(m.complete(42).is_empty());
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water() {
+        let mut m = MshrFile::new(8, 2);
+        for b in 0..5 {
+            m.allocate(b, b);
+        }
+        for b in 0..5 {
+            m.complete(b);
+        }
+        assert_eq!(m.occupancy(), 0);
+        assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let mut m = MshrFile::new(2, 2);
+        m.allocate(1, 1);
+        m.clear();
+        assert_eq!(m.occupancy(), 0);
+        assert!(!m.contains(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! The request port between a cache hierarchy and the level below it.
+//!
+//! The CPU's L2 and the GPU's internal L2 caches both talk to the shared
+//! LLC through this interface; the uncore (in `gat-hetero`) implements it.
+//! Requests are block-granular. Reads are acknowledged later via the
+//! owner's completion entry point; writes are posted (fire-and-forget
+//! write-backs) — nobody ever waits on a write, matching how write-back
+//! caches behave, while the write still consumes LLC and DRAM bandwidth.
+
+use gat_sim::Cycle;
+
+/// A block-granular request presented to the level below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockReq {
+    /// Requester-chosen token echoed back with the read completion.
+    /// Ignored for writes.
+    pub token: u64,
+    /// Block-aligned physical address.
+    pub addr: u64,
+    /// `true` for a write-back, `false` for a read/fetch.
+    pub write: bool,
+}
+
+/// Downstream request sink.
+///
+/// `try_request` returns `false` when the downstream queue is full
+/// (structural back-pressure); the caller must hold the request and retry —
+/// this is exactly the mechanism through which GPU access throttling
+/// propagates stalls back into the rendering pipeline.
+pub trait MemPort {
+    fn try_request(&mut self, now: Cycle, req: BlockReq) -> bool;
+}
+
+/// A trivial port that accepts everything and records it (tests, and the
+/// "perfect memory" configurations used for calibration).
+#[derive(Debug, Default)]
+pub struct SinkPort {
+    pub accepted: Vec<(Cycle, BlockReq)>,
+    /// When set, reject everything (for stall-path tests).
+    pub reject_all: bool,
+}
+
+impl MemPort for SinkPort {
+    fn try_request(&mut self, now: Cycle, req: BlockReq) -> bool {
+        if self.reject_all {
+            return false;
+        }
+        self.accepted.push((now, req));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_port_records_and_rejects() {
+        let mut p = SinkPort::default();
+        assert!(p.try_request(
+            5,
+            BlockReq {
+                token: 1,
+                addr: 64,
+                write: false
+            }
+        ));
+        assert_eq!(p.accepted.len(), 1);
+        p.reject_all = true;
+        assert!(!p.try_request(
+            6,
+            BlockReq {
+                token: 2,
+                addr: 128,
+                write: true
+            }
+        ));
+        assert_eq!(p.accepted.len(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Replacement policies: LRU and 2-bit SRRIP.
+//!
+//! Table I specifies LRU for the CPU's private caches and GPU internal
+//! caches, and the two-bit SRRIP of Jaleel et al. (ISCA 2010, the paper's
+//! reference [10]) for the shared LLC. SRRIP matters to the proposal: a
+//! throttled GPU touches its LLC blocks less often, so their re-reference
+//! prediction values age to "distant" and they are evicted early — that is
+//! precisely the mechanism by which throttling *frees LLC capacity* for the
+//! CPU (paper §II).
+
+/// Which replacement algorithm a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Classic least-recently-used, via per-line access stamps.
+    Lru,
+    /// Static re-reference interval prediction with 2-bit RRPV counters.
+    ///
+    /// Insertion sets RRPV = 2 ("long"), a hit promotes to 0 ("near"),
+    /// and the victim is any line with RRPV = 3 ("distant"), aging the
+    /// whole set (+1 to every line) until one appears.
+    Srrip,
+    /// Dynamic RRIP (Jaleel et al.): set-dueling between SRRIP insertion
+    /// and bimodal BRRIP insertion (RRPV = 3 except 1-in-32), with a PSEL
+    /// counter choosing the follower sets' policy. Beyond Table I — an
+    /// ablation policy; hits and victim selection behave like SRRIP.
+    Drrip,
+}
+
+/// Maximum RRPV for the 2-bit counters.
+pub const RRPV_MAX: u8 = 3;
+/// RRPV assigned on insertion ("long re-reference interval").
+pub const RRPV_INSERT: u8 = 2;
+/// RRPV assigned on a hit ("near-immediate re-reference").
+pub const RRPV_HIT: u8 = 0;
+
+/// Per-line replacement metadata. For LRU this is an access stamp; for
+/// SRRIP it is the RRPV counter. The cache stores one per line and calls
+/// the functions below; keeping the state a bare integer keeps lines small
+/// (the LLC has 262 144 of them).
+pub type ReplState = u32;
+
+/// Update replacement state on a hit.
+#[inline]
+pub fn on_hit(policy: ReplacementPolicy, state: &mut ReplState, stamp: u32) {
+    match policy {
+        ReplacementPolicy::Lru => *state = stamp,
+        ReplacementPolicy::Srrip | ReplacementPolicy::Drrip => *state = u32::from(RRPV_HIT),
+    }
+}
+
+/// Initial replacement state for a freshly inserted line.
+#[inline]
+pub fn on_insert(policy: ReplacementPolicy, stamp: u32) -> ReplState {
+    match policy {
+        ReplacementPolicy::Lru => stamp,
+        // DRRIP's per-set insertion decision lives in the cache (it needs
+        // set-dueling state); this default is the SRRIP depth.
+        ReplacementPolicy::Srrip | ReplacementPolicy::Drrip => u32::from(RRPV_INSERT),
+    }
+}
+
+/// Choose a victim way among `states` (all ways valid). May mutate the
+/// states (SRRIP ages the set). Ties break toward the lowest way index,
+/// which keeps the simulator deterministic.
+#[inline]
+pub fn choose_victim(policy: ReplacementPolicy, states: &mut [ReplState]) -> usize {
+    debug_assert!(!states.is_empty());
+    match policy {
+        ReplacementPolicy::Lru => {
+            let mut best = 0usize;
+            let mut best_stamp = states[0];
+            for (w, &s) in states.iter().enumerate().skip(1) {
+                if s < best_stamp {
+                    best = w;
+                    best_stamp = s;
+                }
+            }
+            best
+        }
+        ReplacementPolicy::Srrip | ReplacementPolicy::Drrip => loop {
+            if let Some(w) = states.iter().position(|&s| s >= u32::from(RRPV_MAX)) {
+                return w;
+            }
+            for s in states.iter_mut() {
+                *s += 1;
+            }
+        },
+    }
+}
+
+/// DRRIP set-dueling state: a saturating policy selector plus the bimodal
+/// insertion counter.
+#[derive(Debug, Clone, Copy)]
+pub struct DuelState {
+    /// Saturating counter: misses in SRRIP-leader sets increment, misses
+    /// in BRRIP-leader sets decrement; ≥ 0 means "SRRIP is winning".
+    psel: i32,
+    /// BRRIP inserts at RRPV_MAX except one access in 32.
+    brip_tick: u32,
+}
+
+/// Leader-set spacing: sets `s ≡ 0 (mod 64)` lead for SRRIP, sets
+/// `s ≡ 33 (mod 64)` for BRRIP; everything else follows PSEL.
+const DUEL_PERIOD: u64 = 64;
+const PSEL_MAX: i32 = 512;
+
+impl Default for DuelState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DuelState {
+    pub fn new() -> Self {
+        Self {
+            psel: 0,
+            brip_tick: 0,
+        }
+    }
+
+    /// Which policy governs insertions in `set`?
+    fn set_uses_srrip(&self, set: u64) -> bool {
+        match set % DUEL_PERIOD {
+            0 => true,
+            33 => false,
+            _ => self.psel >= 0,
+        }
+    }
+
+    /// Record a miss for the duel (only leader sets vote).
+    pub fn on_miss(&mut self, set: u64) {
+        match set % DUEL_PERIOD {
+            // A miss in an SRRIP leader argues for BRRIP and vice versa.
+            0 => self.psel = (self.psel - 1).max(-PSEL_MAX),
+            33 => self.psel = (self.psel + 1).min(PSEL_MAX),
+            _ => {}
+        }
+    }
+
+    /// Insertion RRPV for a fill into `set`.
+    pub fn insert_rrpv(&mut self, set: u64) -> u32 {
+        if self.set_uses_srrip(set) {
+            u32::from(RRPV_INSERT)
+        } else {
+            self.brip_tick = (self.brip_tick + 1) % 32;
+            if self.brip_tick == 0 {
+                u32::from(RRPV_INSERT)
+            } else {
+                u32::from(RRPV_MAX)
+            }
+        }
+    }
+
+    /// Current selector value (diagnostics).
+    pub fn psel(&self) -> i32 {
+        self.psel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let p = ReplacementPolicy::Lru;
+        let mut states = [0u32; 4];
+        for (w, s) in states.iter_mut().enumerate() {
+            *s = on_insert(p, w as u32 + 10);
+        }
+        // Touch way 0 most recently.
+        on_hit(p, &mut states[0], 100);
+        assert_eq!(choose_victim(p, &mut states), 1);
+    }
+
+    #[test]
+    fn srrip_inserts_long_promotes_on_hit() {
+        let p = ReplacementPolicy::Srrip;
+        let mut s = on_insert(p, 0);
+        assert_eq!(s, u32::from(RRPV_INSERT));
+        on_hit(p, &mut s, 999);
+        assert_eq!(s, u32::from(RRPV_HIT));
+    }
+
+    #[test]
+    fn srrip_ages_set_until_distant_found() {
+        let p = ReplacementPolicy::Srrip;
+        // All lines recently promoted: no RRPV==3 present.
+        let mut states = [0u32, 1, 2, 1];
+        let victim = choose_victim(p, &mut states);
+        // Way 2 reaches 3 first after one aging round.
+        assert_eq!(victim, 2);
+        assert_eq!(states, [1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn srrip_prefers_existing_distant_line_without_aging() {
+        let p = ReplacementPolicy::Srrip;
+        let mut states = [2u32, 3, 0, 3];
+        assert_eq!(choose_victim(p, &mut states), 1);
+        assert_eq!(states, [2, 3, 0, 3], "no aging when a victim exists");
+    }
+
+    #[test]
+    fn duel_leader_sets_are_fixed_and_followers_swing() {
+        let mut d = DuelState::new();
+        assert!(d.set_uses_srrip(0), "set 0 leads SRRIP");
+        assert!(!d.set_uses_srrip(33), "set 33 leads BRRIP");
+        assert!(d.set_uses_srrip(5), "followers start on SRRIP (psel 0)");
+        // Hammer the SRRIP leader with misses: followers flip to BRRIP.
+        for _ in 0..10 {
+            d.on_miss(0);
+        }
+        assert!(d.psel() < 0);
+        assert!(!d.set_uses_srrip(5), "followers flipped");
+        // BRRIP-leader misses push it back.
+        for _ in 0..20 {
+            d.on_miss(33);
+        }
+        assert!(d.set_uses_srrip(5));
+    }
+
+    #[test]
+    fn brip_insertion_is_bimodal() {
+        let mut d = DuelState::new();
+        for _ in 0..64 {
+            d.on_miss(0); // force BRRIP for followers
+        }
+        let rrpvs: Vec<u32> = (0..64).map(|_| d.insert_rrpv(7)).collect();
+        let distant = rrpvs.iter().filter(|&&r| r == u32::from(RRPV_MAX)).count();
+        let long = rrpvs.iter().filter(|&&r| r == u32::from(RRPV_INSERT)).count();
+        assert_eq!(long, 2, "1 in 32 inserts at the SRRIP depth");
+        assert_eq!(distant, 62);
+    }
+
+    #[test]
+    fn srrip_untouched_inserts_age_out_before_hit_lines() {
+        // The property the paper's throttling mechanism relies on: blocks
+        // that stop being touched (throttled GPU) lose to blocks that keep
+        // hitting (CPU).
+        let p = ReplacementPolicy::Srrip;
+        let mut gpu = on_insert(p, 0); // never touched again
+        let mut cpu = on_insert(p, 0);
+        on_hit(p, &mut cpu, 0); // CPU block keeps hitting
+        let mut states = [gpu, cpu];
+        let v = choose_victim(p, &mut states);
+        assert_eq!(v, 0, "stale (GPU) block is the victim");
+        // Re-run with roles swapped to prove it is not positional.
+        gpu = on_insert(p, 0);
+        cpu = on_insert(p, 0);
+        on_hit(p, &mut cpu, 0);
+        let mut states = [cpu, gpu];
+        assert_eq!(choose_victim(p, &mut states), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! The access throttling unit (ATU) — §III-B and Fig. 6.
+//!
+//! Mechanism (the GTT gate): a token counter admits `N_G` GPU LLC accesses;
+//! when it reaches zero the GPU-to-LLC ports are disabled for `W_G` GPU
+//! cycles, then the counter reloads. Denied requests wait inside the GPU,
+//! occupying request buffers and MSHRs — the back-pressure is modeled in
+//! the pipeline, not here.
+//!
+//! Policy (Fig. 6): with `A` = LLC accesses per frame (from the FRPU's
+//! learning phase), `C_T` = cycles per frame at the target frame rate and
+//! `C_P` = predicted cycles per frame,
+//!
+//! * if `C_P > C_T` (GPU at or below target): `N_G = 1` and `W_G` releases
+//!   (−2 by default, hard reset in strict mode);
+//! * else `N_G = 1` and, while the remaining slack justifies at least a
+//!   fraction of a cycle of extra wait per access (`(C_T − C_P)/A` above a
+//!   small threshold), ramp `W_G += 2` per evaluation, capped at
+//!   [`W_G_MAX`].
+//!
+//! `C_P` is the *throttled* prediction — the loop is closed. When gate
+//! delay serializes fully with the frame (the paper's assumption),
+//! `(C_T − C_P)/A` shrinks by exactly the wait already added and the loop
+//! stops at Fig. 6's open-loop bound; when the pipeline hides part of the
+//! gate delay behind compute, the residual slack keeps the ramp going to
+//! the true stationary point. Either way the gate settles into a ±2
+//! oscillation around the deadline.
+
+use gat_sim::Cycle;
+
+/// Safety cap on the port-disable window (a runaway `W_G` would mean the
+/// estimator broke; the QoS loop never needs more than tens of cycles).
+pub const W_G_MAX: u64 = 256;
+
+/// The (W_G, N_G) pair chosen by an evaluation of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThrottleDecision {
+    pub w_g: u64,
+    pub n_g: u64,
+}
+
+/// The ATU: policy state plus the runtime gate.
+///
+/// ```
+/// use gat_core::AccessThrottler;
+///
+/// let mut atu = AccessThrottler::new();
+/// // GPU predicted at half the target frame time, 100 accesses/frame:
+/// atu.update(2000.0, 1000.0, 100.0);
+/// assert_eq!(atu.decision().w_g, 2);
+/// // The gate admits one access, then holds the port for W_G cycles.
+/// assert!(atu.quota(10) > 0);
+/// atu.note_sends(10, 1);
+/// assert_eq!(atu.quota(11), 0);
+/// assert!(atu.quota(13) > 0);
+/// ```
+#[derive(Debug)]
+pub struct AccessThrottler {
+    w_g: u64,
+    n_g: u64,
+    /// On overshoot (`C_P > C_T`), step `W_G` down by 2 instead of
+    /// resetting to 0. The paper's Fig. 6 resets; at our evaluation
+    /// granularity a hard reset makes the gate oscillate between flood
+    /// and full throttle, so the symmetric ramp is the default (the
+    /// ablation bench compares both).
+    pub gentle_release: bool,
+    /// Accesses remaining before the gate closes.
+    tokens: u64,
+    /// Gate is closed until this GPU cycle.
+    closed_until: Cycle,
+    /// Policy evaluations performed.
+    pub evaluations: u64,
+    /// Total cycles of gate closure imposed.
+    pub closed_cycles: u64,
+}
+
+impl AccessThrottler {
+    pub fn new() -> Self {
+        Self {
+            w_g: 0,
+            n_g: 1,
+            gentle_release: true,
+            tokens: 1,
+            closed_until: 0,
+            evaluations: 0,
+            closed_cycles: 0,
+        }
+    }
+
+    /// Current policy outputs.
+    pub fn decision(&self) -> ThrottleDecision {
+        ThrottleDecision {
+            w_g: self.w_g,
+            n_g: self.n_g,
+        }
+    }
+
+    /// Is the ATU actively limiting the GPU?
+    pub fn is_throttling(&self) -> bool {
+        self.w_g > 0
+    }
+
+    /// One evaluation of the Fig. 6 flowchart. `c_t`/`c_p` in GPU cycles
+    /// per frame, `a` in LLC accesses per frame.
+    pub fn update(&mut self, c_t: f64, c_p: f64, a: f64) -> ThrottleDecision {
+        self.evaluations += 1;
+        self.n_g = 1;
+        if c_p > c_t || a <= 0.0 {
+            if self.gentle_release && a > 0.0 {
+                self.w_g = self.w_g.saturating_sub(2);
+            } else {
+                self.w_g = 0;
+            }
+        } else {
+            // Residual slack per access under the current gate; ramp while
+            // it is worth at least a quarter cycle of extra wait.
+            let slack_per_access = (c_t - c_p) / a;
+            if slack_per_access > 0.25 && self.w_g < W_G_MAX {
+                self.w_g += 2;
+            }
+        }
+        if self.w_g == 0 {
+            // Gate fully open; clear any residual closure.
+            self.closed_until = 0;
+            self.tokens = self.n_g;
+        }
+        self.decision()
+    }
+
+    /// Force the unthrottled state (used when the QoS policy is disabled).
+    pub fn disable(&mut self) {
+        self.w_g = 0;
+        self.closed_until = 0;
+        self.tokens = self.n_g.max(1);
+    }
+
+    /// How many GPU LLC accesses may be sent at GPU cycle `now`.
+    pub fn quota(&self, now: Cycle) -> u32 {
+        if self.w_g == 0 {
+            return u32::MAX;
+        }
+        if now < self.closed_until {
+            return 0;
+        }
+        self.tokens.min(u32::MAX as u64) as u32
+    }
+
+    /// Report `sends` accesses made at GPU cycle `now`.
+    pub fn note_sends(&mut self, now: Cycle, sends: u32) {
+        if self.w_g == 0 || sends == 0 {
+            return;
+        }
+        self.tokens = self.tokens.saturating_sub(u64::from(sends));
+        if self.tokens == 0 {
+            // Ports disabled for the W_G cycles following this access.
+            self.closed_until = now + 1 + self.w_g;
+            self.closed_cycles += self.w_g;
+            self.tokens = self.n_g;
+        }
+    }
+}
+
+impl Default for AccessThrottler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_gpu_is_never_throttled() {
+        let mut atu = AccessThrottler::new();
+        // Predicted frame time above target: Fig. 6 takes the "yes" arc.
+        let d = atu.update(1000.0, 1500.0, 100.0);
+        assert_eq!(d, ThrottleDecision { w_g: 0, n_g: 1 });
+        assert!(!atu.is_throttling());
+        assert_eq!(atu.quota(0), u32::MAX);
+    }
+
+    #[test]
+    fn fast_gpu_ramps_w_g_by_two_per_evaluation() {
+        let mut atu = AccessThrottler::new();
+        // Slack (C_T - C_P)/A = (2000-1000)/100 = 10.
+        assert_eq!(atu.update(2000.0, 1000.0, 100.0).w_g, 2);
+        assert_eq!(atu.update(2000.0, 1000.0, 100.0).w_g, 4);
+        assert_eq!(atu.update(2000.0, 1000.0, 100.0).w_g, 6);
+    }
+
+    #[test]
+    fn ramp_continues_while_slack_remains_and_caps() {
+        // Open loop (inputs never fed back): the controller keeps ramping
+        // while slack persists — it is the real system's C_P feedback that
+        // stops it — and the safety cap bounds a broken estimator.
+        let mut atu = AccessThrottler::new();
+        for _ in 0..500 {
+            atu.update(2000.0, 1000.0, 100.0);
+        }
+        assert_eq!(atu.decision().w_g, W_G_MAX);
+    }
+
+    #[test]
+    fn ramp_stops_once_slack_is_marginal() {
+        let mut atu = AccessThrottler::new();
+        // Slack of 0.2 cycles per access: not worth another step.
+        atu.update(1020.0, 1000.0, 100.0);
+        assert_eq!(atu.decision().w_g, 0);
+    }
+
+    #[test]
+    fn closed_loop_converges_with_feedback() {
+        // Model a fully-serializing pipeline: C_P = base + A × W_G.
+        let mut atu = AccessThrottler::new();
+        let (base, a, c_t) = (1000.0, 100.0, 2000.0);
+        for _ in 0..50 {
+            let c_p = base + a * atu.decision().w_g as f64;
+            atu.update(c_t, c_p, a);
+        }
+        // Stationary point: base + A·W_G ≈ C_T → W_G ≈ 10, ±2 oscillation.
+        let w = atu.decision().w_g;
+        assert!((8..=12).contains(&w), "W_G {w} not at the Fig. 6 bound");
+    }
+
+    #[test]
+    fn overshoot_releases_gently_by_default() {
+        let mut atu = AccessThrottler::new();
+        atu.update(2000.0, 1000.0, 100.0);
+        atu.update(2000.0, 1000.0, 100.0); // W_G = 4
+        assert!(atu.is_throttling());
+        // The throttled GPU slowed past the target: step down, not reset.
+        atu.update(2000.0, 2100.0, 100.0);
+        assert_eq!(atu.decision().w_g, 2);
+        atu.update(2000.0, 2100.0, 100.0);
+        assert!(!atu.is_throttling());
+        assert_eq!(atu.quota(123), u32::MAX);
+    }
+
+    #[test]
+    fn overshoot_resets_in_strict_figure_6_mode() {
+        let mut atu = AccessThrottler::new();
+        atu.gentle_release = false;
+        atu.update(2000.0, 1000.0, 100.0);
+        atu.update(2000.0, 1000.0, 100.0);
+        assert_eq!(atu.decision().w_g, 4);
+        atu.update(2000.0, 2100.0, 100.0);
+        assert!(!atu.is_throttling(), "strict mode resets W_G to 0");
+    }
+
+    #[test]
+    fn gate_admits_n_g_then_closes_for_w_g() {
+        let mut atu = AccessThrottler::new();
+        atu.update(2000.0, 1000.0, 100.0); // W_G = 2, N_G = 1
+        assert_eq!(atu.quota(10), 1);
+        atu.note_sends(10, 1);
+        assert_eq!(atu.quota(11), 0, "gate closed for W_G cycles");
+        assert_eq!(atu.quota(12), 0);
+        assert_eq!(atu.quota(13), 1, "gate reopens after W_G idle cycles");
+        assert_eq!(atu.closed_cycles, 2);
+    }
+
+    #[test]
+    fn zero_accesses_per_frame_disables_throttle() {
+        let mut atu = AccessThrottler::new();
+        let d = atu.update(2000.0, 1000.0, 0.0);
+        assert_eq!(d.w_g, 0);
+    }
+
+    #[test]
+    fn disable_clears_state() {
+        let mut atu = AccessThrottler::new();
+        atu.update(2000.0, 1000.0, 10.0);
+        atu.note_sends(5, 1);
+        atu.disable();
+        assert_eq!(atu.quota(6), u32::MAX);
+    }
+
+    #[test]
+    fn effective_rate_matches_w_g() {
+        // With W_G = 4, N_G = 1 the gate admits one access per 5 cycles.
+        let mut atu = AccessThrottler::new();
+        for _ in 0..2 {
+            atu.update(10_000.0, 1000.0, 1000.0);
+        }
+        assert_eq!(atu.decision().w_g, 4);
+        let mut sends = 0;
+        for now in 0..1000u64 {
+            if atu.quota(now) > 0 {
+                atu.note_sends(now, 1);
+                sends += 1;
+            }
+        }
+        assert!((195..=205).contains(&sends), "sends {sends} ≈ 1000/5");
+    }
+}

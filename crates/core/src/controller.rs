@@ -1,0 +1,315 @@
+//! The QoS controller: glue between the FRPU, the ATU and the DRAM
+//! scheduler (steps 1–3 of §III).
+//!
+//! Per RTP boundary the controller refreshes the ATU policy with the
+//! FRPU's projection; per GPU cycle it answers "how many LLC accesses may
+//! the GPU make" and "should CPU priority be boosted in the DRAM
+//! scheduler". It also derives the frame-deadline urgency signal that the
+//! DynPrio comparison scheduler consumes (the DynPrio study uses this
+//! paper's frame-rate estimator for progress, §IV/§VI).
+
+use crate::atu::AccessThrottler;
+use crate::frpu::{FrameRateEstimator, FrpuConfig, Phase};
+use gat_gpu::GpuEvent;
+use gat_sim::{Cycle, GPU_FREQ_HZ};
+
+/// Controller policy knobs.
+#[derive(Debug, Clone)]
+pub struct QosControllerConfig {
+    /// Target QoS threshold; the paper uses 40 FPS (30 FPS acceptability
+    /// plus a 10 FPS cushion, §II).
+    pub target_fps: f64,
+    /// Work scale of the GPU pipeline (converts real frame budgets into
+    /// measured cycles; see `gat-gpu`).
+    pub scale: u32,
+    /// Step 2 (GPU LLC access throttling) enabled.
+    pub enable_throttle: bool,
+    /// Step 3 (CPU priority boost in the DRAM scheduler) enabled.
+    pub enable_cpu_prio: bool,
+    /// Use Fig. 6's strict W_G reset on overshoot instead of the default
+    /// gentle release (ablation knob; DESIGN.md §5).
+    pub strict_release: bool,
+    pub frpu: FrpuConfig,
+}
+
+impl QosControllerConfig {
+    /// The full proposal ("ThrotCPUprio" in Fig. 12).
+    pub fn proposal(scale: u32) -> Self {
+        Self {
+            target_fps: 40.0,
+            scale,
+            enable_throttle: true,
+            enable_cpu_prio: true,
+            strict_release: false,
+            frpu: FrpuConfig::default(),
+        }
+    }
+
+    /// Throttling only ("Throttled" in Fig. 9).
+    pub fn throttle_only(scale: u32) -> Self {
+        Self {
+            enable_cpu_prio: false,
+            ..Self::proposal(scale)
+        }
+    }
+
+    /// CPU-priority boost only (ablation): the FRPU decides when the GPU
+    /// is above target, but the gate never closes.
+    pub fn prio_only(scale: u32) -> Self {
+        Self {
+            enable_throttle: false,
+            enable_cpu_prio: true,
+            ..Self::proposal(scale)
+        }
+    }
+
+    /// Estimation only — FRPU runs (for Fig. 8 error measurements and for
+    /// DynPrio's progress signal) but nothing is actuated.
+    pub fn observe_only(scale: u32) -> Self {
+        Self {
+            enable_throttle: false,
+            enable_cpu_prio: false,
+            ..Self::proposal(scale)
+        }
+    }
+}
+
+/// Dynamic outputs consumed by the uncore each cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QosSignals {
+    /// GPU access throttling currently active.
+    pub throttling: bool,
+    /// Assert elevated CPU priority in the DRAM scheduler (§III-C).
+    pub cpu_prio_boost: bool,
+    /// DynPrio's deadline signal: inside the last 10% of the frame budget.
+    pub gpu_urgent: bool,
+    /// The frame-rate estimator projects the GPU ahead of its deadline.
+    pub gpu_above_target: bool,
+}
+
+/// The controller.
+pub struct QosController {
+    cfg: QosControllerConfig,
+    pub frpu: FrameRateEstimator,
+    pub atu: AccessThrottler,
+    /// GPU cycle at which the current frame started.
+    frame_start: Cycle,
+    /// Target cycles per frame, in measured (scaled) units.
+    c_t: f64,
+    /// Latest evaluation found the GPU faster than the target.
+    above_target: bool,
+    /// Periodic policy evaluation (the paper reads the RTPi table "only
+    /// periodically at a certain interval", §III-D): next due cycle.
+    next_eval: Cycle,
+    /// Evaluation interval in GPU cycles (C_T / 64).
+    eval_interval: Cycle,
+}
+
+impl QosController {
+    pub fn new(cfg: QosControllerConfig) -> Self {
+        assert!(cfg.target_fps > 0.0);
+        let c_t = GPU_FREQ_HZ as f64 / cfg.target_fps / f64::from(cfg.scale.max(1));
+        let frpu = FrameRateEstimator::new(cfg.frpu.clone());
+        let mut atu = AccessThrottler::new();
+        atu.gentle_release = !cfg.strict_release;
+        let eval_interval = ((c_t / 64.0) as Cycle).max(1);
+        Self {
+            cfg,
+            frpu,
+            atu,
+            frame_start: 0,
+            c_t,
+            above_target: false,
+            next_eval: 0,
+            eval_interval,
+        }
+    }
+
+    pub fn config(&self) -> &QosControllerConfig {
+        &self.cfg
+    }
+
+    /// Target cycles per frame in measured units (`C_T`).
+    pub fn target_cycles(&self) -> f64 {
+        self.c_t
+    }
+
+    /// Feed the GPU's milestone events observed up to GPU cycle `now`.
+    pub fn on_gpu_events(&mut self, now: Cycle, events: &[GpuEvent]) {
+        for e in events {
+            match *e {
+                GpuEvent::RtpComplete {
+                    updates,
+                    cycles,
+                    tiles,
+                    llc_accesses,
+                    ..
+                } => {
+                    self.frpu.on_rtp_complete(updates, cycles, tiles, llc_accesses);
+                    self.evaluate(now);
+                }
+                GpuEvent::FrameComplete { cycles, .. } => {
+                    self.frpu.on_frame_complete(cycles);
+                    self.frame_start = now;
+                    self.evaluate(now);
+                }
+            }
+        }
+    }
+
+    /// Run one Fig. 6 evaluation from the current FRPU state, using the
+    /// live (elapsed-floored) projection so fast periodic ramping cannot
+    /// outrun stale per-RTP feedback.
+    fn evaluate(&mut self, now: Cycle) {
+        let elapsed = now.saturating_sub(self.frame_start);
+        let live = self.frpu.live_prediction(elapsed);
+        self.above_target = live.is_some_and(|c_p| c_p < self.c_t);
+        if !self.cfg.enable_throttle {
+            self.atu.disable();
+            return;
+        }
+        match (live, self.frpu.accesses_per_frame()) {
+            (Some(c_p), Some(a)) => {
+                self.atu.update(self.c_t, c_p, a);
+            }
+            _ => self.atu.disable(), // learning phase: run unthrottled
+        }
+    }
+
+    /// LLC send quota for the GPU at GPU cycle `now`.
+    pub fn quota(&self, now: Cycle) -> u32 {
+        self.atu.quota(now)
+    }
+
+    /// Report the sends the GPU actually made. Also drives the periodic
+    /// policy evaluation (W_G ramps between RTP boundaries too, so fast
+    /// renderers converge within a frame or two).
+    pub fn note_sends(&mut self, now: Cycle, sends: u32) {
+        self.atu.note_sends(now, sends);
+        if now >= self.next_eval {
+            self.next_eval = now + self.eval_interval;
+            self.evaluate(now);
+        }
+    }
+
+    /// Cycle-level signals for the DRAM scheduler.
+    pub fn signals(&self, now: Cycle) -> QosSignals {
+        let throttling = self.atu.is_throttling();
+        let elapsed = now.saturating_sub(self.frame_start) as f64;
+        // DynPrio: urgent when ≥90% of the frame budget elapsed and the
+        // frame is still rendering.
+        let gpu_urgent = self.frpu.phase() == Phase::Predicting && elapsed >= 0.9 * self.c_t;
+        // With throttling enabled, the boost rides the gate; in the
+        // prio-only ablation it rides the above-target estimate directly.
+        let engaged = if self.cfg.enable_throttle {
+            throttling
+        } else {
+            self.above_target
+        };
+        QosSignals {
+            throttling,
+            cpu_prio_boost: self.cfg.enable_cpu_prio && engaged,
+            gpu_urgent,
+            gpu_above_target: self.above_target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rtp(updates: u64, cycles: u64, llc: u64) -> GpuEvent {
+        GpuEvent::RtpComplete {
+            frame: 0,
+            rtp: 0,
+            updates,
+            cycles,
+            tiles: 10,
+            llc_accesses: llc,
+        }
+    }
+
+    fn frame(cycles: u64) -> GpuEvent {
+        GpuEvent::FrameComplete { frame: 0, cycles }
+    }
+
+    /// Learn a 4-RTP frame with the given per-RTP cycles.
+    fn learn(ctrl: &mut QosController, cycles_per_rtp: u64) {
+        let evs: Vec<GpuEvent> = (0..4)
+            .map(|_| rtp(1000, cycles_per_rtp, 250))
+            .chain(std::iter::once(frame(4 * cycles_per_rtp)))
+            .collect();
+        ctrl.on_gpu_events(cycles_per_rtp * 4, &evs);
+    }
+
+    #[test]
+    fn target_cycles_reflect_scale() {
+        let c = QosController::new(QosControllerConfig::proposal(16));
+        // 1 GHz / 40 FPS / 16 = 1.5625 M measured cycles.
+        assert!((c.target_cycles() - 1_562_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fast_gpu_gets_throttled_and_boosts_cpu_prio() {
+        let mut c = QosController::new(QosControllerConfig::proposal(16));
+        // Learned frame far faster than target (4×2000 cycles vs 1.5M).
+        learn(&mut c, 2000);
+        // Next RTP in prediction phase triggers an evaluation.
+        c.on_gpu_events(10_000, &[rtp(1000, 2000, 250)]);
+        assert!(c.atu.is_throttling());
+        let s = c.signals(10_000);
+        assert!(s.throttling && s.cpu_prio_boost);
+        assert!(c.quota(10_000) < u32::MAX);
+    }
+
+    #[test]
+    fn slow_gpu_is_left_alone() {
+        let mut c = QosController::new(QosControllerConfig::proposal(1));
+        // 1 GHz / 40 FPS = 25 M cycles budget; frame takes 40 M.
+        learn(&mut c, 10_000_000);
+        c.on_gpu_events(50_000_000, &[rtp(1000, 10_000_000, 250)]);
+        assert!(!c.atu.is_throttling());
+        assert_eq!(c.quota(50_000_000), u32::MAX);
+        assert!(!c.signals(50_000_000).cpu_prio_boost);
+    }
+
+    #[test]
+    fn throttle_only_never_boosts_cpu_prio() {
+        let mut c = QosController::new(QosControllerConfig::throttle_only(16));
+        learn(&mut c, 2000);
+        c.on_gpu_events(10_000, &[rtp(1000, 2000, 250)]);
+        assert!(c.atu.is_throttling());
+        assert!(!c.signals(10_000).cpu_prio_boost);
+    }
+
+    #[test]
+    fn observe_only_never_throttles() {
+        let mut c = QosController::new(QosControllerConfig::observe_only(16));
+        learn(&mut c, 2000);
+        c.on_gpu_events(10_000, &[rtp(1000, 2000, 250)]);
+        assert!(!c.atu.is_throttling());
+        assert_eq!(c.quota(10_000), u32::MAX);
+        // The FRPU still runs (Fig. 8 needs it).
+        assert_eq!(c.frpu.phase(), Phase::Predicting);
+    }
+
+    #[test]
+    fn gpu_urgent_in_last_tenth_of_budget() {
+        let mut c = QosController::new(QosControllerConfig::observe_only(16));
+        learn(&mut c, 2000);
+        let budget = c.target_cycles();
+        // Frame started at the last FrameComplete (8000 in `learn`).
+        let start = 8000u64;
+        assert!(!c.signals(start + (0.5 * budget) as u64).gpu_urgent);
+        assert!(c.signals(start + (0.95 * budget) as u64).gpu_urgent);
+    }
+
+    #[test]
+    fn learning_phase_runs_unthrottled() {
+        let mut c = QosController::new(QosControllerConfig::proposal(16));
+        c.on_gpu_events(100, &[rtp(1000, 2000, 250)]);
+        assert!(!c.atu.is_throttling());
+        assert_eq!(c.quota(100), u32::MAX);
+    }
+}

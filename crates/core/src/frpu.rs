@@ -1,0 +1,474 @@
+//! The frame-rate prediction unit (FRPU) — §III-A of the paper.
+//!
+//! Rendering is observed as a sequence of *render-target planes* (RTPs):
+//! batches of updates that cover all tiles of the render target. The FRPU
+//! keeps a 64-entry table; entry *i* holds four 4-byte fields about RTP
+//! *i* of the learned frame: update count, cycles, tile count, and shared-
+//! LLC access count (the last is consumed by the access throttler). If a
+//! frame has more than 64 RTPs the final entry accumulates the tail, as in
+//! the paper.
+//!
+//! The unit runs the two-phase FSM of Fig. 4:
+//!
+//! * **Learning** — record one complete frame into the table, then switch
+//!   to prediction.
+//! * **Prediction** — project the current frame's total cycles with
+//!   Eq. 3: `F = (λ·C_inter + (1-λ)·C_avg) × N_rtp`, where λ is the
+//!   fraction of the frame rendered so far, `C_inter` the average
+//!   cycles/RTP observed in the current frame, and `C_avg` the learned
+//!   average. Observations are cross-verified against the learned data;
+//!   if the *work* per RTP (updates) deviates beyond a threshold, or the
+//!   RTP count changes, the learned data is discarded and the unit
+//!   re-learns. Verification uses work rather than cycles deliberately:
+//!   cycle changes are exactly what throttling induces and must not
+//!   invalidate the model.
+
+use gat_sim::stats::RunningStat;
+
+/// FRPU parameters.
+#[derive(Debug, Clone)]
+pub struct FrpuConfig {
+    /// RTP information table entries (64 in the paper, §III-A1).
+    pub table_entries: usize,
+    /// Relative per-RTP work deviation that triggers re-learning.
+    pub verify_threshold: f64,
+    /// Ablation: cross-verify on observed *cycles* instead of work.
+    /// The paper's text leaves the verified quantity open; verifying on
+    /// cycles makes the estimator discard its model whenever the memory
+    /// system slows the GPU — including when the throttle itself does —
+    /// so prediction coverage collapses exactly when it is needed. Kept
+    /// as a knob to demonstrate why work-based verification is the right
+    /// reading (see `verify_on_cycles_breaks_under_throttling`).
+    pub verify_on_cycles: bool,
+}
+
+impl Default for FrpuConfig {
+    fn default() -> Self {
+        Self {
+            table_entries: 64,
+            verify_threshold: 0.5,
+            verify_on_cycles: false,
+        }
+    }
+}
+
+/// FSM phase (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Learning,
+    Predicting,
+}
+
+/// One RTP table entry: the four 4-byte fields of §III-A1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtpInfo {
+    pub updates: u32,
+    pub cycles: u32,
+    pub tiles: u32,
+    pub llc_accesses: u32,
+}
+
+/// The frame-rate prediction unit.
+///
+/// ```
+/// use gat_core::{FrameRateEstimator, FrpuConfig, Phase};
+///
+/// let mut frpu = FrameRateEstimator::new(FrpuConfig::default());
+/// // Learn one 4-RTP frame (updates, cycles, tiles, LLC accesses)…
+/// for _ in 0..4 {
+///     frpu.on_rtp_complete(1000, 2500, 64, 400);
+/// }
+/// frpu.on_frame_complete(10_000);
+/// assert_eq!(frpu.phase(), Phase::Predicting);
+/// // …then project the frame in flight (Eq. 3).
+/// assert_eq!(frpu.predicted_cycles_per_frame(), Some(10_000.0));
+/// assert_eq!(frpu.accesses_per_frame(), Some(1600.0));
+/// ```
+#[derive(Debug)]
+pub struct FrameRateEstimator {
+    cfg: FrpuConfig,
+    phase: Phase,
+    table: Vec<RtpInfo>,
+    /// Entries filled during the current learning frame.
+    learn_filled: usize,
+    /// True while skipping a partial frame after a mid-frame re-learn.
+    waiting_for_frame_boundary: bool,
+
+    // Learned aggregates (valid in Predicting).
+    learned_rtps: u32,
+    learned_cycles: u64,
+    learned_updates: u64,
+    learned_accesses: u64,
+
+    // Current-frame observation (prediction phase).
+    cur_rtps: u32,
+    cur_cycles: u64,
+
+    /// Prediction captured nearest mid-frame, used for error reporting.
+    mid_prediction: Option<f64>,
+    /// Per-frame percent error of the mid-frame prediction.
+    pub error_percent: RunningStat,
+    /// Frames spent in each phase (coverage metric).
+    pub predicted_frames: u64,
+    pub learning_frames: u64,
+    /// Re-learning transitions (B points in Fig. 4).
+    pub relearn_events: u64,
+}
+
+impl FrameRateEstimator {
+    pub fn new(cfg: FrpuConfig) -> Self {
+        assert!(cfg.table_entries >= 1);
+        assert!(cfg.verify_threshold > 0.0);
+        let table = vec![RtpInfo::default(); cfg.table_entries];
+        Self {
+            cfg,
+            phase: Phase::Learning,
+            table,
+            learn_filled: 0,
+            waiting_for_frame_boundary: false,
+            learned_rtps: 0,
+            learned_cycles: 0,
+            learned_updates: 0,
+            learned_accesses: 0,
+            cur_rtps: 0,
+            cur_cycles: 0,
+            mid_prediction: None,
+            error_percent: RunningStat::new(),
+            predicted_frames: 0,
+            learning_frames: 0,
+            relearn_events: 0,
+        }
+    }
+
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Learned LLC accesses per frame (the `A` input of Fig. 6), if known.
+    pub fn accesses_per_frame(&self) -> Option<f64> {
+        (self.phase == Phase::Predicting).then_some(self.learned_accesses as f64)
+    }
+
+    /// Current projection of cycles for the frame in progress (Eq. 3), or
+    /// `None` while learning.
+    pub fn predicted_cycles_per_frame(&self) -> Option<f64> {
+        if self.phase != Phase::Predicting || self.learned_rtps == 0 {
+            return None;
+        }
+        let n_rtp = f64::from(self.learned_rtps);
+        let c_avg = self.learned_cycles as f64 / n_rtp;
+        if self.cur_rtps == 0 {
+            // Nothing observed yet this frame: pure history (λ = 0).
+            return Some(c_avg * n_rtp);
+        }
+        let lambda = (f64::from(self.cur_rtps) / n_rtp).min(1.0);
+        let c_inter = self.cur_cycles as f64 / f64::from(self.cur_rtps);
+        Some((lambda * c_inter + (1.0 - lambda) * c_avg) * n_rtp)
+    }
+
+    /// Projection refreshed *between* RTP boundaries: Eq. 3, floored by
+    /// what the frame has already provably cost — `elapsed` cycles so far
+    /// plus the learned cost of the RTPs still to come. Keeps a
+    /// fast-ramping throttle honest when the per-RTP feedback is stale.
+    pub fn live_prediction(&self, elapsed: u64) -> Option<f64> {
+        let base = self.predicted_cycles_per_frame()?;
+        let n_rtp = f64::from(self.learned_rtps);
+        let c_avg = self.learned_cycles as f64 / n_rtp;
+        let remaining = f64::from(self.learned_rtps.saturating_sub(self.cur_rtps));
+        let floor = elapsed as f64 + remaining * c_avg;
+        Some(base.max(floor))
+    }
+
+    fn enter_learning(&mut self) {
+        self.phase = Phase::Learning;
+        self.learn_filled = 0;
+        self.cur_rtps = 0;
+        self.cur_cycles = 0;
+        self.mid_prediction = None;
+        self.relearn_events += 1;
+    }
+
+    /// Feed one completed RTP.
+    pub fn on_rtp_complete(&mut self, updates: u64, cycles: u64, tiles: u32, llc_accesses: u64) {
+        if self.waiting_for_frame_boundary {
+            return;
+        }
+        match self.phase {
+            Phase::Learning => {
+                let idx = self.learn_filled.min(self.cfg.table_entries - 1);
+                let e = &mut self.table[idx];
+                if self.learn_filled < self.cfg.table_entries {
+                    *e = RtpInfo {
+                        updates: updates as u32,
+                        cycles: cycles as u32,
+                        tiles,
+                        llc_accesses: llc_accesses as u32,
+                    };
+                } else {
+                    // Tail accumulation into the last entry.
+                    e.updates = e.updates.saturating_add(updates as u32);
+                    e.cycles = e.cycles.saturating_add(cycles as u32);
+                    e.llc_accesses = e.llc_accesses.saturating_add(llc_accesses as u32);
+                }
+                self.learn_filled += 1;
+            }
+            Phase::Predicting => {
+                // Cross-verify the observation against the learned entry
+                // (work by default; cycles under the ablation knob).
+                let idx = (self.cur_rtps as usize).min(self.cfg.table_entries - 1);
+                let learned = self.table[idx];
+                let (observed, expected) = if self.cfg.verify_on_cycles {
+                    (cycles as f64, f64::from(learned.cycles).max(1.0))
+                } else {
+                    (updates as f64, f64::from(learned.updates).max(1.0))
+                };
+                let dev = (observed - expected).abs() / expected;
+                if dev > self.cfg.verify_threshold || self.cur_rtps >= self.learned_rtps {
+                    // Structure changed (point B of Fig. 4): discard and
+                    // re-learn from the next full frame.
+                    self.enter_learning();
+                    self.waiting_for_frame_boundary = true;
+                    return;
+                }
+                self.cur_rtps += 1;
+                self.cur_cycles += cycles;
+                // Capture the mid-frame projection for error reporting.
+                if self.mid_prediction.is_none()
+                    && self.cur_rtps * 2 >= self.learned_rtps
+                {
+                    self.mid_prediction = self.predicted_cycles_per_frame();
+                }
+                // Verified observation: refresh the table entry in place,
+                // so slow scene drift keeps the model current without a
+                // re-learning round trip (same storage, one write; an
+                // EWMA variant was measurably worse — replacement tracks
+                // drift, which dominates single-frame noise here).
+                if idx < self.cfg.table_entries - 1 || self.learned_rtps as usize <= self.cfg.table_entries {
+                    self.table[idx] = RtpInfo {
+                        updates: updates as u32,
+                        cycles: cycles as u32,
+                        tiles,
+                        llc_accesses: llc_accesses as u32,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Feed a frame boundary with the frame's true cycle count.
+    pub fn on_frame_complete(&mut self, actual_cycles: u64) {
+        if self.waiting_for_frame_boundary {
+            // The discarded partial frame ends here; learn the next one.
+            self.waiting_for_frame_boundary = false;
+            self.learning_frames += 1;
+            return;
+        }
+        match self.phase {
+            Phase::Learning => {
+                self.learning_frames += 1;
+                if self.learn_filled == 0 {
+                    return;
+                }
+                let filled = self.learn_filled.min(self.cfg.table_entries);
+                self.learned_rtps = self.learn_filled as u32;
+                self.learned_cycles = self
+                    .table[..filled]
+                    .iter()
+                    .map(|e| u64::from(e.cycles))
+                    .sum();
+                self.learned_updates = self
+                    .table[..filled]
+                    .iter()
+                    .map(|e| u64::from(e.updates))
+                    .sum();
+                self.learned_accesses = self
+                    .table[..filled]
+                    .iter()
+                    .map(|e| u64::from(e.llc_accesses))
+                    .sum();
+                self.phase = Phase::Predicting;
+                self.cur_rtps = 0;
+                self.cur_cycles = 0;
+                self.mid_prediction = None;
+            }
+            Phase::Predicting => {
+                self.predicted_frames += 1;
+                if let Some(pred) = self.mid_prediction.take() {
+                    let err = 100.0 * (pred - actual_cycles as f64) / actual_cycles as f64;
+                    self.error_percent.push(err);
+                }
+                // A frame that ended with fewer RTPs than learned means
+                // the structure changed: re-learn.
+                if self.cur_rtps != self.learned_rtps {
+                    self.enter_learning();
+                    self.waiting_for_frame_boundary = false;
+                } else {
+                    // Recompute aggregates from the refreshed table so the
+                    // next frame predicts against current scene conditions.
+                    let filled = (self.learned_rtps as usize).min(self.cfg.table_entries);
+                    self.learned_cycles = self.table[..filled].iter().map(|e| u64::from(e.cycles)).sum();
+                    self.learned_updates = self.table[..filled].iter().map(|e| u64::from(e.updates)).sum();
+                    self.learned_accesses = self.table[..filled].iter().map(|e| u64::from(e.llc_accesses)).sum();
+                    self.cur_rtps = 0;
+                    self.cur_cycles = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_frame(f: &mut FrameRateEstimator, rtps: u32, updates: u64, cycles_per_rtp: u64) {
+        for _ in 0..rtps {
+            f.on_rtp_complete(updates, cycles_per_rtp, 100, 500);
+        }
+        f.on_frame_complete(u64::from(rtps) * cycles_per_rtp);
+    }
+
+    #[test]
+    fn learns_one_frame_then_predicts() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        assert_eq!(f.phase(), Phase::Learning);
+        assert_eq!(f.predicted_cycles_per_frame(), None);
+        feed_frame(&mut f, 4, 1000, 2500);
+        assert_eq!(f.phase(), Phase::Predicting);
+        // λ=0 projection = learned frame time.
+        assert_eq!(f.predicted_cycles_per_frame(), Some(10_000.0));
+        assert_eq!(f.accesses_per_frame(), Some(2000.0));
+    }
+
+    #[test]
+    fn equation_three_blends_current_and_learned() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        feed_frame(&mut f, 4, 1000, 2500); // learned: 2500 cycles/RTP
+        // Current frame is running 2x slower: first 2 RTPs at 5000 cycles.
+        f.on_rtp_complete(1000, 5000, 100, 500);
+        f.on_rtp_complete(1000, 5000, 100, 500);
+        // λ = 0.5, C_inter = 5000, C_avg = 2500 → F = 3750 × 4 = 15000.
+        assert_eq!(f.predicted_cycles_per_frame(), Some(15_000.0));
+    }
+
+    #[test]
+    fn stable_workload_predicts_with_zero_error() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        for _ in 0..10 {
+            feed_frame(&mut f, 5, 800, 1000);
+        }
+        assert_eq!(f.phase(), Phase::Predicting);
+        assert_eq!(f.predicted_frames, 9);
+        assert!(f.error_percent.mean().abs() < 1e-9);
+        assert_eq!(f.relearn_events, 0);
+    }
+
+    #[test]
+    fn work_change_triggers_relearn_and_recovery() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        feed_frame(&mut f, 4, 1000, 2000);
+        assert_eq!(f.phase(), Phase::Predicting);
+        // Scene cut: updates jump far beyond the 50% threshold.
+        f.on_rtp_complete(5000, 2000, 100, 500);
+        assert_eq!(f.phase(), Phase::Learning);
+        assert_eq!(f.relearn_events, 1);
+        // The partial frame is skipped…
+        f.on_rtp_complete(5000, 2000, 100, 500);
+        f.on_frame_complete(8000);
+        assert_eq!(f.phase(), Phase::Learning);
+        // …and the next full frame is learned.
+        feed_frame(&mut f, 4, 5000, 2000);
+        assert_eq!(f.phase(), Phase::Predicting);
+    }
+
+    #[test]
+    fn rtp_count_change_triggers_relearn() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        feed_frame(&mut f, 4, 1000, 2000);
+        // Frame with 6 RTPs (extra passes): the 5th observation overruns
+        // the learned count.
+        for _ in 0..5 {
+            f.on_rtp_complete(1000, 2000, 100, 500);
+        }
+        assert_eq!(f.phase(), Phase::Learning);
+    }
+
+    #[test]
+    fn short_frame_triggers_relearn_at_boundary() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        feed_frame(&mut f, 4, 1000, 2000);
+        feed_frame(&mut f, 2, 1000, 2000); // fewer RTPs than learned
+        assert_eq!(f.phase(), Phase::Learning);
+    }
+
+    #[test]
+    fn cycle_variation_does_not_invalidate_learning() {
+        // Throttling changes cycles, not work: the estimator must keep
+        // predicting.
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        feed_frame(&mut f, 4, 1000, 2000);
+        feed_frame(&mut f, 4, 1000, 6000); // 3× slower, same work
+        assert_eq!(f.phase(), Phase::Predicting);
+        assert_eq!(f.relearn_events, 0);
+    }
+
+    #[test]
+    fn verify_on_cycles_breaks_under_throttling() {
+        // The ablation: with cycle-based verification, the throttle's own
+        // slowdown is indistinguishable from a scene change — the model
+        // is discarded exactly when the QoS loop depends on it.
+        let cfg = FrpuConfig {
+            verify_on_cycles: true,
+            ..Default::default()
+        };
+        let mut f = FrameRateEstimator::new(cfg);
+        feed_frame(&mut f, 4, 1000, 2000);
+        assert_eq!(f.phase(), Phase::Predicting);
+        // Same work, 3× slower (a throttled frame): spurious re-learn.
+        f.on_rtp_complete(1000, 6000, 100, 500);
+        assert_eq!(f.phase(), Phase::Learning);
+        assert_eq!(f.relearn_events, 1);
+    }
+
+    #[test]
+    fn table_tail_accumulates_beyond_64_rtps() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        for _ in 0..80 {
+            f.on_rtp_complete(10, 100, 100, 5);
+        }
+        f.on_frame_complete(8000);
+        assert_eq!(f.phase(), Phase::Predicting);
+        // All 80 RTPs' accesses are accounted (64 entries, last holds 17).
+        assert_eq!(f.accesses_per_frame(), Some(400.0));
+        assert_eq!(f.predicted_cycles_per_frame(), Some(8000.0));
+    }
+
+    #[test]
+    fn live_prediction_floors_on_elapsed_time() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        feed_frame(&mut f, 4, 1000, 1000); // learned frame: 4000 cycles
+        // Mid-frame, 2 RTPs done on schedule: Eq. 3 says 4000.
+        f.on_rtp_complete(1000, 1000, 100, 500);
+        f.on_rtp_complete(1000, 1000, 100, 500);
+        assert_eq!(f.predicted_cycles_per_frame(), Some(4000.0));
+        // But the wall clock says 5000 cycles already passed: the live
+        // projection must be at least 5000 + 2 remaining RTPs × 1000.
+        assert_eq!(f.live_prediction(5000), Some(7000.0));
+        // With elapsed below the Eq. 3 value, Eq. 3 wins.
+        assert_eq!(f.live_prediction(100), Some(4000.0));
+    }
+
+    #[test]
+    fn error_reporting_tracks_misprediction() {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        feed_frame(&mut f, 4, 1000, 1000);
+        // Actual frame is 25% slower in its back half.
+        f.on_rtp_complete(1000, 1000, 100, 500);
+        f.on_rtp_complete(1000, 1000, 100, 500); // mid-frame pred = 4000
+        f.on_rtp_complete(1000, 2000, 100, 500);
+        f.on_rtp_complete(1000, 2000, 100, 500);
+        f.on_frame_complete(6000);
+        // Prediction 4000 vs actual 6000 → −33%.
+        assert!((f.error_percent.mean() + 33.33).abs() < 0.5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Storage-overhead accounting (§III-D).
+//!
+//! The paper claims the proposal costs "just over a kilobyte" of
+//! additional storage, dominated by the RTPi table. This module does the
+//! arithmetic so a unit test can hold the implementation to it.
+
+use crate::frpu::FrpuConfig;
+
+/// Bytes per RTP table entry: four 4-byte fields (§III-A1) plus a valid
+/// bit (charged as a byte here, conservatively).
+pub const RTP_ENTRY_BYTES: usize = 4 * 4 + 1;
+
+/// Registers outside the table: learning/prediction FSM state, current
+/// frame accumulators (cycles, RTP count, access count), `W_G`, `N_G`,
+/// the gate token/timer, and the `C_T` constant — 12 registers of 8 bytes.
+pub const REGISTER_BYTES: usize = 12 * 8;
+
+/// Total additional storage implied by an FRPU+ATU configuration.
+pub fn storage_overhead_bytes(cfg: &FrpuConfig) -> usize {
+    cfg.table_entries * RTP_ENTRY_BYTES + REGISTER_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_overhead_about_1kb() {
+        // The paper's configuration: 64-entry table → "just over a
+        // kilobyte" including control registers.
+        let bytes = storage_overhead_bytes(&FrpuConfig::default());
+        assert!(bytes >= 1024, "table alone is ≥ 1 KB: {bytes}");
+        assert!(bytes <= 1280, "must stay 'just over' 1 KB: {bytes}");
+    }
+
+    #[test]
+    fn overhead_scales_with_table() {
+        let mut cfg = FrpuConfig {
+            table_entries: 32,
+            ..Default::default()
+        };
+        let small = storage_overhead_bytes(&cfg);
+        cfg.table_entries = 128;
+        let big = storage_overhead_bytes(&cfg);
+        assert!(small < big);
+        assert_eq!(big - small, 96 * RTP_ENTRY_BYTES);
+    }
+}

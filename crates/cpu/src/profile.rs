@@ -1,0 +1,143 @@
+//! Synthetic per-application memory profiles standing in for SPEC CPU 2006.
+//!
+//! Each profile captures the handful of characteristics that determine how
+//! an application interacts with the shared memory system — which is all
+//! the paper's experiments observe of the CPU workloads:
+//!
+//! * `working_set`: reuse footprint; sets how much of the 16 MB LLC the
+//!   application can exploit and how much it suffers when the GPU streams
+//!   through the cache,
+//! * `mem_fraction`: dynamic fraction of instructions that touch memory,
+//! * access-pattern mix (`stream`/`stride`/`chase`; the remainder is
+//!   uniform random): streams have high DRAM row locality, pointer chases
+//!   serialize misses (low MLP, latency-bound — mcf, omnetpp),
+//! * `write_fraction`: dirty traffic,
+//! * `base_ipc`: IPC with a perfect memory system (ILP ceiling).
+//!
+//! The numbers are drawn from published SPEC CPU 2006 memory
+//! characterizations (working sets and MPKI classes), scaled to this
+//! simulator; they are labels-faithful, not trace-faithful (DESIGN.md §1).
+
+/// A synthetic SPEC CPU 2006 application model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecProfile {
+    /// SPEC numeric id (e.g. 429 for mcf); used to build Table III mixes.
+    pub spec_id: u16,
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Reuse working set in bytes.
+    pub working_set: u64,
+    /// Fraction of instructions that are loads or stores.
+    pub mem_fraction: f64,
+    /// Of memory ops: fraction that are stores.
+    pub write_fraction: f64,
+    /// Of memory ops: sequential-stream fraction (high row locality).
+    pub stream_fraction: f64,
+    /// Of memory ops: constant-stride fraction.
+    pub stride_fraction: f64,
+    /// Of memory ops: serialized pointer-chase fraction (address depends
+    /// on the previous load's data).
+    pub chase_fraction: f64,
+    /// Stride in bytes for the stride component.
+    pub stride_bytes: u64,
+    /// Of the uniform-random component: fraction that hits a small hot
+    /// region (temporal locality; the remainder is cold, uniform over the
+    /// working set). Pointer chases are always cold.
+    pub hot_fraction: f64,
+    /// Independent pointer-chase chains the code walks concurrently
+    /// (chase MLP); real list/graph codes overlap several traversals.
+    pub chase_chains: u8,
+    /// Branch mispredictions per kilo-instruction; each freezes dispatch
+    /// for the pipeline-refill penalty.
+    pub branch_mpki: f64,
+    /// IPC with a perfect memory system.
+    pub base_ipc: f64,
+}
+
+impl SpecProfile {
+    /// Internal consistency check (fractions in range and summable).
+    pub fn validate(&self) {
+        assert!(self.working_set >= 1 << 16, "{}: working set too small", self.name);
+        for (label, v) in [
+            ("mem_fraction", self.mem_fraction),
+            ("write_fraction", self.write_fraction),
+            ("stream_fraction", self.stream_fraction),
+            ("stride_fraction", self.stride_fraction),
+            ("chase_fraction", self.chase_fraction),
+            ("hot_fraction", self.hot_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{}: {label} = {v} out of range", self.name);
+        }
+        let mix = self.stream_fraction + self.stride_fraction + self.chase_fraction;
+        assert!(mix <= 1.0 + 1e-9, "{}: pattern mix {mix} exceeds 1", self.name);
+        assert!(self.base_ipc > 0.0 && self.base_ipc <= 4.0, "{}: base_ipc", self.name);
+        assert!(self.stride_bytes.is_power_of_two());
+        assert!(self.chase_chains >= 1, "{}: need at least one chain", self.name);
+        assert!((0.0..=100.0).contains(&self.branch_mpki), "{}: branch_mpki", self.name);
+    }
+
+    /// Uniform-random fraction of memory ops (the remainder of the mix).
+    pub fn random_fraction(&self) -> f64 {
+        (1.0 - self.stream_fraction - self.stride_fraction - self.chase_fraction).max(0.0)
+    }
+
+    /// Qualitative memory intensity used in reports: working-set pressure
+    /// times memory-op rate.
+    pub fn intensity(&self) -> f64 {
+        self.mem_fraction * (self.working_set as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpecProfile {
+        SpecProfile {
+            spec_id: 429,
+            name: "mcf",
+            working_set: 64 << 20,
+            mem_fraction: 0.35,
+            write_fraction: 0.2,
+            stream_fraction: 0.1,
+            stride_fraction: 0.1,
+            chase_fraction: 0.5,
+            stride_bytes: 256,
+            hot_fraction: 0.7,
+            chase_chains: 2,
+            branch_mpki: 5.0,
+            base_ipc: 1.2,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        sample().validate();
+        assert!((sample().random_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern mix")]
+    fn oversubscribed_mix_panics() {
+        let mut p = sample();
+        p.stream_fraction = 0.9;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fraction_panics() {
+        let mut p = sample();
+        p.mem_fraction = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    fn intensity_orders_heavy_above_light() {
+        let heavy = sample();
+        let mut light = sample();
+        light.working_set = 1 << 20;
+        light.mem_fraction = 0.1;
+        assert!(heavy.intensity() > light.intensity());
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic instruction-stream generation from a [`SpecProfile`].
+//!
+//! The generator emits an unbounded sequence of [`Op`]s whose memory
+//! behaviour realizes the profile: four interleaved sequential streams
+//! (like a blocked scientific kernel), a strided walker, uniform-random
+//! accesses, and serialized pointer chases. All addresses fall inside the
+//! application's private region `[base, base + working_set)`, 8-byte
+//! aligned, so co-running applications never share blocks.
+
+use crate::profile::SpecProfile;
+use gat_sim::rng::SimRng;
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Non-memory work (ALU/branch/FP).
+    Alu,
+    /// A load; `serialized` loads model pointer chasing — their address
+    /// depends on a prior load, so they cannot issue while older loads are
+    /// outstanding.
+    Load { addr: u64, serialized: bool },
+    /// A store (write-allocate, non-blocking).
+    Store { addr: u64 },
+}
+
+impl Op {
+    pub fn is_mem(&self) -> bool {
+        !matches!(self, Op::Alu)
+    }
+}
+
+/// Number of interleaved sequential streams.
+const STREAMS: usize = 4;
+
+/// Any source of dynamic instructions a core can execute: the synthetic
+/// profile-driven generator, or a replayed trace.
+#[derive(Debug, Clone)]
+pub enum InstructionStream {
+    Synthetic(StreamGen),
+    Trace(crate::trace::TraceStream),
+}
+
+impl InstructionStream {
+    #[inline]
+    pub fn next_op(&mut self) -> Op {
+        match self {
+            InstructionStream::Synthetic(g) => g.next_op(),
+            InstructionStream::Trace(t) => t.next_op(),
+        }
+    }
+
+    pub fn profile(&self) -> &SpecProfile {
+        match self {
+            InstructionStream::Synthetic(g) => g.profile(),
+            InstructionStream::Trace(t) => t.profile(),
+        }
+    }
+}
+
+impl From<StreamGen> for InstructionStream {
+    fn from(g: StreamGen) -> Self {
+        InstructionStream::Synthetic(g)
+    }
+}
+
+impl From<crate::trace::TraceStream> for InstructionStream {
+    fn from(t: crate::trace::TraceStream) -> Self {
+        InstructionStream::Trace(t)
+    }
+}
+
+/// Profile-driven generator; deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct StreamGen {
+    profile: SpecProfile,
+    base: u64,
+    rng: SimRng,
+    stream_ptrs: [u64; STREAMS],
+    next_stream: usize,
+    stride_ptr: u64,
+}
+
+impl StreamGen {
+    /// `base` is the start of the application's private address region.
+    pub fn new(profile: SpecProfile, base: u64, rng: SimRng) -> Self {
+        profile.validate();
+        let ws = profile.working_set;
+        let mut stream_ptrs = [0u64; STREAMS];
+        for (i, p) in stream_ptrs.iter_mut().enumerate() {
+            *p = (ws / STREAMS as u64) * i as u64;
+        }
+        Self {
+            profile,
+            base,
+            rng,
+            stream_ptrs,
+            next_stream: 0,
+            stride_ptr: 0,
+        }
+    }
+
+    pub fn profile(&self) -> &SpecProfile {
+        &self.profile
+    }
+
+    #[inline]
+    fn wrap(&self, offset: u64) -> u64 {
+        (self.base + (offset % self.profile.working_set)) & !7
+    }
+
+    /// Next dynamic instruction.
+    pub fn next_op(&mut self) -> Op {
+        let p = self.profile;
+        if !self.rng.chance(p.mem_fraction) {
+            return Op::Alu;
+        }
+        // Pick the address pattern.
+        let r = self.rng.f64();
+        let (addr, serialized) = if r < p.stream_fraction {
+            let s = self.next_stream;
+            self.next_stream = (self.next_stream + 1) % STREAMS;
+            let a = self.stream_ptrs[s];
+            self.stream_ptrs[s] = (self.stream_ptrs[s] + 8) % p.working_set;
+            (self.wrap(a), false)
+        } else if r < p.stream_fraction + p.stride_fraction {
+            let a = self.stride_ptr;
+            self.stride_ptr = (self.stride_ptr + p.stride_bytes) % p.working_set;
+            (self.wrap(a), false)
+        } else if r < p.stream_fraction + p.stride_fraction + p.chase_fraction {
+            let a = self.rng.below(p.working_set);
+            (self.wrap(a), true)
+        } else {
+            // Uniform-random component with a temporal-locality split: most
+            // accesses revisit an LLC-scale hot region (too big for the
+            // private L2, small enough to live in the shared LLC — this is
+            // the reuse that GPU cache pressure destroys and that access
+            // throttling gives back), the rest are cold.
+            let hot_bytes = (p.working_set / 4).clamp(64 << 10, 4 << 20);
+            let a = if self.rng.chance(p.hot_fraction) {
+                self.rng.below(hot_bytes)
+            } else {
+                self.rng.below(p.working_set)
+            };
+            (self.wrap(a), false)
+        };
+        if self.rng.chance(p.write_fraction) {
+            Op::Store { addr }
+        } else {
+            Op::Load { addr, serialized }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> SpecProfile {
+        SpecProfile {
+            spec_id: 470,
+            name: "lbm",
+            working_set: 1 << 22,
+            mem_fraction: 0.4,
+            write_fraction: 0.4,
+            stream_fraction: 0.7,
+            stride_fraction: 0.1,
+            chase_fraction: 0.05,
+            stride_bytes: 1024,
+            hot_fraction: 0.8,
+            chase_chains: 2,
+            branch_mpki: 1.0,
+            base_ipc: 2.0,
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_region() {
+        let base = 16u64 << 30;
+        let mut g = StreamGen::new(profile(), base, SimRng::new(1));
+        for _ in 0..100_000 {
+            match g.next_op() {
+                Op::Load { addr, .. } | Op::Store { addr } => {
+                    assert!(addr >= base);
+                    assert!(addr < base + profile().working_set);
+                    assert_eq!(addr & 7, 0, "8-byte aligned");
+                }
+                Op::Alu => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mem_fraction_is_respected() {
+        let mut g = StreamGen::new(profile(), 0, SimRng::new(2));
+        let n = 200_000;
+        let mem = (0..n).filter(|_| g.next_op().is_mem()).count();
+        let frac = mem as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.01, "mem fraction {frac}");
+    }
+
+    #[test]
+    fn write_fraction_among_mem_ops() {
+        let mut g = StreamGen::new(profile(), 0, SimRng::new(3));
+        let (mut stores, mut mems) = (0u32, 0u32);
+        for _ in 0..200_000 {
+            match g.next_op() {
+                Op::Store { .. } => {
+                    stores += 1;
+                    mems += 1;
+                }
+                Op::Load { .. } => mems += 1,
+                Op::Alu => {}
+            }
+        }
+        let frac = f64::from(stores) / f64::from(mems);
+        assert!((frac - 0.4).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn serialized_loads_only_from_chase_component() {
+        let mut p = profile();
+        p.chase_fraction = 0.0;
+        let mut g = StreamGen::new(p, 0, SimRng::new(4));
+        for _ in 0..100_000 {
+            if let Op::Load { serialized, .. } = g.next_op() {
+                assert!(!serialized);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_component_is_sequential_per_stream() {
+        let mut p = profile();
+        p.stream_fraction = 1.0;
+        p.stride_fraction = 0.0;
+        p.chase_fraction = 0.0;
+        p.write_fraction = 0.0;
+        p.mem_fraction = 1.0;
+        let mut g = StreamGen::new(p, 0, SimRng::new(5));
+        // With 4 round-robin streams, every 4th op advances one stream by 8.
+        let mut addrs = Vec::new();
+        for _ in 0..16 {
+            if let Op::Load { addr, .. } = g.next_op() {
+                addrs.push(addr);
+            }
+        }
+        for i in 4..16 {
+            assert_eq!(addrs[i], addrs[i - 4] + 8, "stream {} not sequential", i % 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StreamGen::new(profile(), 0, SimRng::new(9));
+        let mut b = StreamGen::new(profile(), 0, SimRng::new(9));
+        for _ in 0..10_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

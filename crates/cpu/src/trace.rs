@@ -1,0 +1,254 @@
+//! Trace-driven instruction sources.
+//!
+//! The synthetic [`StreamGen`](crate::stream::StreamGen) stands in for
+//! SPEC; users who *have* real memory traces (from Pin, DynamoRIO,
+//! Multi2Sim, gem5, …) can replay them instead. A trace is a sequence of
+//! [`Op`]s replayed in a loop (like the paper's repeated representative
+//! regions); addresses are rebased into the core's private region.
+//!
+//! # Text format
+//!
+//! One operation per line; `#` starts a comment:
+//!
+//! ```text
+//! A               # non-memory instruction
+//! L 1f80          # load, hex byte address
+//! L 2000 S        # serialized (pointer-chase) load
+//! S 1f88          # store
+//! ```
+
+use crate::profile::SpecProfile;
+use crate::stream::Op;
+use std::sync::Arc;
+
+/// A looping trace replay bound to a core's address region.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    /// Core parameters (base IPC, chase chains, branch MPKI) still come
+    /// from a profile; only the address stream is replaced.
+    profile: SpecProfile,
+    ops: Arc<Vec<Op>>,
+    base: u64,
+    pos: usize,
+    /// Completed replay loops (diagnostics).
+    pub loops: u64,
+}
+
+/// A parse failure: line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl TraceStream {
+    /// Wrap a pre-built op vector.
+    ///
+    /// # Panics
+    /// Panics on an empty trace (nothing to replay) or if any address
+    /// falls outside `[0, profile.working_set)` — traces are
+    /// region-relative.
+    pub fn from_ops(profile: SpecProfile, ops: Arc<Vec<Op>>, base: u64) -> Self {
+        profile.validate();
+        assert!(!ops.is_empty(), "empty trace");
+        for op in ops.iter() {
+            if let Op::Load { addr, .. } | Op::Store { addr } = op {
+                assert!(
+                    *addr < profile.working_set,
+                    "trace address {addr:#x} outside the declared working set"
+                );
+            }
+        }
+        Self {
+            profile,
+            ops,
+            base,
+            pos: 0,
+            loops: 0,
+        }
+    }
+
+    /// Parse the text format described in the module docs.
+    pub fn parse(
+        profile: SpecProfile,
+        text: &str,
+        base: u64,
+    ) -> Result<Self, TraceParseError> {
+        let mut ops = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().unwrap();
+            let err = |message: &str| TraceParseError {
+                line: i + 1,
+                message: message.to_string(),
+            };
+            match kind {
+                "A" => ops.push(Op::Alu),
+                "L" | "S" => {
+                    let addr = parts
+                        .next()
+                        .ok_or_else(|| err("missing address"))
+                        .and_then(|a| {
+                            u64::from_str_radix(a, 16).map_err(|_| err("bad hex address"))
+                        })?;
+                    if kind == "S" {
+                        ops.push(Op::Store { addr });
+                    } else {
+                        let serialized = matches!(parts.next(), Some("S"));
+                        ops.push(Op::Load { addr, serialized });
+                    }
+                }
+                other => return Err(err(&format!("unknown op kind {other:?}"))),
+            }
+        }
+        if ops.is_empty() {
+            return Err(TraceParseError {
+                line: 0,
+                message: "empty trace".into(),
+            });
+        }
+        Ok(Self::from_ops(profile, Arc::new(ops), base))
+    }
+
+    pub fn profile(&self) -> &SpecProfile {
+        &self.profile
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects empty traces
+    }
+
+    /// Next operation, rebased into the core's region; loops at the end.
+    pub fn next_op(&mut self) -> Op {
+        let op = self.ops[self.pos];
+        self.pos += 1;
+        if self.pos == self.ops.len() {
+            self.pos = 0;
+            self.loops += 1;
+        }
+        match op {
+            Op::Alu => Op::Alu,
+            Op::Load { addr, serialized } => Op::Load {
+                addr: self.base + addr,
+                serialized,
+            },
+            Op::Store { addr } => Op::Store {
+                addr: self.base + addr,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> SpecProfile {
+        SpecProfile {
+            spec_id: 900,
+            name: "trace",
+            working_set: 1 << 20,
+            mem_fraction: 0.3,
+            write_fraction: 0.3,
+            stream_fraction: 0.0,
+            stride_fraction: 0.0,
+            chase_fraction: 0.0,
+            stride_bytes: 64,
+            hot_fraction: 0.5,
+            chase_chains: 1,
+            branch_mpki: 0.0,
+            base_ipc: 2.0,
+        }
+    }
+
+    #[test]
+    fn parses_the_documented_format() {
+        let text = "\
+            # a tiny trace\n\
+            A\n\
+            L 1f80\n\
+            L 2000 S   # chase\n\
+            S 1f88\n";
+        let mut t = TraceStream::parse(profile(), text, 0x1000).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.next_op(), Op::Alu);
+        assert_eq!(
+            t.next_op(),
+            Op::Load {
+                addr: 0x1000 + 0x1f80,
+                serialized: false
+            }
+        );
+        assert_eq!(
+            t.next_op(),
+            Op::Load {
+                addr: 0x1000 + 0x2000,
+                serialized: true
+            }
+        );
+        assert_eq!(t.next_op(), Op::Store { addr: 0x1000 + 0x1f88 });
+        // Loops back to the start.
+        assert_eq!(t.next_op(), Op::Alu);
+        assert_eq!(t.loops, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let e = TraceStream::parse(profile(), "L zz\n", 0).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("bad hex"));
+        let e = TraceStream::parse(profile(), "A\nX 12\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = TraceStream::parse(profile(), "# only comments\n", 0).unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the declared working set")]
+    fn rejects_out_of_region_addresses() {
+        let ops = Arc::new(vec![Op::Load {
+            addr: 2 << 20,
+            serialized: false,
+        }]);
+        let _ = TraceStream::from_ops(profile(), ops, 0);
+    }
+
+    #[test]
+    fn replay_is_cyclic_and_rebased() {
+        let ops = Arc::new(vec![
+            Op::Load {
+                addr: 0x40,
+                serialized: false,
+            },
+            Op::Alu,
+        ]);
+        let mut t = TraceStream::from_ops(profile(), ops, 0x7000_0000);
+        for _ in 0..10 {
+            assert_eq!(
+                t.next_op(),
+                Op::Load {
+                    addr: 0x7000_0040,
+                    serialized: false
+                }
+            );
+            assert_eq!(t.next_op(), Op::Alu);
+        }
+        assert_eq!(t.loops, 10);
+    }
+}

@@ -1,0 +1,204 @@
+//! Physical-address → (channel, bank, row, column) mapping.
+//!
+//! The layout is the open-page-friendly interleaving used by desktop
+//! memory controllers: consecutive cache blocks alternate channels (to
+//! balance bandwidth), consecutive channel-local blocks walk the columns of
+//! a row (to maximize row-buffer hits for streaming), the bank index is
+//! XOR-folded with low row bits (to spread large power-of-two strides
+//! across banks), and the remaining high bits select the row.
+//!
+//! Bit layout, low to high:
+//! `| block offset | channel | column | bank | row |`
+
+use gat_sim::addr::Addr;
+
+/// Coordinates of a block within the DRAM system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCoord {
+    pub channel: u32,
+    pub bank: u32,
+    pub row: u64,
+    pub col: u32,
+}
+
+/// How the channel bits are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelInterleave {
+    /// Consecutive cache blocks alternate channels (bandwidth-balancing;
+    /// the default desktop policy and the Table I configuration).
+    #[default]
+    Block,
+    /// Whole rows alternate channels: a stream stays on one channel for a
+    /// full row (longer row hits, half the stream bandwidth). Offered for
+    /// mapping-policy studies.
+    Row,
+}
+
+/// The address-interleaving function.
+#[derive(Debug, Clone, Copy)]
+pub struct DramAddressMap {
+    pub channels: u32,
+    pub banks_per_channel: u32,
+    pub row_bytes: u64,
+    pub block_bytes: u64,
+    pub interleave: ChannelInterleave,
+}
+
+impl DramAddressMap {
+    /// Table I geometry: 2 channels, 8 banks, 8 KB row (1 KB/device × 8
+    /// x8 devices), 64 B blocks.
+    pub const fn table_one() -> Self {
+        Self {
+            channels: 2,
+            banks_per_channel: 8,
+            row_bytes: 8192,
+            block_bytes: 64,
+            interleave: ChannelInterleave::Block,
+        }
+    }
+
+    /// Blocks per row (columns).
+    pub const fn cols_per_row(&self) -> u64 {
+        self.row_bytes / self.block_bytes
+    }
+
+    /// Decompose a byte address.
+    pub fn decompose(&self, addr: Addr) -> DramCoord {
+        debug_assert!(self.channels.is_power_of_two());
+        debug_assert!(self.banks_per_channel.is_power_of_two());
+        let block = addr / self.block_bytes;
+        let cols = self.cols_per_row();
+        let (channel, rest) = match self.interleave {
+            ChannelInterleave::Block => (
+                (block % u64::from(self.channels)) as u32,
+                block / u64::from(self.channels),
+            ),
+            ChannelInterleave::Row => {
+                // Channel chosen by the row-granular bits: |row'|ch|col|.
+                let col = block % cols;
+                let above = block / cols;
+                let channel = (above % u64::from(self.channels)) as u32;
+                (channel, (above / u64::from(self.channels)) * cols + col)
+            }
+        };
+        let col = (rest % cols) as u32;
+        let rest = rest / cols;
+        let banks = u64::from(self.banks_per_channel);
+        let raw_bank = rest % banks;
+        let row = rest / banks;
+        // XOR-fold low row bits into the bank index (permutation-based
+        // interleaving): power-of-two strides that land on one raw bank
+        // spread across all banks.
+        let bank = ((raw_bank ^ (row & (banks - 1))) % banks) as u32;
+        DramCoord {
+            channel,
+            bank,
+            row,
+            col,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAP: DramAddressMap = DramAddressMap::table_one();
+
+    #[test]
+    fn consecutive_blocks_alternate_channels() {
+        let a = MAP.decompose(0);
+        let b = MAP.decompose(64);
+        let c = MAP.decompose(128);
+        assert_ne!(a.channel, b.channel);
+        assert_eq!(a.channel, c.channel);
+    }
+
+    #[test]
+    fn channel_local_stream_walks_columns_of_one_row() {
+        // Blocks 0, 128, 256 … are channel 0; they must share a row until
+        // the 8 KB row is exhausted.
+        let first = MAP.decompose(0);
+        for i in 1..MAP.cols_per_row() {
+            let d = MAP.decompose(i * 128);
+            assert_eq!(d.channel, 0);
+            assert_eq!(d.row, first.row, "block {i} left the row early");
+            assert_eq!(d.bank, first.bank);
+        }
+        let next = MAP.decompose(MAP.cols_per_row() * 128);
+        assert!(
+            next.row != first.row || next.bank != first.bank,
+            "row must change after {} channel-local blocks",
+            MAP.cols_per_row()
+        );
+    }
+
+    #[test]
+    fn sequential_rows_change_bank_via_xor_fold() {
+        // With XOR folding, walking rows at fixed raw-bank offset changes
+        // the effective bank, spreading row-sized strides.
+        let row_span = u64::from(MAP.channels) * MAP.row_bytes * u64::from(MAP.banks_per_channel);
+        let mut banks = std::collections::HashSet::new();
+        for r in 0..8u64 {
+            banks.insert(MAP.decompose(r * row_span).bank);
+        }
+        assert!(banks.len() >= 4, "only {} banks used", banks.len());
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        for i in 0..100_000u64 {
+            let d = MAP.decompose(i * 4096 + 12345);
+            assert!(d.channel < MAP.channels);
+            assert!(d.bank < MAP.banks_per_channel);
+            assert!(u64::from(d.col) < MAP.cols_per_row());
+        }
+    }
+
+    #[test]
+    fn row_interleave_keeps_streams_on_one_channel() {
+        let map = DramAddressMap {
+            interleave: ChannelInterleave::Row,
+            ..DramAddressMap::table_one()
+        };
+        // A full row's worth of consecutive blocks shares one channel…
+        let first = map.decompose(0);
+        for i in 1..map.cols_per_row() {
+            let d = map.decompose(i * 64);
+            assert_eq!(d.channel, first.channel, "block {i} switched channel");
+            assert_eq!(d.row, first.row);
+        }
+        // …and the next row lands on the other channel.
+        let next = map.decompose(map.row_bytes);
+        assert_ne!(next.channel, first.channel);
+    }
+
+    #[test]
+    fn row_interleave_is_injective_on_blocks() {
+        let map = DramAddressMap {
+            interleave: ChannelInterleave::Row,
+            ..DramAddressMap::table_one()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for block in 0..(1u64 << 15) {
+            let d = map.decompose(block * 64);
+            assert!(
+                seen.insert((d.channel, d.bank, d.row, d.col)),
+                "collision at block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_is_injective_on_blocks() {
+        // Distinct blocks must map to distinct (channel,bank,row,col).
+        let mut seen = std::collections::HashSet::new();
+        for block in 0..(1u64 << 16) {
+            let d = MAP.decompose(block * 64);
+            assert!(
+                seen.insert((d.channel, d.bank, d.row, d.col)),
+                "collision at block {block}"
+            );
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! DRAM access schedulers: the baseline and every comparison policy in the
+//! paper's Fig. 12–14.
+//!
+//! A scheduler sees the channel's pending-request queue once per DRAM
+//! command cycle as a slice of [`ReqInfo`] (row-hit status and bank
+//! readiness precomputed by the channel) plus the dynamic [`SchedCtx`]
+//! signals from the QoS controller, and returns the index of the request
+//! to service.
+
+use gat_sim::rng::SimRng;
+
+/// Dynamic inputs to scheduling decisions, recomputed by the uncore every
+/// cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedCtx {
+    /// The proposal's step 3 (§III-C): while the GPU is being throttled,
+    /// CPU requests get elevated priority.
+    pub cpu_prio_boost: bool,
+    /// DynPrio's deadline signal: the GPU is in the last 10 % of its frame
+    /// time budget and lagging, so GPU requests get elevated priority.
+    pub gpu_urgent: bool,
+    /// DynPrio's progress signal: the GPU is ahead of its frame deadline,
+    /// so CPU requests take priority (GPU gets *equal* priority only while
+    /// it lags — the scheduler's published behaviour).
+    pub gpu_ahead: bool,
+}
+
+/// Per-request scheduling metadata exposed to the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqInfo {
+    /// Request originated at the GPU.
+    pub is_gpu: bool,
+    /// Source id: CPU core index, or `u8::MAX` for the GPU (used by SMS
+    /// batch formation).
+    pub source_id: u8,
+    pub is_write: bool,
+    /// Arrival stamp (DRAM cycles × 4096 + sequence); a strict total
+    /// order, unique per channel. Use [`ReqInfo::arrival_cycle`] for ages.
+    pub arrival: u64,
+    /// The request's bank currently has its row open.
+    pub row_hit: bool,
+    /// The bank can start this request's first command now.
+    pub issuable: bool,
+    /// Eligible under the channel's write-buffering policy (writes are
+    /// held back until a drain burst or an idle read queue).
+    pub eligible: bool,
+    pub bank: u32,
+    pub row: u64,
+}
+
+impl ReqInfo {
+    /// Arrival time in DRAM cycles (the stamp with its sequence bits
+    /// stripped).
+    #[inline]
+    pub fn arrival_cycle(&self) -> u64 {
+        self.arrival / 4096
+    }
+}
+
+/// A DRAM scheduling policy.
+pub trait Scheduler: Send {
+    /// Pick the queue index to service this cycle, or `None` to idle.
+    fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize>;
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which scheduler to construct (plumbing for experiment configs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    FrFcfs,
+    FrFcfsCpuPrio,
+    /// SMS with the given shortest-job-first probability.
+    Sms(f64),
+    DynPrio,
+    /// Static priority: CPU always beats GPU (the ARM QoS white paper’s
+    /// scheme, \[37] in the paper; DynPrio's study shows its inefficiency
+    /// — reproduced by our ablation).
+    StaticCpuPrio,
+}
+
+impl SchedulerKind {
+    /// Instantiate the scheduler; `seed` feeds SMS's policy coin.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::FrFcfs => Box::new(FrFcfs),
+            SchedulerKind::FrFcfsCpuPrio => Box::new(FrFcfsCpuPrio),
+            SchedulerKind::Sms(p) => Box::new(Sms::new(p, seed)),
+            SchedulerKind::DynPrio => Box::new(DynPrio),
+            SchedulerKind::StaticCpuPrio => Box::new(StaticCpuPrio),
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerKind::FrFcfs => "FR-FCFS".into(),
+            SchedulerKind::FrFcfsCpuPrio => "FR-FCFS+CPUprio".into(),
+            SchedulerKind::Sms(p) => format!("SMS-{p}"),
+            SchedulerKind::DynPrio => "DynPrio".into(),
+            SchedulerKind::StaticCpuPrio => "StaticCPUprio".into(),
+        }
+    }
+}
+
+/// Oldest issuable request matching `pred`, preferring row hits.
+fn fr_fcfs_pick(reqs: &[ReqInfo], pred: impl Fn(&ReqInfo) -> bool) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    let mut best_key = (false, u64::MAX); // (is_hit inverted later, arrival)
+    for (i, r) in reqs.iter().enumerate() {
+        if !r.issuable || !r.eligible || !pred(r) {
+            continue;
+        }
+        // Row hits beat non-hits; within a class, oldest first.
+        let key = (!r.row_hit, r.arrival);
+        if best.is_none() || key < best_key {
+            best = Some(i);
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Baseline first-ready, first-come-first-served (Table I).
+#[derive(Debug, Default)]
+pub struct FrFcfs;
+
+impl Scheduler for FrFcfs {
+    fn select(&mut self, reqs: &[ReqInfo], _now: u64, _ctx: SchedCtx) -> Option<usize> {
+        fr_fcfs_pick(reqs, |_| true)
+    }
+
+    fn name(&self) -> &'static str {
+        "FR-FCFS"
+    }
+}
+
+/// FR-FCFS that serves all CPU requests ahead of all GPU requests while the
+/// QoS controller asserts `cpu_prio_boost` (the proposal, §III-C). Without
+/// the boost it is identical to the baseline.
+#[derive(Debug, Default)]
+pub struct FrFcfsCpuPrio;
+
+/// Anti-starvation: a GPU request older than this many DRAM cycles is
+/// promoted back to CPU class even while the boost is asserted, so
+/// deprioritized GPU traffic cannot pile up and clog the queue.
+const BOOST_AGE_CAP: u64 = 256;
+
+impl Scheduler for FrFcfsCpuPrio {
+    fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize> {
+        if ctx.cpu_prio_boost {
+            // Keep row-buffer locality first (losing it would cost more
+            // than the priority gains), break ties CPU-first, then oldest.
+            let mut best: Option<usize> = None;
+            let mut best_key = (true, true, u64::MAX);
+            for (i, r) in reqs.iter().enumerate() {
+                if !r.issuable || !r.eligible {
+                    continue;
+                }
+                let age = now.saturating_sub(r.arrival_cycle());
+                let deprioritized = r.is_gpu && age < BOOST_AGE_CAP;
+                let key = (!r.row_hit, deprioritized, r.arrival);
+                if best.is_none() || key < best_key {
+                    best = Some(i);
+                    best_key = key;
+                }
+            }
+            best
+        } else {
+            fr_fcfs_pick(reqs, |_| true)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FR-FCFS+CPUprio"
+    }
+}
+
+/// Staged memory scheduler (Ausavarungnirun et al., ISCA 2012).
+///
+/// Stage 1 groups each source's requests into row-local batches; a batch
+/// becomes *ready* when it reaches `batch_cap` requests or its head has
+/// aged past `age_limit` cycles. Stage 2 picks among ready batches: with
+/// probability `p_sjf` the shortest batch (favoring latency-sensitive CPU
+/// jobs), otherwise round-robin across sources (favoring bandwidth
+/// fairness). The formation delay is real — and is exactly why SMS loses
+/// GPU FPS in the paper's Fig. 13.
+#[derive(Debug)]
+pub struct Sms {
+    p_sjf: f64,
+    batch_cap: usize,
+    age_limit: u64,
+    rr_next: u8,
+    rng: SimRng,
+}
+
+impl Sms {
+    pub fn new(p_sjf: f64, seed: u64) -> Self {
+        Self {
+            p_sjf,
+            batch_cap: 8,
+            age_limit: 8,
+            rr_next: 0,
+            rng: SimRng::new(seed).fork("sms"),
+        }
+    }
+
+    /// Leading same-row batch for each distinct source present in the
+    /// queue: `(source_id, head queue index, batch len, head arrival,
+    /// closed-by-row-break)`.
+    fn batches(&self, reqs: &[ReqInfo]) -> Vec<(u8, usize, usize, u64, bool)> {
+        // Sources are few (≤ 5); linear scans are cheap at queue sizes ≤ 64.
+        let mut sources: Vec<u8> = Vec::with_capacity(5);
+        for r in reqs {
+            if r.eligible && !sources.contains(&r.source_id) {
+                sources.push(r.source_id);
+            }
+        }
+        sources.sort_unstable();
+        let mut out = Vec::with_capacity(sources.len());
+        for src in sources {
+            // The source's requests in arrival order.
+            let mut idxs: Vec<usize> = (0..reqs.len())
+                .filter(|&i| reqs[i].source_id == src && reqs[i].eligible)
+                .collect();
+            idxs.sort_by_key(|&i| reqs[i].arrival);
+            let head = idxs[0];
+            let (hb, hr) = (reqs[head].bank, reqs[head].row);
+            let mut len = 0;
+            for &i in &idxs {
+                if reqs[i].bank == hb && reqs[i].row == hr && len < self.batch_cap {
+                    len += 1;
+                } else {
+                    break;
+                }
+            }
+            // A batch also closes when the source's row run has already
+            // broken (a request to another row waits behind it).
+            let closed = idxs.len() > len;
+            out.push((src, head, len, reqs[head].arrival, closed));
+        }
+        out
+    }
+}
+
+impl Scheduler for Sms {
+    fn select(&mut self, reqs: &[ReqInfo], now: u64, _ctx: SchedCtx) -> Option<usize> {
+        if reqs.is_empty() {
+            return None;
+        }
+        let batches = self.batches(reqs);
+        let ready: Vec<&(u8, usize, usize, u64, bool)> = batches
+            .iter()
+            .filter(|&&(_, _, len, head_arrival, closed)| {
+                len >= self.batch_cap
+                    || closed
+                    || now.saturating_sub(head_arrival / 4096) >= self.age_limit
+            })
+            .collect();
+        // Anti-deadlock: with a nearly full queue, serve like FR-FCFS.
+        if ready.is_empty() {
+            if reqs.len() >= 56 {
+                return fr_fcfs_pick(reqs, |_| true);
+            }
+            return None;
+        }
+        let choice = if self.rng.chance(self.p_sjf) {
+            // Shortest batch first; ties to the oldest head.
+            ready
+                .iter()
+                .min_by_key(|&&&(_, _, len, arr, _)| (len, arr))
+                .copied()
+        } else {
+            // Round-robin over source ids.
+            let mut pick = None;
+            for off in 0..=u8::MAX {
+                let want = self.rr_next.wrapping_add(off);
+                if let Some(b) = ready.iter().find(|&&&(src, _, _, _, _)| src == want) {
+                    pick = Some(*b);
+                    self.rr_next = want.wrapping_add(1);
+                    break;
+                }
+            }
+            pick.or_else(|| ready.first().copied())
+        }?;
+        let (_, head, _, _, _) = *choice;
+        if reqs[head].issuable {
+            Some(head)
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SMS"
+    }
+}
+
+/// Static priority (ARM QoS white paper): CPU requests unconditionally
+/// beat GPU requests, regardless of frame progress. Row hits are still
+/// preferred within each class.
+#[derive(Debug, Default)]
+pub struct StaticCpuPrio;
+
+impl Scheduler for StaticCpuPrio {
+    fn select(&mut self, reqs: &[ReqInfo], _now: u64, _ctx: SchedCtx) -> Option<usize> {
+        fr_fcfs_pick(reqs, |r| !r.is_gpu).or_else(|| fr_fcfs_pick(reqs, |r| r.is_gpu))
+    }
+
+    fn name(&self) -> &'static str {
+        "StaticCPUprio"
+    }
+}
+
+/// DynPrio (Jeong et al., DAC 2012): equal priority normally, GPU boosted
+/// while the frame-progress estimator flags the deadline as endangered
+/// (last 10 % of the frame-time budget).
+#[derive(Debug, Default)]
+pub struct DynPrio;
+
+impl Scheduler for DynPrio {
+    fn select(&mut self, reqs: &[ReqInfo], _now: u64, ctx: SchedCtx) -> Option<usize> {
+        if ctx.gpu_urgent {
+            // Deadline endangered: express lane for the GPU.
+            fr_fcfs_pick(reqs, |r| r.is_gpu).or_else(|| fr_fcfs_pick(reqs, |r| !r.is_gpu))
+        } else if ctx.gpu_ahead {
+            // Ahead of schedule: the CPU takes priority.
+            fr_fcfs_pick(reqs, |r| !r.is_gpu).or_else(|| fr_fcfs_pick(reqs, |r| r.is_gpu))
+        } else {
+            // Lagging but not yet urgent: equal priority (plain FR-FCFS).
+            fr_fcfs_pick(reqs, |_| true)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DynPrio"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(is_gpu: bool, arrival: u64, row_hit: bool, issuable: bool) -> ReqInfo {
+        ReqInfo {
+            is_gpu,
+            source_id: if is_gpu { u8::MAX } else { 0 },
+            is_write: false,
+            arrival,
+            row_hit,
+            issuable,
+            eligible: true,
+            bank: 0,
+            row: 0,
+        }
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits_then_age() {
+        let mut s = FrFcfs;
+        let reqs = [
+            req(false, 10, false, true),
+            req(true, 20, true, true),
+            req(false, 5, true, true),
+        ];
+        assert_eq!(s.select(&reqs, 100, SchedCtx::default()), Some(2));
+    }
+
+    #[test]
+    fn frfcfs_skips_ineligible_writes() {
+        let mut s = FrFcfs;
+        let mut w = req(false, 1, true, true);
+        w.is_write = true;
+        w.eligible = false;
+        let reqs = [w, req(false, 9, false, true)];
+        assert_eq!(
+            s.select(&reqs, 100, SchedCtx::default()),
+            Some(1),
+            "buffered write must wait"
+        );
+    }
+
+    #[test]
+    fn frfcfs_skips_non_issuable() {
+        let mut s = FrFcfs;
+        let reqs = [req(false, 1, true, false), req(true, 9, false, true)];
+        assert_eq!(s.select(&reqs, 100, SchedCtx::default()), Some(1));
+        assert_eq!(s.select(&[req(false, 1, true, false)], 0, SchedCtx::default()), None);
+    }
+
+    #[test]
+    fn cpu_prio_boost_breaks_ties_cpu_first() {
+        let mut s = FrFcfsCpuPrio;
+        let boosted = SchedCtx {
+            cpu_prio_boost: true,
+            ..Default::default()
+        };
+        // Same row-hit class: CPU beats the older GPU request.
+        let reqs = [req(true, 1, true, true), req(false, 50, true, true)];
+        assert_eq!(s.select(&reqs, 100, boosted), Some(1));
+        // Row locality is preserved across classes: a GPU row hit still
+        // beats a CPU row miss (losing the open row would cost everyone).
+        let reqs2 = [req(true, 1, true, true), req(false, 50, false, true)];
+        assert_eq!(s.select(&reqs2, 100, boosted), Some(0));
+        // Without the boost, pure FR-FCFS.
+        assert_eq!(s.select(&reqs2, 100, SchedCtx::default()), Some(0));
+    }
+
+    #[test]
+    fn static_prio_always_prefers_cpu() {
+        let mut s = StaticCpuPrio;
+        // GPU row hit, much older, vs a young CPU row miss: CPU wins
+        // unconditionally (that unconditionality is its flaw).
+        let reqs = [req(true, 1, true, true), req(false, 90, false, true)];
+        assert_eq!(s.select(&reqs, 100, SchedCtx::default()), Some(1));
+        // With only GPU requests present, they are served normally.
+        let gpu_only = [req(true, 5, false, true)];
+        assert_eq!(s.select(&gpu_only, 100, SchedCtx::default()), Some(0));
+    }
+
+    #[test]
+    fn dynprio_boosts_gpu_when_urgent() {
+        let mut s = DynPrio;
+        let reqs = [req(false, 1, true, true), req(true, 50, false, true)];
+        let urgent = SchedCtx {
+            gpu_urgent: true,
+            ..Default::default()
+        };
+        assert_eq!(s.select(&reqs, 100, urgent), Some(1));
+        assert_eq!(s.select(&reqs, 100, SchedCtx::default()), Some(0));
+    }
+
+    #[test]
+    fn dynprio_prefers_cpu_while_gpu_is_ahead() {
+        let mut s = DynPrio;
+        // GPU row hit (older) vs CPU row miss: with the GPU ahead of its
+        // deadline, the CPU goes first.
+        let reqs = [req(true, 1, true, true), req(false, 50, false, true)];
+        let ahead = SchedCtx {
+            gpu_ahead: true,
+            ..Default::default()
+        };
+        assert_eq!(s.select(&reqs, 100, ahead), Some(1));
+        // Lagging (neither flag): equal priority, the GPU row hit wins.
+        assert_eq!(s.select(&reqs, 100, SchedCtx::default()), Some(0));
+    }
+
+    #[test]
+    fn sms_waits_for_batch_formation() {
+        let mut s = Sms::new(1.0, 1);
+        // A single young CPU request (arrival stamps carry ×4096 sequence
+        // bits): batch not full, not closed, not aged → idle.
+        let reqs = [req(false, 100 * 4096, true, true)];
+        assert_eq!(s.select(&reqs, 104, SchedCtx::default()), None);
+        // Once aged past the limit, it is served.
+        assert_eq!(s.select(&reqs, 109, SchedCtx::default()), Some(0));
+    }
+
+    #[test]
+    fn sms_row_break_closes_batch_early() {
+        let mut s = Sms::new(1.0, 1);
+        // Two young same-source requests to different rows: the head's
+        // batch is closed by the row break and serves without aging.
+        let mut r1 = req(false, 100, true, true);
+        r1.row = 1;
+        let mut r2 = req(false, 101, false, true);
+        r2.row = 2;
+        let reqs = [r1, r2];
+        assert_eq!(s.select(&reqs, 105, SchedCtx::default()), Some(0));
+    }
+
+    #[test]
+    fn sms_full_batch_is_ready_immediately() {
+        let mut s = Sms::new(1.0, 1);
+        let reqs: Vec<ReqInfo> = (0..8).map(|i| req(false, i, true, true)).collect();
+        assert_eq!(s.select(&reqs, 8, SchedCtx::default()), Some(0));
+    }
+
+    #[test]
+    fn sms_sjf_prefers_shorter_batch() {
+        let mut s = Sms::new(1.0, 1);
+        // GPU has 8 same-row requests (full batch); CPU has 8 spread over
+        // different rows → CPU leading batch length 1, but full? No: CPU
+        // batch len 1 and young. Age both past the limit.
+        let mut reqs: Vec<ReqInfo> = (0..8).map(|i| req(true, i, true, true)).collect();
+        reqs.push(ReqInfo {
+            row: 7, // different row ⇒ CPU batch length 1
+            ..req(false, 0, false, true)
+        });
+        let pick = s.select(&reqs, 1000, SchedCtx::default()).unwrap();
+        assert!(!reqs[pick].is_gpu, "SJF must pick the short CPU batch");
+    }
+
+    #[test]
+    fn sms_round_robin_alternates_sources() {
+        let mut s = Sms::new(0.0, 1);
+        let mk = |src: u8, arrival: u64, row: u64| ReqInfo {
+            is_gpu: src == u8::MAX,
+            source_id: src,
+            is_write: false,
+            arrival,
+            row_hit: false,
+            issuable: true,
+            eligible: true,
+            bank: 0,
+            row,
+        };
+        // Two aged single-request batches from sources 0 and 1.
+        let reqs = [mk(0, 0, 0), mk(1, 0, 1)];
+        let first = s.select(&reqs, 1000, SchedCtx::default()).unwrap();
+        let second = s.select(&reqs, 1000, SchedCtx::default()).unwrap();
+        assert_ne!(
+            reqs[first].source_id, reqs[second].source_id,
+            "round-robin must alternate"
+        );
+    }
+
+    #[test]
+    fn scheduler_kind_builds_and_labels() {
+        for k in [
+            SchedulerKind::FrFcfs,
+            SchedulerKind::FrFcfsCpuPrio,
+            SchedulerKind::Sms(0.9),
+            SchedulerKind::DynPrio,
+            SchedulerKind::StaticCpuPrio,
+        ] {
+            let s = k.build(7);
+            assert!(!s.name().is_empty());
+            assert!(!k.label().is_empty());
+        }
+    }
+}

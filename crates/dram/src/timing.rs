@@ -1,0 +1,102 @@
+//! DDR3-2133 timing parameters.
+//!
+//! All values are in DRAM command-bus cycles (1066.5 MHz for DDR3-2133).
+//! Table I gives "14-14-14" (tCL-tRCD-tRP); the remaining parameters use
+//! standard DDR3-2133 datasheet values. The model issues one cache block
+//! (64 B) per CAS: a 64-bit channel with burst length 8 transfers
+//! 8 × 8 B = 64 B in BL/2 = 4 bus cycles.
+
+/// Timing parameter set for one DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// ACT → internal RD/WR (row activate to column command).
+    pub t_rcd: u64,
+    /// PRE → ACT (precharge period).
+    pub t_rp: u64,
+    /// RD → first data beat (CAS latency).
+    pub t_cl: u64,
+    /// WR → first data beat (CAS write latency).
+    pub t_cwl: u64,
+    /// Data-bus occupancy of one burst: BL / 2.
+    pub t_burst: u64,
+    /// Minimum spacing between two column commands to the same bank group
+    /// (we model a single group).
+    pub t_ccd: u64,
+    /// ACT → PRE minimum (row must stay open this long).
+    pub t_ras: u64,
+    /// Write recovery: last write data beat → PRE on the same bank.
+    pub t_wr: u64,
+    /// Write → read turnaround on the same rank.
+    pub t_wtr: u64,
+    /// ACT → ACT to *different* banks of the same rank.
+    pub t_rrd: u64,
+    /// Average refresh interval (one REF command per tREFI).
+    pub t_refi: u64,
+    /// Refresh cycle time: the rank is unavailable for this long per REF.
+    pub t_rfc: u64,
+}
+
+impl DramTiming {
+    /// DDR3-2133, 14-14-14, BL8 — the configuration in Table I.
+    pub const fn ddr3_2133() -> Self {
+        Self {
+            t_rcd: 14,
+            t_rp: 14,
+            t_cl: 14,
+            t_cwl: 10,
+            t_burst: 4,
+            t_ccd: 4,
+            t_ras: 33,
+            t_wr: 16,
+            t_wtr: 8,
+            t_rrd: 6,
+            // 7.8 µs and 260 ns at the 1066 MHz command clock.
+            t_refi: 8320,
+            t_rfc: 278,
+        }
+    }
+
+    /// Row-hit read service time: CAS → last data beat.
+    pub const fn hit_latency(&self) -> u64 {
+        self.t_cl + self.t_burst
+    }
+
+    /// Row-conflict read service time: PRE + ACT + CAS → last data beat.
+    pub const fn conflict_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::ddr3_2133()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_values() {
+        let t = DramTiming::ddr3_2133();
+        assert_eq!((t.t_cl, t.t_rcd, t.t_rp), (14, 14, 14));
+        assert_eq!(t.t_burst, 4, "BL8 on a 64-bit bus moves 64B in 4 cycles");
+    }
+
+    #[test]
+    fn refresh_parameters_are_ddr3_values() {
+        let t = DramTiming::ddr3_2133();
+        assert_eq!(t.t_refi, 8320, "7.8 µs at 1066 MHz");
+        assert_eq!(t.t_rfc, 278, "260 ns at 1066 MHz");
+        assert!(t.t_refi > 10 * t.t_rfc, "refresh overhead stays below 10%");
+    }
+
+    #[test]
+    fn latency_helpers() {
+        let t = DramTiming::ddr3_2133();
+        assert_eq!(t.hit_latency(), 18);
+        assert_eq!(t.conflict_latency(), 46);
+        assert!(t.conflict_latency() > t.hit_latency());
+    }
+}

@@ -1,0 +1,222 @@
+//! Machine and run configuration (Table I).
+
+use gat_cpu::{CoreConfig, HierarchyConfig};
+use gat_dram::{DramAddressMap, DramTiming, SchedulerKind};
+use gat_gpu::GpuConfig;
+use gat_sim::Cycle;
+
+/// Which LLC fill policy governs GPU read fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPolicyKind {
+    /// Insert everything (baseline SRRIP).
+    Baseline,
+    /// Fig. 3: bypass all GPU read-miss fills.
+    BypassAll,
+    /// HeLM (Mekkat et al.): tolerance-driven selective bypass.
+    Helm,
+}
+
+/// Which parts of the proposal are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosMode {
+    /// No QoS hardware at all.
+    Off,
+    /// FRPU runs (frame-rate estimation and DynPrio's progress signal)
+    /// but nothing is actuated.
+    Observe,
+    /// FRPU + GPU access throttling (the "Throttled" bars of Fig. 9).
+    Throttle,
+    /// Full proposal: throttling + CPU priority boost in the DRAM
+    /// scheduler ("Throttled+CPUpriority" / "ThrotCPUprio").
+    ThrotCpuPrio,
+    /// Ablation: CPU priority boost without the access gate.
+    CpuPrioOnly,
+}
+
+/// Stopping conditions for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Representative instructions each CPU core must commit (the paper
+    /// uses 450 M; scaled runs use less).
+    pub cpu_instructions: u64,
+    /// Frames the GPU must complete (the Table II sequence length by
+    /// default).
+    pub gpu_frames: u32,
+    /// Warm-up cycles before statistics are reset (the paper warms 200 M
+    /// instructions; we warm by time).
+    pub warmup_cycles: Cycle,
+    /// Hard wall: abort the run after this many CPU cycles.
+    pub max_cycles: Cycle,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        Self {
+            cpu_instructions: 3_000_000,
+            gpu_frames: 6,
+            warmup_cycles: 1_000_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl RunLimits {
+    /// Tiny limits for unit/integration tests.
+    pub fn smoke() -> Self {
+        Self {
+            cpu_instructions: 120_000,
+            gpu_frames: 3,
+            warmup_cycles: 60_000,
+            max_cycles: 300_000_000,
+        }
+    }
+}
+
+/// Full machine + policy configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// CPU cores (4 for the main evaluation, 1 for the §II motivation).
+    pub num_cpus: u8,
+    /// GPU work scale (see DESIGN.md §4); also used by the QoS target.
+    pub scale: u32,
+    /// Experiment seed; all component streams fork from it.
+    pub seed: u64,
+    pub sched: SchedulerKind,
+    pub fill_policy: FillPolicyKind,
+    pub qos: QosMode,
+    pub limits: RunLimits,
+
+    // Geometry (defaults are Table I).
+    pub core: CoreConfig,
+    pub hierarchy: HierarchyConfig,
+    pub gpu: GpuConfig,
+    pub llc_bytes: u64,
+    pub llc_ways: u32,
+    pub llc_latency: u32,
+    pub llc_lookups_per_cycle: u32,
+    pub llc_mshrs: usize,
+    pub llc_queue: usize,
+    pub dram_timing: DramTiming,
+    pub dram_map: DramAddressMap,
+    pub mc_queue: usize,
+    /// Bytes of private physical address space per CPU core.
+    pub cpu_region_bytes: u64,
+    /// LLC replacement policy (Table I: SRRIP; LRU for the ablation).
+    pub llc_policy: gat_cache::ReplacementPolicy,
+    /// Strict Fig. 6 W_G reset on overshoot (ablation; default gentle).
+    pub strict_release: bool,
+    /// Static LLC way partitioning (§IV's \[28]-style scheme, ablation):
+    /// `Some(k)` confines GPU fills to `k` ways and CPU fills to the rest.
+    pub gpu_llc_ways: Option<u32>,
+    /// Static DRAM channel partitioning (ablation): GPU traffic on channel
+    /// 1, CPU traffic on channel 0, instead of address interleaving.
+    pub partition_channels: bool,
+    /// QoS target frame rate (the paper uses 40 FPS = 30 FPS visual
+    /// acceptability + a 10 FPS cushion, §II).
+    pub target_fps: f64,
+}
+
+impl MachineConfig {
+    /// The paper's 4-CPU + 1-GPU machine at a given work scale.
+    pub fn table_one(scale: u32, seed: u64) -> Self {
+        let gpu = GpuConfig {
+            scale,
+            mem_base: 4 * (256u64 << 20),
+            ..GpuConfig::default()
+        };
+        Self {
+            num_cpus: 4,
+            scale,
+            seed,
+            sched: SchedulerKind::FrFcfs,
+            fill_policy: FillPolicyKind::Baseline,
+            qos: QosMode::Off,
+            limits: RunLimits::default(),
+            core: CoreConfig::default(),
+            hierarchy: HierarchyConfig::default(),
+            gpu,
+            llc_bytes: 16 << 20,
+            llc_ways: 16,
+            llc_latency: 10,
+            llc_lookups_per_cycle: 4,
+            llc_mshrs: 64,
+            llc_queue: 64,
+            dram_timing: DramTiming::ddr3_2133(),
+            dram_map: DramAddressMap::table_one(),
+            mc_queue: 64,
+            cpu_region_bytes: 256 << 20,
+            llc_policy: gat_cache::ReplacementPolicy::Srrip,
+            strict_release: false,
+            gpu_llc_ways: None,
+            partition_channels: false,
+            target_fps: 40.0,
+        }
+    }
+
+    /// The §II motivation machine: one CPU core + GPU.
+    pub fn motivation(scale: u32, seed: u64) -> Self {
+        Self {
+            num_cpus: 1,
+            ..Self::table_one(scale, seed)
+        }
+    }
+
+    /// Ring stop index for CPU core `i` (cores, GPU, LLC, MC0, MC1).
+    pub fn cpu_stop(&self, core: u8) -> u8 {
+        assert!(core < self.num_cpus);
+        core
+    }
+
+    pub fn gpu_stop(&self) -> u8 {
+        4
+    }
+
+    pub fn llc_stop(&self) -> u8 {
+        5
+    }
+
+    pub fn mc_stop(&self, ch: u32) -> u8 {
+        6 + ch as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_geometry() {
+        let c = MachineConfig::table_one(16, 1);
+        assert_eq!(c.num_cpus, 4);
+        assert_eq!(c.llc_bytes, 16 << 20);
+        assert_eq!(c.llc_ways, 16);
+        assert_eq!(c.llc_latency, 10);
+        assert_eq!(c.dram_map.channels, 2);
+        assert_eq!(c.dram_timing.t_cl, 14);
+        assert_eq!(c.hierarchy.l1_bytes, 32 << 10);
+        assert_eq!(c.hierarchy.l2_bytes, 256 << 10);
+    }
+
+    #[test]
+    fn gpu_region_clears_cpu_regions() {
+        let c = MachineConfig::table_one(16, 1);
+        assert!(c.gpu.mem_base >= u64::from(c.num_cpus) * c.cpu_region_bytes);
+    }
+
+    #[test]
+    fn stops_are_distinct() {
+        let c = MachineConfig::table_one(16, 1);
+        let mut stops = vec![c.gpu_stop(), c.llc_stop(), c.mc_stop(0), c.mc_stop(1)];
+        for i in 0..c.num_cpus {
+            stops.push(c.cpu_stop(i));
+        }
+        stops.sort_unstable();
+        stops.dedup();
+        assert_eq!(stops.len(), 4 + c.num_cpus as usize);
+    }
+
+    #[test]
+    fn motivation_machine_has_one_core() {
+        assert_eq!(MachineConfig::motivation(16, 2).num_cpus, 1);
+    }
+}

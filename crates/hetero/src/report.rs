@@ -1,0 +1,162 @@
+//! Plain-text table rendering for the figure-regeneration binary.
+//!
+//! Each paper figure becomes an aligned text table: one row per workload,
+//! one column per configuration/series, with the paper's summary bar
+//! (GMEAN or arithmetic mean) as the final row. No external dependencies —
+//! the output is meant to be diffed and pasted into EXPERIMENTS.md.
+
+use gat_sim::stats::{arithmetic_mean, geometric_mean};
+
+/// A simple aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row; panics if the width disagrees with the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: a label plus f64 cells rendered with 3 decimals
+    /// (NaN renders as "n/a" and is skipped by the summary rows).
+    pub fn row_f(&mut self, label: &str, values: &[f64]) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| {
+            if v.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{v:.3}")
+            }
+        }));
+        self.row(cells);
+    }
+
+    /// Append a summary row of the geometric mean of each numeric column
+    /// across the existing rows (label in column 0).
+    pub fn gmean_row(&mut self) {
+        self.summary_row("GMEAN", geometric_mean);
+    }
+
+    /// Append an arithmetic-mean summary row.
+    pub fn amean_row(&mut self) {
+        self.summary_row("Average", arithmetic_mean);
+    }
+
+    fn summary_row(&mut self, label: &str, f: impl Fn(&[f64]) -> f64) {
+        let cols = self.headers.len();
+        let mut cells = vec![label.to_string()];
+        for c in 1..cols {
+            let vals: Vec<f64> = self
+                .rows
+                .iter()
+                .filter_map(|r| r[c].parse::<f64>().ok())
+                .collect();
+            if vals.is_empty() {
+                cells.push("n/a".to_string());
+            } else {
+                cells.push(format!("{:.3}", f(&vals)));
+            }
+        }
+        self.row(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Fig. X", &["Workload", "A", "B"]);
+        t.row_f("W1", &[1.0, 2.0]);
+        t.row_f("LongName", &[0.5, 0.25]);
+        let s = t.render();
+        assert!(s.contains("== Fig. X =="));
+        assert!(s.contains("LongName"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title + header + separator + 2 rows.
+        assert_eq!(lines.len(), 5);
+        // Columns align: every "A" column starts at the same offset.
+        let off = lines[1].len();
+        assert!(off > 0);
+    }
+
+    #[test]
+    fn gmean_row_summarizes_columns() {
+        let mut t = Table::new("t", &["w", "x"]);
+        t.row_f("a", &[1.0]);
+        t.row_f("b", &[4.0]);
+        t.gmean_row();
+        let s = t.render();
+        assert!(s.contains("GMEAN"));
+        assert!(s.contains("2.000"));
+    }
+
+    #[test]
+    fn amean_row_summarizes_columns() {
+        let mut t = Table::new("t", &["w", "x"]);
+        t.row_f("a", &[1.0]);
+        t.row_f("b", &[3.0]);
+        t.amean_row();
+        assert!(t.render().contains("2.000"));
+    }
+
+    #[test]
+    fn summary_of_all_nan_column_is_na() {
+        let mut t = Table::new("t", &["w", "x"]);
+        t.row_f("a", &[f64::NAN]);
+        t.row_f("b", &[f64::NAN]);
+        t.amean_row();
+        let s = t.render();
+        assert!(s.lines().last().unwrap().contains("n/a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

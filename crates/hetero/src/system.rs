@@ -1,0 +1,484 @@
+//! The assembled heterogeneous CMP: CPU cores + GPU + QoS controller +
+//! uncore, advanced one CPU cycle at a time.
+//!
+//! Run protocol (mirroring §V-B): warm up for a configured number of
+//! cycles, reset statistics, then run until every CPU application has
+//! committed its representative instruction budget *and* the GPU has
+//! rendered its assigned frame sequence; early finishers keep running so
+//! contention stays realistic.
+
+use crate::config::{MachineConfig, QosMode};
+use crate::metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
+use crate::uncore::{BackInval, Uncore, UncoreCompletion, UncorePort};
+use gat_cache::Source;
+use gat_core::{QosController, QosControllerConfig};
+use gat_cpu::{Core, CpuHierarchy, InstructionStream, SpecProfile, StreamGen, TraceStream};
+use gat_cpu::stream::Op;
+use std::sync::Arc;
+use gat_dram::{SchedCtx, SchedulerKind};
+use gat_gpu::{GameProfile, GpuEvent, GpuPipeline, WorkloadGen};
+use gat_sim::rng::SimRng;
+use gat_sim::{Cycle, GPU_CLOCK_DIVIDER};
+
+/// The machine.
+pub struct HeteroSystem {
+    cfg: MachineConfig,
+    profiles: Vec<SpecProfile>,
+    cores: Vec<Core>,
+    gpu: Option<GpuPipeline>,
+    game_name: &'static str,
+    qos: Option<QosController>,
+    uncore: Uncore,
+    now: Cycle,
+    mark_cycle: Cycle,
+    comp_buf: Vec<UncoreCompletion>,
+    inval_buf: Vec<BackInval>,
+    event_buf: Vec<GpuEvent>,
+    /// GPU events retained for external observers (timeline tools); only
+    /// populated after `observe_events(true)`.
+    observed_events: Vec<GpuEvent>,
+    observe_events: bool,
+    label: String,
+}
+
+impl HeteroSystem {
+    /// Build a machine running `cpu_apps` (one per core, at most
+    /// `cfg.num_cpus`) and optionally a GPU workload.
+    pub fn new(cfg: MachineConfig, cpu_apps: &[SpecProfile], game: Option<GameProfile>) -> Self {
+        let sources: Vec<(SpecProfile, Option<Arc<Vec<Op>>>)> =
+            cpu_apps.iter().map(|p| (*p, None)).collect();
+        Self::new_with_sources(cfg, &sources, game)
+    }
+
+    /// Like [`Self::new`], but each core may replay a memory trace instead
+    /// of the synthetic stream: `(profile, Some(ops))` replays `ops`
+    /// (region-relative addresses, looping), `(profile, None)` synthesizes
+    /// from the profile. The profile still supplies the core's ILP
+    /// parameters (base IPC, chase chains, branch MPKI) in both cases.
+    pub fn new_with_sources(
+        cfg: MachineConfig,
+        cpu_apps: &[(SpecProfile, Option<Arc<Vec<Op>>>)],
+        game: Option<GameProfile>,
+    ) -> Self {
+        assert!(
+            cpu_apps.len() <= cfg.num_cpus as usize,
+            "more CPU apps than cores"
+        );
+        let root = SimRng::new(cfg.seed);
+        let cores: Vec<Core> = cpu_apps
+            .iter()
+            .enumerate()
+            .map(|(i, (p, trace))| {
+                let base = i as u64 * cfg.cpu_region_bytes;
+                assert!(
+                    p.working_set <= cfg.cpu_region_bytes,
+                    "{} exceeds its address region",
+                    p.name
+                );
+                let stream: InstructionStream = match trace {
+                    Some(ops) => TraceStream::from_ops(*p, ops.clone(), base).into(),
+                    None => StreamGen::new(*p, base, root.fork(&format!("cpu{i}"))).into(),
+                };
+                Core::new(
+                    cfg.core.clone(),
+                    stream,
+                    CpuHierarchy::new(i as u8, cfg.hierarchy.clone()),
+                )
+            })
+            .collect();
+        let game_name = game.as_ref().map(|g| g.name).unwrap_or("");
+        let gpu = game.map(|g| {
+            let wl = WorkloadGen::new(g, root.fork("gpu-workload"));
+            let mut pl = GpuPipeline::new(cfg.gpu.clone(), wl, root.fork("gpu-pipeline"));
+            pl.set_frame_budget(cfg.limits.gpu_frames + 1_000_000); // effectively unbounded
+            pl
+        });
+        // The QoS controller exists whenever the proposal is active or the
+        // DynPrio scheduler needs the frame-progress estimate.
+        let needs_observer = cfg.sched == SchedulerKind::DynPrio;
+        let qcfg = match (gpu.is_some(), cfg.qos, needs_observer) {
+            (false, _, _) => None,
+            (true, QosMode::Off, false) => None,
+            (true, QosMode::Off, true) | (true, QosMode::Observe, _) => {
+                Some(QosControllerConfig::observe_only(cfg.scale))
+            }
+            (true, QosMode::Throttle, _) => Some(QosControllerConfig::throttle_only(cfg.scale)),
+            (true, QosMode::ThrotCpuPrio, _) => Some(QosControllerConfig::proposal(cfg.scale)),
+            (true, QosMode::CpuPrioOnly, _) => Some(QosControllerConfig::prio_only(cfg.scale)),
+        };
+        let qos = qcfg.map(|mut q| {
+            q.strict_release = cfg.strict_release;
+            q.target_fps = cfg.target_fps;
+            QosController::new(q)
+        });
+        let uncore = Uncore::new(&cfg);
+        let label = format!(
+            "{}+{:?}+{:?}",
+            cfg.sched.label(),
+            cfg.fill_policy,
+            cfg.qos
+        );
+        Self {
+            profiles: cpu_apps.iter().map(|(p, _)| *p).collect(),
+            cores,
+            gpu,
+            game_name,
+            qos,
+            uncore,
+            now: 0,
+            mark_cycle: 0,
+            comp_buf: Vec::new(),
+            inval_buf: Vec::new(),
+            event_buf: Vec::new(),
+            observed_events: Vec::new(),
+            observe_events: false,
+            label,
+            cfg,
+        }
+    }
+
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Retain GPU events for [`Self::drain_frame_events`]. Off by default
+    /// (the buffer would grow unboundedly in long runs).
+    pub fn observe_events(&mut self, on: bool) {
+        self.observe_events = on;
+    }
+
+    /// Drain retained GPU events (requires [`Self::observe_events`]).
+    pub fn drain_frame_events(&mut self, out: &mut Vec<GpuEvent>) {
+        out.append(&mut self.observed_events);
+    }
+
+    /// Current `(W_G, cpu_prio_boost)` of the QoS controller.
+    pub fn qos_snapshot(&self) -> (u64, bool) {
+        match self.qos.as_ref() {
+            Some(q) => {
+                let gpu_now = self.now / GPU_CLOCK_DIVIDER;
+                (q.atu.decision().w_g, q.signals(gpu_now).cpu_prio_boost)
+            }
+            None => (0, false),
+        }
+    }
+
+    /// Total GPU requests sent to the LLC so far.
+    pub fn gpu_llc_sends(&self) -> u64 {
+        self.gpu
+            .as_ref()
+            .map(|g| g.stats.llc_reads_sent.get() + g.stats.llc_writes_sent.get())
+            .unwrap_or(0)
+    }
+
+    /// Instructions retired across all cores.
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired.get()).sum()
+    }
+
+    /// Advance one CPU cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // 1. Deliver finished reads.
+        self.comp_buf.clear();
+        let mut comp = std::mem::take(&mut self.comp_buf);
+        self.uncore.drain_completions(&mut comp);
+        for c in &comp {
+            match c.source {
+                Source::Cpu(i) => {
+                    let core = &mut self.cores[i as usize];
+                    let mut port = UncorePort {
+                        uncore: &mut self.uncore,
+                        source: c.source,
+                    };
+                    core.on_mem_response(now, c.token, &mut port);
+                }
+                Source::Gpu => {
+                    if let Some(gpu) = self.gpu.as_mut() {
+                        gpu.on_mem_response(now / GPU_CLOCK_DIVIDER, c.token);
+                    }
+                }
+            }
+        }
+        self.comp_buf = comp;
+
+        // 2. Back-invalidations from the inclusive LLC.
+        self.inval_buf.clear();
+        let mut invals = std::mem::take(&mut self.inval_buf);
+        self.uncore.drain_back_invals(&mut invals);
+        for b in &invals {
+            if let Some(core) = self.cores.get_mut(b.core as usize) {
+                core.back_invalidate(b.addr);
+            }
+        }
+        self.inval_buf = invals;
+
+        // 3. CPU cores.
+        for core in &mut self.cores {
+            let source = Source::Cpu(core.core_id());
+            let mut port = UncorePort {
+                uncore: &mut self.uncore,
+                source,
+            };
+            core.tick(now, &mut port);
+        }
+
+        // 4. GPU on its clock divider.
+        let mut gpu_now = 0;
+        if let Some(gpu) = self.gpu.as_mut() {
+            gpu_now = now / GPU_CLOCK_DIVIDER;
+            if now.is_multiple_of(GPU_CLOCK_DIVIDER) {
+                let quota = self
+                    .qos
+                    .as_ref()
+                    .map(|q| q.quota(gpu_now))
+                    .unwrap_or(u32::MAX);
+                let mut port = UncorePort {
+                    uncore: &mut self.uncore,
+                    source: Source::Gpu,
+                };
+                let sends = gpu.tick(gpu_now, quota, &mut port);
+                self.event_buf.clear();
+                gpu.drain_events(&mut self.event_buf);
+                if let Some(q) = self.qos.as_mut() {
+                    q.note_sends(gpu_now, sends);
+                    q.on_gpu_events(gpu_now, &self.event_buf);
+                }
+                if self.observe_events {
+                    self.observed_events.extend_from_slice(&self.event_buf);
+                }
+                self.uncore.gpu_tolerance = gpu.latency_tolerance();
+            }
+        }
+
+        // 5. Uncore with the QoS signals.
+        let ctx = match self.qos.as_ref() {
+            Some(q) => {
+                let s = q.signals(gpu_now);
+                SchedCtx {
+                    cpu_prio_boost: s.cpu_prio_boost,
+                    gpu_urgent: s.gpu_urgent,
+                    gpu_ahead: s.gpu_above_target,
+                }
+            }
+            None => SchedCtx::default(),
+        };
+        self.uncore.tick(now, ctx);
+        self.now += 1;
+    }
+
+    /// Warm up, reset statistics, and mark the measurement start.
+    fn warm_up(&mut self) {
+        for _ in 0..self.cfg.limits.warmup_cycles {
+            self.tick();
+        }
+        for core in &mut self.cores {
+            core.mark();
+            core.set_measure_budget(self.cfg.limits.cpu_instructions);
+        }
+        if let Some(gpu) = self.gpu.as_mut() {
+            gpu.reset_stats();
+        }
+        self.uncore.reset_stats();
+        self.mark_cycle = self.now;
+    }
+
+    fn goals_met(&self) -> bool {
+        let cpus_done = self
+            .cores
+            .iter()
+            .all(|c| c.retired_since_mark() >= self.cfg.limits.cpu_instructions);
+        let gpu_done = self
+            .gpu
+            .as_ref()
+            .map(|g| g.stats.frames.get() >= u64::from(self.cfg.limits.gpu_frames))
+            .unwrap_or(true);
+        cpus_done && gpu_done
+    }
+
+    /// Run to completion and collect results.
+    ///
+    /// # Panics
+    /// Panics if the run exceeds `limits.max_cycles` (wedged machine).
+    pub fn run(&mut self) -> RunResult {
+        self.warm_up();
+        while !self.goals_met() {
+            self.tick();
+            assert!(
+                self.now < self.cfg.limits.max_cycles,
+                "run exceeded max_cycles at {} (cores retired: {:?}, gpu frames: {:?}, uncore in-flight: {})",
+                self.now,
+                self.cores
+                    .iter()
+                    .map(|c| c.retired_since_mark())
+                    .collect::<Vec<_>>(),
+                self.gpu.as_ref().map(|g| g.stats.frames.get()),
+                self.uncore.in_flight(),
+            );
+        }
+        self.collect()
+    }
+
+    fn collect(&self) -> RunResult {
+        let cores = self
+            .cores
+            .iter()
+            .zip(&self.profiles)
+            .map(|(c, p)| CoreResult {
+                core: c.core_id(),
+                spec_id: p.spec_id,
+                name: p.name,
+                ipc: c.ipc_since_mark(),
+                retired: c.retired_since_mark(),
+                prefetches: c.hierarchy.prefetches.get(),
+                loads: c.hierarchy.loads.get(),
+            })
+            .collect();
+        let gpu = self.gpu.as_ref().map(|g| {
+            let (err_mean, err_min, err_max, predicted, relearn) = match self.qos.as_ref() {
+                Some(q) => (
+                    q.frpu.error_percent.mean(),
+                    q.frpu.error_percent.min(),
+                    q.frpu.error_percent.max(),
+                    q.frpu.predicted_frames,
+                    q.frpu.relearn_events,
+                ),
+                None => (0.0, 0.0, 0.0, 0, 0),
+            };
+            GpuResult {
+                game: self.game_name,
+                fps: g.fps(),
+                fps_min: g.fps_of_cycles(g.stats.frame_cycles.max()),
+                frames: g.stats.frames.get(),
+                llc_reads: g.stats.llc_reads_sent.get(),
+                llc_writes: g.stats.llc_writes_sent.get(),
+                est_error_mean: err_mean,
+                est_error_min: err_min,
+                est_error_max: err_max,
+                predicted_frames: predicted,
+                relearn_events: relearn,
+                throttle_w_g: self
+                    .qos
+                    .as_ref()
+                    .map(|q| q.atu.decision().w_g)
+                    .unwrap_or(0),
+                gated_cycles: g.stats.gated_cycles.get(),
+                unit_stats: g.unit_stats(),
+            }
+        });
+        let ls = &self.uncore.llc.stats;
+        let llc = LlcResult {
+            cpu_hits: ls.cpu_hits.get(),
+            cpu_misses: ls.cpu_misses.get(),
+            gpu_hits: ls.gpu_hits.get(),
+            gpu_misses: ls.gpu_misses.get(),
+            back_invalidations: self.uncore.stats.back_invalidations.get(),
+            gpu_fills_bypassed: self.uncore.stats.gpu_fills_bypassed.get(),
+        };
+        let mut dram = DramResult::default();
+        let mut hit_weight = 0.0;
+        let mut lat_sum = 0.0;
+        let mut lat_n = 0u64;
+        for ch in &self.uncore.channels {
+            dram.cpu_read_bytes += ch.stats.cpu_read_bytes.get();
+            dram.cpu_write_bytes += ch.stats.cpu_write_bytes.get();
+            dram.gpu_read_bytes += ch.stats.gpu_read_bytes.get();
+            dram.gpu_write_bytes += ch.stats.gpu_write_bytes.get();
+            dram.reads += ch.stats.reads.get();
+            dram.writes += ch.stats.writes.get();
+            hit_weight += ch.stats.row_hit_rate();
+            lat_sum += ch.stats.read_latency.mean() * ch.stats.read_latency.count() as f64;
+            lat_n += ch.stats.read_latency.count();
+        }
+        dram.row_hit_rate = hit_weight / self.uncore.channels.len() as f64;
+        dram.read_latency_mean = if lat_n == 0 { 0.0 } else { lat_sum / lat_n as f64 };
+        dram.energy_pj = self
+            .uncore
+            .channels
+            .iter()
+            .map(|ch| ch.energy.total_pj())
+            .sum();
+        let dram_cycles = (self.now - self.mark_cycle) / gat_sim::DRAM_CLOCK_DIVIDER;
+        dram.power_mw = self
+            .uncore
+            .channels
+            .iter()
+            .map(|ch| ch.energy.average_power_mw(dram_cycles))
+            .sum();
+        RunResult {
+            cores,
+            gpu,
+            llc,
+            dram,
+            cycles: self.now - self.mark_cycle,
+            label: self.label.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunLimits;
+    use gat_workloads::{game, spec};
+
+    fn smoke_cfg(num_cpus: u8) -> MachineConfig {
+        let mut cfg = MachineConfig::table_one(256, 42);
+        cfg.num_cpus = num_cpus;
+        cfg.limits = RunLimits::smoke();
+        cfg
+    }
+
+    #[test]
+    fn cpu_only_run_produces_ipc() {
+        let cfg = smoke_cfg(1);
+        let mut sys = HeteroSystem::new(cfg, &[spec(403)], None);
+        let r = sys.run();
+        assert_eq!(r.cores.len(), 1);
+        assert!(r.cores[0].ipc > 0.1, "ipc {}", r.cores[0].ipc);
+        assert!(r.gpu.is_none());
+        assert!(r.llc.cpu_misses > 0);
+    }
+
+    #[test]
+    fn gpu_only_run_produces_fps() {
+        let cfg = smoke_cfg(4);
+        let mut sys = HeteroSystem::new(cfg, &[], Some(game("UT2004")));
+        let r = sys.run();
+        let g = r.gpu.expect("gpu result");
+        assert!(g.frames >= 3);
+        assert!(g.fps > 0.0, "fps {}", g.fps);
+        assert!(r.llc.gpu_misses > 0);
+        assert!(r.dram.gpu_bytes() > 0);
+    }
+
+    #[test]
+    fn heterogeneous_run_degrades_both_sides() {
+        let cfg = smoke_cfg(1);
+        let apps = [spec(470)];
+        let game_p = game("DOOM3");
+
+        let alone_cpu = HeteroSystem::new(cfg.clone(), &apps, None).run();
+        let alone_gpu = HeteroSystem::new(cfg.clone(), &[], Some(game_p.clone())).run();
+        let both = HeteroSystem::new(cfg, &apps, Some(game_p)).run();
+
+        let cpu_ratio = both.cores[0].ipc / alone_cpu.cores[0].ipc;
+        let gpu_ratio = both.gpu.as_ref().unwrap().fps / alone_gpu.gpu.as_ref().unwrap().fps;
+        assert!(cpu_ratio < 1.02, "co-run CPU ratio {cpu_ratio}");
+        assert!(gpu_ratio < 1.02, "co-run GPU ratio {gpu_ratio}");
+        assert!(cpu_ratio > 0.2 && gpu_ratio > 0.2, "sane degradation");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = smoke_cfg(2);
+        let apps = [spec(403), spec(482)];
+        let a = HeteroSystem::new(cfg.clone(), &apps, Some(game("NFS"))).run();
+        let b = HeteroSystem::new(cfg, &apps, Some(game("NFS"))).run();
+        assert_eq!(a.cores[0].retired, b.cores[0].retired);
+        assert_eq!(a.llc.cpu_misses, b.llc.cpu_misses);
+        assert_eq!(a.gpu.as_ref().unwrap().frames, b.gpu.as_ref().unwrap().frames);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,298 @@
+//! `gat-ring` — the bidirectional ring interconnect of Table I.
+//!
+//! The CPU cores (through their L2s), the GPU, the shared LLC and the two
+//! memory controllers sit on a bidirectional ring with a single-cycle hop
+//! time. Messages travel the shorter direction; each link moves one
+//! message per cycle per direction, and contention shows up as queueing at
+//! injection.
+//!
+//! The model is intentionally lean: the paper's results are driven by LLC
+//! and DRAM behaviour, with the ring contributing a small, mostly constant
+//! latency. We model exact hop latencies and per-direction link occupancy
+//! (so heavy GPU fill traffic does add cycles), but not flit-level
+//! wormhole detail.
+
+use gat_sim::{Cycle, stats::Counter};
+
+/// A stop (agent attachment point) on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StopId(pub u8);
+
+/// Static ring topology: `n` stops, `hop_cycles` per hop.
+#[derive(Debug, Clone, Copy)]
+pub struct RingTopology {
+    pub stops: u8,
+    pub hop_cycles: u32,
+}
+
+impl RingTopology {
+    /// The simulated machine's ring: 4 CPU stops, 1 GPU stop, 1 LLC stop,
+    /// 2 memory-controller stops, single-cycle hops (Table I).
+    pub const fn table_one() -> Self {
+        Self {
+            stops: 8,
+            hop_cycles: 1,
+        }
+    }
+
+    /// Hop count in the shorter direction.
+    pub fn hops(&self, a: StopId, b: StopId) -> u32 {
+        assert!(a.0 < self.stops && b.0 < self.stops, "stop out of range");
+        let n = u32::from(self.stops);
+        let d = u32::from(a.0.abs_diff(b.0));
+        d.min(n - d)
+    }
+
+    /// Uncontended latency in cycles between two stops.
+    pub fn latency(&self, a: StopId, b: StopId) -> Cycle {
+        Cycle::from(self.hops(a, b) * self.hop_cycles)
+    }
+
+    /// Direction (+1 clockwise, -1 counter-clockwise, 0 same stop) of the
+    /// shorter path from `a` to `b`; ties go clockwise.
+    pub fn direction(&self, a: StopId, b: StopId) -> i8 {
+        if a == b {
+            return 0;
+        }
+        let n = i32::from(self.stops);
+        let fwd = (i32::from(b.0) - i32::from(a.0)).rem_euclid(n);
+        if fwd <= n - fwd {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+/// An in-flight message carrying an opaque token.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    deliver_at: Cycle,
+    token: u64,
+    seq: u64,
+}
+
+/// A ring instance that transports opaque tokens with hop latency plus
+/// injection serialization per (stop, direction).
+///
+/// Stops default to one injection per cycle per direction; a banked agent
+/// (the multi-bank LLC) can be given a wider port with
+/// [`Ring::set_stop_width`].
+///
+/// ```
+/// use gat_ring::{Ring, RingTopology, StopId};
+///
+/// let mut ring = Ring::new(RingTopology::table_one());
+/// // Core 0 → LLC (stop 5): 3 hops on an 8-stop ring.
+/// let arrives = ring.send(100, StopId(0), StopId(5), 42);
+/// assert_eq!(arrives, 103);
+/// let mut out = Vec::new();
+/// ring.drain_delivered(103, &mut out);
+/// assert_eq!(out, vec![42]);
+/// ```
+#[derive(Debug)]
+pub struct Ring {
+    topo: RingTopology,
+    /// Next free injection slot per (stop, direction∈{0:cw,1:ccw}),
+    /// in units of 1/width cycles (fixed-point per stop).
+    inject_free: Vec<[Cycle; 2]>,
+    /// Injections permitted per cycle per direction, per stop.
+    widths: Vec<u32>,
+    in_flight: Vec<Flight>,
+    seq: u64,
+    pub sent: Counter,
+    pub delivered: Counter,
+    /// Total queueing cycles spent waiting for injection slots.
+    pub inject_wait: Counter,
+}
+
+impl Ring {
+    pub fn new(topo: RingTopology) -> Self {
+        Self {
+            topo,
+            inject_free: vec![[0, 0]; usize::from(topo.stops)],
+            widths: vec![1; usize::from(topo.stops)],
+            in_flight: Vec::new(),
+            seq: 0,
+            sent: Counter::new(),
+            delivered: Counter::new(),
+            inject_wait: Counter::new(),
+        }
+    }
+
+    /// Give `stop` a wider injection port (`width` messages per cycle per
+    /// direction) — used for the banked LLC stop.
+    pub fn set_stop_width(&mut self, stop: StopId, width: u32) {
+        assert!(width >= 1);
+        self.widths[usize::from(stop.0)] = width;
+    }
+
+    pub fn topology(&self) -> RingTopology {
+        self.topo
+    }
+
+    /// Send `token` from `src` to `dst` at time `now`; returns the delivery
+    /// time. Up to the stop's width messages per cycle may inject at each
+    /// (stop, direction); later messages queue.
+    pub fn send(&mut self, now: Cycle, src: StopId, dst: StopId, token: u64) -> Cycle {
+        let dir = self.topo.direction(src, dst);
+        let lane = usize::from(dir < 0);
+        let width = Cycle::from(self.widths[usize::from(src.0)]);
+        // Fixed-point slots: `width` sub-slots per cycle.
+        let slot = &mut self.inject_free[usize::from(src.0)][lane];
+        let start_fp = (now * width).max(*slot);
+        *slot = start_fp + 1;
+        let start = start_fp / width;
+        self.inject_wait.add(start - now);
+        let deliver_at = start + self.topo.latency(src, dst);
+        self.seq += 1;
+        self.in_flight.push(Flight {
+            deliver_at,
+            token,
+            seq: self.seq,
+        });
+        self.sent.inc();
+        deliver_at
+    }
+
+    /// Pop every message due at or before `now`, in delivery order.
+    pub fn drain_delivered(&mut self, now: Cycle, out: &mut Vec<u64>) {
+        let before = out.len();
+        let mut due: Vec<Flight> = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].deliver_at <= now {
+                due.push(self.in_flight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|f| (f.deliver_at, f.seq));
+        out.extend(due.iter().map(|f| f.token));
+        self.delivered.add((out.len() - before) as u64);
+    }
+
+    /// Earliest pending delivery, if any (lets the driver skip idle spans).
+    pub fn next_delivery(&self) -> Option<Cycle> {
+        self.in_flight.iter().map(|f| f.deliver_at).min()
+    }
+
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    pub fn reset_state(&mut self) {
+        self.in_flight.clear();
+        self.inject_free.fill([0, 0]);
+    }
+
+    /// Current injection width of a stop.
+    pub fn stop_width(&self, stop: StopId) -> u32 {
+        self.widths[usize::from(stop.0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPO: RingTopology = RingTopology::table_one();
+
+    #[test]
+    fn hop_counts_take_shorter_direction() {
+        assert_eq!(TOPO.hops(StopId(0), StopId(1)), 1);
+        assert_eq!(TOPO.hops(StopId(0), StopId(7)), 1, "wraps around");
+        assert_eq!(TOPO.hops(StopId(0), StopId(4)), 4, "diameter");
+        assert_eq!(TOPO.hops(StopId(2), StopId(2)), 0);
+        assert_eq!(TOPO.hops(StopId(1), StopId(6)), 3);
+    }
+
+    #[test]
+    fn latency_is_hops_times_hop_cycles() {
+        let t = RingTopology {
+            stops: 8,
+            hop_cycles: 2,
+        };
+        assert_eq!(t.latency(StopId(0), StopId(3)), 6);
+    }
+
+    #[test]
+    fn direction_is_shorter_way() {
+        assert_eq!(TOPO.direction(StopId(0), StopId(1)), 1);
+        assert_eq!(TOPO.direction(StopId(0), StopId(7)), -1);
+        assert_eq!(TOPO.direction(StopId(3), StopId(3)), 0);
+    }
+
+    #[test]
+    fn message_arrives_after_latency() {
+        let mut r = Ring::new(TOPO);
+        let t = r.send(100, StopId(0), StopId(3), 42);
+        assert_eq!(t, 103);
+        let mut out = Vec::new();
+        r.drain_delivered(102, &mut out);
+        assert!(out.is_empty());
+        r.drain_delivered(103, &mut out);
+        assert_eq!(out, vec![42]);
+        assert!(r.idle());
+    }
+
+    #[test]
+    fn same_stop_delivery_is_immediate() {
+        let mut r = Ring::new(TOPO);
+        assert_eq!(r.send(5, StopId(2), StopId(2), 1), 5);
+    }
+
+    #[test]
+    fn injection_serializes_per_stop_and_direction() {
+        let mut r = Ring::new(TOPO);
+        // Three same-cycle messages clockwise from stop 0: injections at
+        // cycles 0,1,2.
+        let t1 = r.send(0, StopId(0), StopId(2), 1);
+        let t2 = r.send(0, StopId(0), StopId(2), 2);
+        let t3 = r.send(0, StopId(0), StopId(2), 3);
+        assert_eq!((t1, t2, t3), (2, 3, 4));
+        assert_eq!(r.inject_wait.get(), 3);
+        // The counter-clockwise lane is independent.
+        let t4 = r.send(0, StopId(0), StopId(7), 4);
+        assert_eq!(t4, 1);
+    }
+
+    #[test]
+    fn drain_is_in_delivery_order() {
+        let mut r = Ring::new(TOPO);
+        r.send(0, StopId(0), StopId(4), 10); // arrives 4
+        r.send(0, StopId(1), StopId(2), 20); // arrives 1
+        r.send(0, StopId(6), StopId(5), 30); // arrives 1 (different stop)
+        let mut out = Vec::new();
+        r.drain_delivered(10, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2], 10, "longest path arrives last");
+    }
+
+    #[test]
+    fn next_delivery_reports_earliest() {
+        let mut r = Ring::new(TOPO);
+        assert_eq!(r.next_delivery(), None);
+        r.send(0, StopId(0), StopId(4), 1);
+        r.send(0, StopId(0), StopId(1), 2); // injects at 1, arrives 2
+        assert_eq!(r.next_delivery(), Some(2));
+    }
+
+    #[test]
+    fn wide_stop_injects_multiple_per_cycle() {
+        let mut r = Ring::new(TOPO);
+        r.set_stop_width(StopId(5), 4);
+        assert_eq!(r.stop_width(StopId(5)), 4);
+        // Four same-cycle messages all inject at cycle 0.
+        let ts: Vec<Cycle> = (0..4).map(|i| r.send(0, StopId(5), StopId(6), i)).collect();
+        assert!(ts.iter().all(|&t| t == 1), "all inject at cycle 0: {ts:?}");
+        // The fifth slips to the next cycle.
+        assert_eq!(r.send(0, StopId(5), StopId(6), 9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_stop_panics() {
+        let _ = TOPO.hops(StopId(8), StopId(0));
+    }
+}

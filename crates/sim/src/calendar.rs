@@ -1,0 +1,117 @@
+//! A small event calendar (priority queue keyed on [`Cycle`]).
+//!
+//! Most of the machine is cycle-driven, but the DRAM bank state machines
+//! and a few long timers are naturally event-driven: a bank that issued an
+//! ACT knows exactly when tRCD expires. The calendar keeps those sleeping
+//! components off the per-cycle hot path.
+//!
+//! Events are opaque `u64` tokens; the owner decides what they mean.
+//! Same-cycle events pop in insertion order (FIFO), which keeps the
+//! simulator deterministic.
+
+use crate::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    at: Cycle,
+    seq: u64,
+    token: u64,
+}
+
+// Min-heap on (at, seq): BinaryHeap is a max-heap, so reverse the ordering.
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// FIFO-stable min-priority queue of `(Cycle, token)` events.
+#[derive(Debug, Default)]
+pub struct EventCalendar {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventCalendar {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `token` to fire at absolute cycle `at`.
+    pub fn schedule(&mut self, at: Cycle, token: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, token });
+    }
+
+    /// Earliest pending event time, if any.
+    pub fn next_at(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, u64)> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            self.heap.pop().map(|e| (e.at, e.token))
+        } else {
+            None
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = EventCalendar::new();
+        c.schedule(30, 3);
+        c.schedule(10, 1);
+        c.schedule(20, 2);
+        assert_eq!(c.next_at(), Some(10));
+        assert_eq!(c.pop_due(100), Some((10, 1)));
+        assert_eq!(c.pop_due(100), Some((20, 2)));
+        assert_eq!(c.pop_due(100), Some((30, 3)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut c = EventCalendar::new();
+        for t in 0..10 {
+            c.schedule(5, t);
+        }
+        for t in 0..10 {
+            assert_eq!(c.pop_due(5), Some((5, t)));
+        }
+    }
+
+    #[test]
+    fn not_due_events_stay() {
+        let mut c = EventCalendar::new();
+        c.schedule(50, 7);
+        assert_eq!(c.pop_due(49), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pop_due(50), Some((50, 7)));
+    }
+}

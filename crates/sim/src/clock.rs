@@ -1,0 +1,142 @@
+//! Clock-domain dividers.
+//!
+//! The simulator advances a single global timeline in CPU cycles (4 GHz).
+//! Slower components — the 1 GHz GPU, the DDR3 command bus — tick on an
+//! integer divider of that timeline. A [`ClockDomain`] answers "does my
+//! domain tick on this global cycle?" and converts durations between
+//! domains.
+
+use crate::Cycle;
+
+/// A derived clock that ticks once every `divider` global (CPU) cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDomain {
+    divider: u64,
+    /// Offset in global cycles of this domain's first tick; staggering
+    /// phases avoids artificial lock-step between unrelated components.
+    phase: u64,
+}
+
+impl ClockDomain {
+    /// A domain ticking every `divider` CPU cycles, first tick at cycle 0.
+    ///
+    /// # Panics
+    /// Panics if `divider == 0`.
+    pub fn new(divider: u64) -> Self {
+        Self::with_phase(divider, 0)
+    }
+
+    /// A domain ticking every `divider` CPU cycles with the given phase
+    /// offset (`phase < divider`).
+    pub fn with_phase(divider: u64, phase: u64) -> Self {
+        assert!(divider > 0, "clock divider must be nonzero");
+        assert!(phase < divider, "phase must be smaller than the divider");
+        Self { divider, phase }
+    }
+
+    /// The CPU-domain clock (divider 1).
+    pub fn cpu() -> Self {
+        Self::new(1)
+    }
+
+    /// Cycles of the global clock per tick of this domain.
+    #[inline]
+    pub fn divider(&self) -> u64 {
+        self.divider
+    }
+
+    /// Does this domain tick on global cycle `now`?
+    #[inline]
+    pub fn ticks_at(&self, now: Cycle) -> bool {
+        now % self.divider == self.phase % self.divider
+    }
+
+    /// Number of ticks of this domain that have occurred in `[0, now]`.
+    #[inline]
+    pub fn ticks_elapsed(&self, now: Cycle) -> u64 {
+        if now < self.phase {
+            0
+        } else {
+            (now - self.phase) / self.divider + 1
+        }
+    }
+
+    /// Convert a duration expressed in this domain's ticks to global cycles.
+    #[inline]
+    pub fn to_global(&self, local_ticks: u64) -> Cycle {
+        local_ticks * self.divider
+    }
+
+    /// Convert a global-cycle duration to this domain's ticks, rounding up
+    /// (a partial local cycle still occupies the whole cycle).
+    #[inline]
+    pub fn to_local_ceil(&self, global: Cycle) -> u64 {
+        global.div_ceil(self.divider)
+    }
+
+    /// The first global cycle `>= now` at which this domain ticks.
+    #[inline]
+    pub fn next_tick_at(&self, now: Cycle) -> Cycle {
+        let rem = (now + self.divider - self.phase % self.divider) % self.divider;
+        if rem == 0 {
+            now
+        } else {
+            now + (self.divider - rem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_domain_ticks_every_cycle() {
+        let c = ClockDomain::cpu();
+        for now in 0..32 {
+            assert!(c.ticks_at(now));
+        }
+        assert_eq!(c.ticks_elapsed(31), 32);
+    }
+
+    #[test]
+    fn gpu_domain_ticks_every_fourth_cycle() {
+        let g = ClockDomain::new(4);
+        let ticks: Vec<Cycle> = (0..16).filter(|&t| g.ticks_at(t)).collect();
+        assert_eq!(ticks, vec![0, 4, 8, 12]);
+        assert_eq!(g.ticks_elapsed(15), 4);
+    }
+
+    #[test]
+    fn phase_staggers_first_tick() {
+        let g = ClockDomain::with_phase(4, 2);
+        let ticks: Vec<Cycle> = (0..16).filter(|&t| g.ticks_at(t)).collect();
+        assert_eq!(ticks, vec![2, 6, 10, 14]);
+        assert_eq!(g.ticks_elapsed(1), 0);
+        assert_eq!(g.ticks_elapsed(2), 1);
+    }
+
+    #[test]
+    fn duration_conversions_round_trip() {
+        let g = ClockDomain::new(4);
+        assert_eq!(g.to_global(10), 40);
+        assert_eq!(g.to_local_ceil(40), 10);
+        assert_eq!(g.to_local_ceil(41), 11);
+        assert_eq!(g.to_local_ceil(0), 0);
+    }
+
+    #[test]
+    fn next_tick_at_lands_on_tick() {
+        let g = ClockDomain::with_phase(4, 1);
+        assert_eq!(g.next_tick_at(0), 1);
+        assert_eq!(g.next_tick_at(1), 1);
+        assert_eq!(g.next_tick_at(2), 5);
+        assert!(g.ticks_at(g.next_tick_at(123)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_divider_panics() {
+        let _ = ClockDomain::new(0);
+    }
+}

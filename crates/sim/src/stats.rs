@@ -1,0 +1,286 @@
+//! Statistics primitives.
+//!
+//! Every number in the paper's figures is a ratio of counters collected
+//! here: LLC miss counts, DRAM read/write beats, retired instructions,
+//! frame cycles. The types are deliberately plain — `u64` counters and a
+//! Welford running-moment accumulator — so they cost one add in the hot
+//! loops.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// A counter pre-set to `v` (used for stat corrections).
+    pub fn new_with(v: u64) -> Self {
+        Self(v)
+    }
+
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Reset to zero (used between warm-up and measurement windows).
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Welford online mean/variance over f64 samples.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunningStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Power-of-two bucketed histogram; bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` (bucket 0 also holds 0). Used for latency
+/// distributions, where the dynamic range spans L1 hits to DRAM-queue
+/// pileups.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 64],
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            total: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.total += 1;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of the samples are
+    /// `< 2 * v`; an upper-bound quantile estimate good to a factor of 2.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Geometric mean of a slice of positive ratios — the paper's GMEAN bars.
+///
+/// Non-positive entries are skipped (they would poison the log); an empty
+/// input yields 1.0 so that "no data" reads as "no change".
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for &v in values {
+        if v > 0.0 {
+            sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum / f64::from(n)).exp()
+    }
+}
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn running_stat_matches_closed_form() {
+        let mut s = RunningStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_running_stat_is_zeroed() {
+        let s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 2); // 2, 3
+        assert_eq!(h.bucket(2), 2); // 4, 7
+        assert_eq!(h.bucket(3), 1); // 8
+        assert_eq!(h.bucket(10), 1); // 1024
+    }
+
+    #[test]
+    fn histogram_quantile_bounds() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile_upper_bound(0.5), 8);
+        assert!(h.quantile_upper_bound(1.0) >= (1 << 20));
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+        // Zeros are skipped rather than poisoning the mean.
+        assert!((geometric_mean(&[0.0, 2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amean_basics() {
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+        assert!((arithmetic_mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

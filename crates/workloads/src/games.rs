@@ -1,0 +1,189 @@
+//! The fourteen Table II game workloads as calibrated synthetic profiles.
+//!
+//! Each title gets a rendering structure (RTPs per frame, per-tile
+//! coverage, texture intensity) chosen to match its character — the
+//! 3DMark06 scenes and Crysis are heavyweight multi-pass renders at
+//! single-digit FPS, the idTech/Unreal titles are lean forward renderers
+//! above 75 FPS — and a `shade_rate` computed so the shader-bound frame
+//! time sits `headroom` above the published standalone FPS, leaving the
+//! memory system to claim the difference.
+//!
+//! Resolutions follow Table II: R1 = 1280×1024, R2 = 1920×1200,
+//! R3 = 1600×1200.
+
+use gat_gpu::workload::{Api, GameProfile};
+
+/// Construct a profile with `shade_rate` calibrated to `table_fps ×
+/// headroom` as the shader-bound ceiling.
+#[allow(clippy::too_many_arguments)]
+fn calibrated(
+    name: &'static str,
+    api: Api,
+    (width, height): (u32, u32),
+    frames: (u32, u32),
+    rtps_per_frame: u32,
+    frags_per_tile: f64,
+    texels_per_frag: f64,
+    tex_working_set: u64,
+    table_fps: f64,
+    headroom: f64,
+    scene_cut_period: u32,
+) -> GameProfile {
+    let mut g = GameProfile {
+        name,
+        api,
+        width,
+        height,
+        frames,
+        rtps_per_frame,
+        frags_per_tile,
+        texels_per_frag,
+        shade_rate: 1.0, // placeholder, fixed below
+        tex_working_set,
+        tex_window: 1 << 20,
+        rtp_jitter: 0.08,
+        frame_drift: 0.03,
+        scene_cut_period,
+        table2_fps: table_fps,
+    };
+    let frags_per_frame =
+        f64::from(g.tiles(1)) * g.frags_per_tile * f64::from(g.rtps_per_frame);
+    g.shade_rate = frags_per_frame * table_fps * headroom / 1e9;
+    g.validate();
+    g
+}
+
+const R1: (u32, u32) = (1280, 1024);
+const R2: (u32, u32) = (1920, 1200);
+const R3: (u32, u32) = (1600, 1200);
+
+/// The six GPU applications whose standalone FPS exceeds the 40 FPS QoS
+/// target — the set amenable to access throttling (Fig. 9–12).
+pub const AMENABLE_NAMES: [&str; 6] = ["DOOM3", "HL2", "NFS", "QUAKE4", "COR", "UT2004"];
+
+/// All fourteen Table II titles, in table order.
+pub fn all_games() -> Vec<GameProfile> {
+    use Api::{DirectX as DX, OpenGl as GL};
+    vec![
+        // Heavy multi-pass benchmark scenes: single-digit FPS.
+        calibrated("3DMark06GT1", DX, R1, (670, 671), 8, 820.0, 3.20, 256 << 20, 6.0, 1.35, 0),
+        calibrated("3DMark06GT2", DX, R1, (500, 501), 7, 760.0, 2.88, 256 << 20, 13.8, 1.35, 0),
+        calibrated("3DMark06HDR1", DX, R1, (600, 601), 6, 800.0, 2.72, 192 << 20, 16.0, 1.30, 0),
+        calibrated("3DMark06HDR2", DX, R1, (550, 551), 6, 780.0, 2.72, 192 << 20, 20.8, 1.30, 0),
+        calibrated("COD2", DX, R2, (208, 209), 5, 700.0, 2.40, 192 << 20, 18.1, 1.30, 0),
+        calibrated("CRYSIS", DX, R2, (400, 401), 8, 760.0, 3.52, 320 << 20, 6.6, 1.35, 0),
+        // Lean forward renderers: high FPS, throttling candidates.
+        calibrated("DOOM3", GL, R3, (300, 314), 4, 640.0, 1.60, 128 << 20, 81.0, 1.45, 7),
+        calibrated("HL2", DX, R3, (25, 33), 3, 680.0, 1.60, 128 << 20, 75.9, 1.40, 0),
+        calibrated("L4D", DX, R1, (601, 605), 4, 700.0, 1.92, 160 << 20, 32.5, 1.30, 0),
+        calibrated("NFS", DX, R1, (10, 17), 3, 640.0, 1.76, 128 << 20, 62.3, 1.40, 0),
+        calibrated("QUAKE4", GL, R3, (300, 309), 4, 620.0, 1.60, 128 << 20, 80.8, 1.60, 0),
+        calibrated("COR", GL, R1, (253, 267), 3, 560.0, 1.28, 96 << 20, 111.0, 1.45, 8),
+        calibrated("UT2004", GL, R3, (200, 217), 2, 560.0, 1.12, 96 << 20, 130.7, 1.45, 9),
+        calibrated("UT3", DX, R1, (955, 956), 5, 720.0, 2.40, 192 << 20, 26.8, 1.30, 0),
+    ]
+}
+
+/// Look up one title by name.
+///
+/// # Panics
+/// Panics on an unknown title.
+pub fn game(name: &str) -> GameProfile {
+    all_games()
+        .into_iter()
+        .find(|g| g.name == name)
+        .unwrap_or_else(|| panic!("unknown game {name}"))
+}
+
+/// The six throttling-amenable profiles (standalone FPS > 40).
+pub fn amenable_games() -> Vec<GameProfile> {
+    AMENABLE_NAMES.iter().map(|n| game(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_titles_all_valid() {
+        let all = all_games();
+        assert_eq!(all.len(), 14);
+        for g in &all {
+            g.validate();
+        }
+    }
+
+    #[test]
+    fn table_two_fps_values() {
+        assert_eq!(game("DOOM3").table2_fps, 81.0);
+        assert_eq!(game("UT2004").table2_fps, 130.7);
+        assert_eq!(game("3DMark06GT1").table2_fps, 6.0);
+        assert_eq!(game("L4D").table2_fps, 32.5);
+    }
+
+    #[test]
+    fn resolutions_match_table_two() {
+        assert_eq!((game("COD2").width, game("COD2").height), (1920, 1200));
+        assert_eq!((game("DOOM3").width, game("DOOM3").height), (1600, 1200));
+        assert_eq!((game("NFS").width, game("NFS").height), (1280, 1024));
+    }
+
+    #[test]
+    fn frame_sequences_match_table_two() {
+        assert_eq!(game("DOOM3").frames, (300, 314));
+        assert_eq!(game("DOOM3").frame_count(), 15);
+        assert_eq!(game("UT2004").frame_count(), 18);
+        assert_eq!(game("3DMark06GT1").frame_count(), 2);
+        assert_eq!(game("HL2").frame_count(), 9);
+    }
+
+    #[test]
+    fn amenable_set_is_exactly_the_over_40fps_titles() {
+        for g in all_games() {
+            let amenable = AMENABLE_NAMES.contains(&g.name);
+            assert_eq!(
+                g.table2_fps > 40.0,
+                amenable,
+                "{} fps={} amenable={}",
+                g.name,
+                g.table2_fps,
+                amenable
+            );
+        }
+        assert_eq!(amenable_games().len(), 6);
+    }
+
+    #[test]
+    fn shader_ceiling_sits_above_table_fps() {
+        for g in all_games() {
+            let ceiling_fps = 1e9 / g.ideal_cycles_per_frame();
+            assert!(
+                ceiling_fps > g.table2_fps * 1.1,
+                "{}: ceiling {ceiling_fps:.1} vs table {}",
+                g.name,
+                g.table2_fps
+            );
+            assert!(
+                ceiling_fps < g.table2_fps * 2.0,
+                "{}: ceiling {ceiling_fps:.1} too loose",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_titles_do_more_work_than_light_ones() {
+        let heavy = game("CRYSIS");
+        let light = game("UT2004");
+        let work = |g: &GameProfile| {
+            f64::from(g.tiles(1)) * g.frags_per_tile * f64::from(g.rtps_per_frame)
+        };
+        assert!(work(&heavy) > 3.0 * work(&light));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown game")]
+    fn unknown_game_panics() {
+        let _ = game("Minesweeper");
+    }
+}

@@ -1,0 +1,152 @@
+//! Table III: the heterogeneous workload mixes.
+//!
+//! M1–M14 pair each GPU title with four SPEC CPU 2006 applications
+//! (evaluated on the 4-CPU + 1-GPU configuration); W1–W14 pair each title
+//! with a single CPU application (the 1-CPU + 1-GPU motivation study of
+//! §II). The pairings are copied verbatim from the paper's Table III.
+
+use crate::games::game;
+use crate::spec::spec;
+use gat_cpu::SpecProfile;
+use gat_gpu::GameProfile;
+
+/// One heterogeneous mix: a GPU title plus its co-running CPU set.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// "M7" or "W7".
+    pub name: String,
+    pub game: GameProfile,
+    pub cpu: Vec<SpecProfile>,
+}
+
+impl Mix {
+    /// Human-readable CPU composition ("410,433,462,471"), matching the
+    /// x-axis labels in Fig. 9–14.
+    pub fn cpu_label(&self) -> String {
+        self.cpu
+            .iter()
+            .map(|p| p.spec_id.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Table III rows: (game, M-mix SPEC ids, W-mix SPEC id), in order M1–M14.
+const TABLE3: [(&str, [u16; 4], u16); 14] = [
+    ("3DMark06GT1", [403, 450, 481, 482], 481),
+    ("3DMark06GT2", [403, 429, 434, 462], 471),
+    ("3DMark06HDR1", [401, 437, 450, 470], 470),
+    ("3DMark06HDR2", [401, 462, 470, 471], 482),
+    ("COD2", [401, 437, 450, 470], 470),
+    ("CRYSIS", [429, 433, 434, 482], 429),
+    ("DOOM3", [410, 433, 462, 471], 462),
+    ("HL2", [410, 429, 433, 434], 403),
+    ("L4D", [410, 433, 462, 471], 462),
+    ("NFS", [410, 429, 433, 471], 437),
+    ("QUAKE4", [401, 437, 450, 481], 410),
+    ("COR", [403, 437, 450, 481], 434),
+    ("UT2004", [401, 437, 462, 470], 450),
+    ("UT3", [403, 437, 450, 481], 434),
+];
+
+/// The four-CPU mixes M1–M14.
+pub fn mixes_m() -> Vec<Mix> {
+    TABLE3
+        .iter()
+        .enumerate()
+        .map(|(i, (g, ids, _))| Mix {
+            name: format!("M{}", i + 1),
+            game: game(g),
+            cpu: ids.iter().map(|&id| spec(id)).collect(),
+        })
+        .collect()
+}
+
+/// The single-CPU mixes W1–W14.
+pub fn mixes_w() -> Vec<Mix> {
+    TABLE3
+        .iter()
+        .enumerate()
+        .map(|(i, (g, _, id))| Mix {
+            name: format!("W{}", i + 1),
+            game: game(g),
+            cpu: vec![spec(*id)],
+        })
+        .collect()
+}
+
+/// Mix `Mk` (1-based, matching the paper's numbering).
+pub fn mix_m(k: usize) -> Mix {
+    assert!((1..=14).contains(&k), "M mixes are M1..M14");
+    mixes_m().swap_remove(k - 1)
+}
+
+/// Mix `Wk` (1-based).
+pub fn mix_w(k: usize) -> Mix {
+    assert!((1..=14).contains(&k), "W mixes are W1..W14");
+    mixes_w().swap_remove(k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::AMENABLE_NAMES;
+
+    #[test]
+    fn fourteen_of_each() {
+        assert_eq!(mixes_m().len(), 14);
+        assert_eq!(mixes_w().len(), 14);
+    }
+
+    #[test]
+    fn m_mixes_have_four_cpus_w_mixes_one() {
+        for m in mixes_m() {
+            assert_eq!(m.cpu.len(), 4, "{}", m.name);
+        }
+        for w in mixes_w() {
+            assert_eq!(w.cpu.len(), 1, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn table_three_spot_checks() {
+        let m7 = mix_m(7);
+        assert_eq!(m7.game.name, "DOOM3");
+        assert_eq!(m7.cpu_label(), "410,433,462,471");
+        let m12 = mix_m(12);
+        assert_eq!(m12.game.name, "COR");
+        assert_eq!(m12.cpu_label(), "403,437,450,481");
+        let w8 = mix_w(8);
+        assert_eq!(w8.game.name, "HL2");
+        assert_eq!(w8.cpu_label(), "403");
+        let w14 = mix_w(14);
+        assert_eq!(w14.cpu_label(), "434");
+    }
+
+    #[test]
+    fn amenable_mixes_are_m7_m8_m10_m11_m12_m13() {
+        let amenable: Vec<String> = mixes_m()
+            .into_iter()
+            .filter(|m| AMENABLE_NAMES.contains(&m.game.name))
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(amenable, ["M7", "M8", "M10", "M11", "M12", "M13"]);
+    }
+
+    #[test]
+    fn non_amenable_mixes_match_figure_14() {
+        // Fig. 14 evaluates M1-M6, M9, M14.
+        let non: Vec<String> = mixes_m()
+            .into_iter()
+            .filter(|m| !AMENABLE_NAMES.contains(&m.game.name))
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(non, ["M1", "M2", "M3", "M4", "M5", "M6", "M9", "M14"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "M mixes")]
+    fn mix_index_bounds() {
+        let _ = mix_m(15);
+    }
+}

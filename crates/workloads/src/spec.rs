@@ -1,0 +1,274 @@
+//! Synthetic SPEC CPU 2006 profiles (DESIGN.md §1 substitution).
+//!
+//! Parameter choices follow the published memory characterizations of the
+//! suite: mcf/omnetpp are pointer-chasing latency-bound codes with huge
+//! footprints; libquantum/lbm/bwaves are high-bandwidth streamers with
+//! strong DRAM row locality; bzip2/gcc/sphinx3 have moderate footprints
+//! that live or die by LLC capacity — the class that profits most when
+//! GPU access throttling frees cache space.
+
+use gat_cpu::SpecProfile;
+
+/// All SPEC applications used by the Table III mixes.
+pub fn all_spec() -> Vec<SpecProfile> {
+    vec![
+        SpecProfile {
+            spec_id: 401,
+            name: "bzip2",
+            working_set: 8 << 20,
+            mem_fraction: 0.30,
+            write_fraction: 0.30,
+            stream_fraction: 0.40,
+            stride_fraction: 0.20,
+            chase_fraction: 0.05,
+            stride_bytes: 256,
+            hot_fraction: 0.85,
+            chase_chains: 2,
+            branch_mpki: 4.0,
+            base_ipc: 1.6,
+        },
+        SpecProfile {
+            spec_id: 403,
+            name: "gcc",
+            working_set: 5 << 20,
+            mem_fraction: 0.28,
+            write_fraction: 0.25,
+            stream_fraction: 0.30,
+            stride_fraction: 0.20,
+            chase_fraction: 0.08,
+            stride_bytes: 128,
+            hot_fraction: 0.85,
+            chase_chains: 2,
+            branch_mpki: 6.0,
+            base_ipc: 1.4,
+        },
+        SpecProfile {
+            spec_id: 410,
+            name: "bwaves",
+            working_set: 48 << 20,
+            mem_fraction: 0.40,
+            write_fraction: 0.25,
+            stream_fraction: 0.85,
+            stride_fraction: 0.10,
+            chase_fraction: 0.00,
+            stride_bytes: 512,
+            hot_fraction: 0.80,
+            chase_chains: 1,
+            branch_mpki: 0.5,
+            base_ipc: 1.8,
+        },
+        SpecProfile {
+            spec_id: 429,
+            name: "mcf",
+            working_set: 96 << 20,
+            mem_fraction: 0.32,
+            write_fraction: 0.15,
+            stream_fraction: 0.05,
+            stride_fraction: 0.05,
+            chase_fraction: 0.30,
+            stride_bytes: 256,
+            hot_fraction: 0.55,
+            chase_chains: 5,
+            branch_mpki: 8.0,
+            base_ipc: 1.1,
+        },
+        SpecProfile {
+            spec_id: 433,
+            name: "milc",
+            working_set: 32 << 20,
+            mem_fraction: 0.35,
+            write_fraction: 0.30,
+            stream_fraction: 0.70,
+            stride_fraction: 0.15,
+            chase_fraction: 0.00,
+            stride_bytes: 1024,
+            hot_fraction: 0.75,
+            chase_chains: 1,
+            branch_mpki: 0.5,
+            base_ipc: 1.5,
+        },
+        SpecProfile {
+            spec_id: 434,
+            name: "zeusmp",
+            working_set: 20 << 20,
+            mem_fraction: 0.32,
+            write_fraction: 0.30,
+            stream_fraction: 0.60,
+            stride_fraction: 0.25,
+            chase_fraction: 0.00,
+            stride_bytes: 512,
+            hot_fraction: 0.85,
+            chase_chains: 1,
+            branch_mpki: 1.0,
+            base_ipc: 1.7,
+        },
+        SpecProfile {
+            spec_id: 437,
+            name: "leslie3d",
+            working_set: 32 << 20,
+            mem_fraction: 0.40,
+            write_fraction: 0.30,
+            stream_fraction: 0.75,
+            stride_fraction: 0.15,
+            chase_fraction: 0.00,
+            stride_bytes: 512,
+            hot_fraction: 0.80,
+            chase_chains: 1,
+            branch_mpki: 1.0,
+            base_ipc: 1.6,
+        },
+        SpecProfile {
+            spec_id: 450,
+            name: "soplex",
+            working_set: 40 << 20,
+            mem_fraction: 0.35,
+            write_fraction: 0.20,
+            stream_fraction: 0.30,
+            stride_fraction: 0.30,
+            chase_fraction: 0.10,
+            stride_bytes: 256,
+            hot_fraction: 0.70,
+            chase_chains: 3,
+            branch_mpki: 5.0,
+            base_ipc: 1.2,
+        },
+        SpecProfile {
+            spec_id: 462,
+            name: "libquantum",
+            working_set: 32 << 20,
+            mem_fraction: 0.33,
+            write_fraction: 0.25,
+            stream_fraction: 0.95,
+            stride_fraction: 0.00,
+            chase_fraction: 0.00,
+            stride_bytes: 64,
+            hot_fraction: 0.80,
+            chase_chains: 1,
+            branch_mpki: 0.3,
+            base_ipc: 2.0,
+        },
+        SpecProfile {
+            spec_id: 470,
+            name: "lbm",
+            working_set: 64 << 20,
+            mem_fraction: 0.45,
+            write_fraction: 0.45,
+            stream_fraction: 0.90,
+            stride_fraction: 0.00,
+            chase_fraction: 0.00,
+            stride_bytes: 64,
+            hot_fraction: 0.80,
+            chase_chains: 1,
+            branch_mpki: 0.3,
+            base_ipc: 1.6,
+        },
+        SpecProfile {
+            spec_id: 471,
+            name: "omnetpp",
+            working_set: 48 << 20,
+            mem_fraction: 0.32,
+            write_fraction: 0.25,
+            stream_fraction: 0.10,
+            stride_fraction: 0.10,
+            chase_fraction: 0.22,
+            stride_bytes: 128,
+            hot_fraction: 0.65,
+            chase_chains: 4,
+            branch_mpki: 7.0,
+            base_ipc: 1.2,
+        },
+        SpecProfile {
+            spec_id: 481,
+            name: "wrf",
+            working_set: 24 << 20,
+            mem_fraction: 0.36,
+            write_fraction: 0.30,
+            stream_fraction: 0.65,
+            stride_fraction: 0.20,
+            chase_fraction: 0.00,
+            stride_bytes: 512,
+            hot_fraction: 0.85,
+            chase_chains: 1,
+            branch_mpki: 1.5,
+            base_ipc: 1.7,
+        },
+        SpecProfile {
+            spec_id: 482,
+            name: "sphinx3",
+            working_set: 12 << 20,
+            mem_fraction: 0.32,
+            write_fraction: 0.15,
+            stream_fraction: 0.50,
+            stride_fraction: 0.20,
+            chase_fraction: 0.05,
+            stride_bytes: 256,
+            hot_fraction: 0.85,
+            chase_chains: 2,
+            branch_mpki: 4.0,
+            base_ipc: 1.5,
+        },
+    ]
+}
+
+/// Look up a profile by SPEC id.
+///
+/// # Panics
+/// Panics on an id not used by Table III.
+pub fn spec(id: u16) -> SpecProfile {
+    all_spec()
+        .into_iter()
+        .find(|p| p.spec_id == id)
+        .unwrap_or_else(|| panic!("unknown SPEC id {id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        let all = all_spec();
+        assert_eq!(all.len(), 13);
+        for p in &all {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = all_spec();
+        let mut ids: Vec<u16> = all.iter().map(|p| p.spec_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(spec(429).name, "mcf");
+        assert_eq!(spec(470).name, "lbm");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPEC id")]
+    fn unknown_id_panics() {
+        let _ = spec(999);
+    }
+
+    #[test]
+    fn class_structure_is_meaningful() {
+        // Pointer chasers vs streamers vs cache-sensitive.
+        assert!(spec(429).chase_fraction > 0.2);
+        assert!(spec(471).chase_fraction > 0.15);
+        assert!(spec(429).chase_fraction > spec(462).chase_fraction);
+        assert!(spec(462).stream_fraction > 0.9);
+        assert!(spec(470).write_fraction > 0.4, "lbm is write-heavy");
+        // Cache-sensitive codes fit (partially) in a 16 MB LLC.
+        assert!(spec(401).working_set <= 16 << 20);
+        assert!(spec(403).working_set <= 16 << 20);
+        assert!(spec(482).working_set <= 16 << 20);
+        // Thrashers exceed it.
+        assert!(spec(429).working_set > 16 << 20);
+        assert!(spec(470).working_set > 16 << 20);
+    }
+}

@@ -1,0 +1,83 @@
+//! The frame-rate prediction unit in isolation.
+//!
+//! Feeds the FRPU a synthetic rendering trace — steady frames, a gradual
+//! slowdown (memory contention), and a scene cut — and prints what the
+//! estimator believes at each point, demonstrating the learning /
+//! prediction / re-learning FSM of the paper's Fig. 4.
+//!
+//! ```text
+//! cargo run --release --example frame_rate_estimator
+//! ```
+
+use gat::prelude::*;
+use gat::qos::Phase;
+
+fn feed_frame(
+    frpu: &mut FrameRateEstimator,
+    rtps: u32,
+    updates: u64,
+    cycles_per_rtp: u64,
+) -> (Option<f64>, u64) {
+    let mut mid_pred = None;
+    for r in 0..rtps {
+        frpu.on_rtp_complete(updates, cycles_per_rtp, 100, updates / 2);
+        if r == rtps / 2 {
+            mid_pred = frpu.predicted_cycles_per_frame();
+        }
+    }
+    let actual = u64::from(rtps) * cycles_per_rtp;
+    frpu.on_frame_complete(actual);
+    (mid_pred, actual)
+}
+
+fn main() {
+    let mut frpu = FrameRateEstimator::new(FrpuConfig::default());
+    println!("frame  phase       mid-frame prediction   actual    error");
+    println!("------------------------------------------------------------");
+
+    let report = |i: usize, frpu: &FrameRateEstimator, pred: Option<f64>, actual: u64| {
+        match pred {
+            Some(p) => println!(
+                "{i:>5}  {:<10}  {p:>20.0}  {actual:>8}  {:+6.2}%",
+                format!("{:?}", frpu.phase()),
+                100.0 * (p - actual as f64) / actual as f64
+            ),
+            None => println!(
+                "{i:>5}  {:<10}  {:>20}  {actual:>8}",
+                format!("{:?}", frpu.phase()),
+                "(learning)"
+            ),
+        }
+    };
+
+    // Phase 1: steady 4-RTP frames — learning, then near-perfect predictions.
+    for i in 0..5 {
+        let (pred, actual) = feed_frame(&mut frpu, 4, 1000, 2500);
+        report(i, &frpu, pred, actual);
+    }
+
+    // Phase 2: co-runner contention slows rendering 30% — same work, so
+    // the estimator keeps its model and tracks the slowdown via λ.
+    println!("-- co-running CPU load arrives: frames 30% slower --");
+    for i in 5..9 {
+        let (pred, actual) = feed_frame(&mut frpu, 4, 1000, 3250);
+        report(i, &frpu, pred, actual);
+    }
+    assert_eq!(frpu.phase(), Phase::Predicting, "cycle change must not relearn");
+
+    // Phase 3: scene cut — the per-RTP work changes drastically; the FRPU
+    // discards its model and re-learns (point B of Fig. 4).
+    println!("-- scene cut: per-RTP work doubles --");
+    for i in 9..13 {
+        let (pred, actual) = feed_frame(&mut frpu, 4, 2000, 5000);
+        report(i, &frpu, pred, actual);
+    }
+
+    println!(
+        "\npredicted frames: {}, re-learn events: {}, mean |error|: {:.2}%",
+        frpu.predicted_frames,
+        frpu.relearn_events,
+        frpu.error_percent.mean().abs()
+    );
+    assert!(frpu.relearn_events >= 1);
+}

@@ -1,0 +1,63 @@
+//! The paper's motivating HPC scenario (§I, §V-B): CPU cores run the
+//! current time-step of a scientific simulation while the GPU renders the
+//! previous time-steps for visualization. The visualization only needs to
+//! hold an interactive frame rate — every cycle beyond that is wasted, so
+//! the QoS controller hands the slack to the solver.
+//!
+//! We cast the solver as bandwidth-hungry streaming codes (lbm, bwaves,
+//! leslie3d, milc) and the visualization as the lean Quake4 renderer
+//! (80.8 FPS standalone — far more than an interactive display needs).
+//!
+//! ```text
+//! cargo run --release --example hpc_visualization
+//! ```
+
+use gat::prelude::*;
+
+fn main() {
+    let solver = [spec(470), spec(410), spec(437), spec(433)];
+    let vis = game("QUAKE4");
+    println!("solver: lbm + bwaves + leslie3d + milc   visualization: {}", vis.name);
+
+    let limits = RunLimits {
+        cpu_instructions: 400_000,
+        gpu_frames: 4,
+        warmup_cycles: 200_000,
+        ..Default::default()
+    };
+
+    let run = |qos: QosMode, sched: SchedulerKind| {
+        let mut cfg = MachineConfig::table_one(128, 2024);
+        cfg.limits = limits;
+        cfg.qos = qos;
+        cfg.sched = sched;
+        HeteroSystem::new(cfg, &solver, Some(vis.clone())).run()
+    };
+
+    let base = run(QosMode::Off, SchedulerKind::FrFcfs);
+    let prop = run(QosMode::ThrotCpuPrio, SchedulerKind::FrFcfsCpuPrio);
+
+    let solver_tput = |r: &RunResult| r.cores.iter().map(|c| c.ipc).sum::<f64>();
+    println!("\n                      baseline    QoS-throttled");
+    println!(
+        "visualization FPS     {:8.1}    {:8.1}   (40 FPS target)",
+        base.gpu.as_ref().unwrap().fps,
+        prop.gpu.as_ref().unwrap().fps
+    );
+    println!(
+        "solver ΣIPC           {:8.3}    {:8.3}   ({:+.1}%)",
+        solver_tput(&base),
+        solver_tput(&prop),
+        100.0 * (solver_tput(&prop) / solver_tput(&base) - 1.0)
+    );
+    println!(
+        "GPU DRAM share        {:7.1}%    {:7.1}%",
+        100.0 * base.dram.gpu_bytes() as f64 / (base.dram.gpu_bytes() + base.dram.cpu_bytes()).max(1) as f64,
+        100.0 * prop.dram.gpu_bytes() as f64 / (prop.dram.gpu_bytes() + prop.dram.cpu_bytes()).max(1) as f64,
+    );
+    let g = prop.gpu.as_ref().unwrap();
+    println!(
+        "frame-rate estimator  mean error {:+.2}%  ({} predicted frames, {} re-learns)",
+        g.est_error_mean, g.predicted_frames, g.relearn_events
+    );
+}

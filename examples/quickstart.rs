@@ -1,0 +1,65 @@
+//! Quickstart: run one heterogeneous mix on the paper's machine with and
+//! without the proposal, and print what changed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gat::prelude::*;
+
+fn main() {
+    // The paper's 4-CPU + 1-GPU machine (Table I). Scale 128 keeps this
+    // example under a minute; smaller scales are more faithful but slower.
+    let scale = 128;
+    let mix = mix_m(7); // M7: DOOM3 + SPEC {410,433,462,471}
+    println!("mix M7: {} + CPUs {}", mix.game.name, mix.cpu_label());
+
+    let limits = RunLimits {
+        cpu_instructions: 400_000,
+        gpu_frames: 4,
+        warmup_cycles: 200_000,
+        ..Default::default()
+    };
+
+    // Baseline heterogeneous execution.
+    let mut base_cfg = MachineConfig::table_one(scale, 7);
+    base_cfg.limits = limits;
+    let base = HeteroSystem::new(base_cfg, &mix.cpu, Some(mix.game.clone())).run();
+
+    // The full proposal: GPU access throttling + CPU priority in DRAM.
+    let mut prop_cfg = MachineConfig::table_one(scale, 7);
+    prop_cfg.limits = limits;
+    prop_cfg.qos = QosMode::ThrotCpuPrio;
+    prop_cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+    let prop = HeteroSystem::new(prop_cfg, &mix.cpu, Some(mix.game.clone())).run();
+
+    let (gb, gp) = (base.gpu.as_ref().unwrap(), prop.gpu.as_ref().unwrap());
+    println!("\n                     baseline    proposal");
+    println!("GPU FPS              {:8.1}    {:8.1}   (target 40)", gb.fps, gp.fps);
+    for (cb, cp) in base.cores.iter().zip(&prop.cores) {
+        println!(
+            "CPU {} {:<12} IPC {:5.2}    IPC {:5.2}   ({:+.1}%)",
+            cb.core,
+            cb.name,
+            cb.ipc,
+            cp.ipc,
+            100.0 * (cp.ipc / cb.ipc - 1.0)
+        );
+    }
+    // Misses are compared per frame: the throttled run renders fewer
+    // frames in the same wall time.
+    let mpf = |r: &gat::hetero::RunResult| {
+        r.llc.gpu_misses as f64 / r.gpu.as_ref().unwrap().frames.max(1) as f64
+    };
+    println!(
+        "GPU LLC misses/frame {:8.0}    {:8.0}   ({:+.0}%: throttled blocks age out of the LLC)",
+        mpf(&base),
+        mpf(&prop),
+        100.0 * (mpf(&prop) / mpf(&base) - 1.0)
+    );
+    println!(
+        "GPU DRAM bytes/cycle {:8.3}    {:8.3}",
+        base.dram.gpu_bytes() as f64 / base.cycles as f64,
+        prop.dram.gpu_bytes() as f64 / prop.cycles as f64
+    );
+}

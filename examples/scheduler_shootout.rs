@@ -1,0 +1,49 @@
+//! Compare every memory-system proposal the paper evaluates — baseline
+//! FR-FCFS, SMS-0.9, SMS-0, DynPrio, HeLM, and the paper's
+//! ThrotCPUprio — on one heterogeneous mix (the unit of Fig. 12).
+//!
+//! ```text
+//! cargo run --release --example scheduler_shootout [mix-number 1..14]
+//! ```
+
+use gat::hetero::experiments::Proposal;
+use gat::prelude::*;
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let mix = mix_m(k);
+    println!(
+        "mix M{k}: {} ({} FPS standalone in Table II) + CPUs {}",
+        mix.game.name, mix.game.table2_fps, mix.cpu_label()
+    );
+    println!("{:<14} {:>8} {:>10} {:>12}", "proposal", "GPU FPS", "ΣIPC", "vs baseline");
+
+    let limits = RunLimits {
+        cpu_instructions: 300_000,
+        gpu_frames: 4,
+        warmup_cycles: 150_000,
+        ..Default::default()
+    };
+
+    let mut base_sum_ipc = 0.0;
+    for prop in Proposal::ALL {
+        let mut cfg = MachineConfig::table_one(128, 99);
+        cfg.limits = limits;
+        prop.apply(&mut cfg);
+        let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+        let sum_ipc: f64 = r.cores.iter().map(|c| c.ipc).sum();
+        if prop == Proposal::Baseline {
+            base_sum_ipc = sum_ipc;
+        }
+        println!(
+            "{:<14} {:>8.1} {:>10.3} {:>11.1}%",
+            prop.label(),
+            r.gpu.as_ref().unwrap().fps,
+            sum_ipc,
+            100.0 * (sum_ipc / base_sum_ipc - 1.0)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Replay a real memory trace on a core instead of the synthetic stream.
+//!
+//! The SPEC substitution in this repository is synthetic (DESIGN.md §1);
+//! users who have actual traces (Pin, DynamoRIO, gem5, Multi2Sim) can
+//! feed them in directly. This example builds a small blocked-matrix-walk
+//! trace by hand — the point is the plumbing: the trace rides through the
+//! full machine (L1/L2, stream prefetcher, ring, LLC, DRAM) next to a
+//! rendering GPU, and the QoS loop behaves identically.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use gat::cpu::stream::Op;
+use gat::cpu::TraceStream;
+use gat::prelude::*;
+use std::sync::Arc;
+
+/// A blocked 2D stencil sweep: for each 4 KB row, walk it twice (read +
+/// read-modify-write), with a serialized index lookup per block.
+fn stencil_trace(rows: u64, row_bytes: u64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for r in 0..rows {
+        let row = r * row_bytes;
+        for b in (0..row_bytes).step_by(64) {
+            ops.push(Op::Load {
+                addr: row + b,
+                serialized: false,
+            });
+            ops.push(Op::Alu);
+            ops.push(Op::Alu);
+        }
+        // Index structure lookup: a dependent pointer chase.
+        ops.push(Op::Load {
+            addr: (r * 8) % row_bytes,
+            serialized: true,
+        });
+        for b in (0..row_bytes).step_by(64) {
+            ops.push(Op::Store { addr: row + b });
+            ops.push(Op::Alu);
+        }
+    }
+    ops
+}
+
+fn main() {
+    // The profile still supplies the core's ILP parameters; the working
+    // set must cover the trace's address range.
+    let rows = 2048u64;
+    let row_bytes = 4096u64;
+    let mut profile = spec(470); // borrow lbm's core parameters
+    profile.working_set = rows * row_bytes;
+
+    let ops = Arc::new(stencil_trace(rows, row_bytes));
+    println!(
+        "trace: {} ops over a {} MB footprint",
+        ops.len(),
+        profile.working_set >> 20
+    );
+
+    // Parse-from-text round trip, demonstrating the on-disk format.
+    let sample = "A\nL 1f80\nL 2000 S\nS 1f88\n";
+    let parsed = TraceStream::parse(profile, sample, 0).expect("format parses");
+    println!("text format round-trip: {} ops", parsed.len());
+
+    let mut cfg = MachineConfig::table_one(128, 77);
+    cfg.limits = RunLimits {
+        cpu_instructions: 300_000,
+        gpu_frames: 3,
+        warmup_cycles: 150_000,
+        max_cycles: 4_000_000_000,
+    };
+    cfg.qos = QosMode::ThrotCpuPrio;
+    cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+
+    // Core 0 replays the trace; cores 1-3 run synthetic SPEC profiles.
+    let sources = vec![
+        (profile, Some(ops)),
+        (spec(433), None),
+        (spec(462), None),
+        (spec(410), None),
+    ];
+    let result =
+        HeteroSystem::new_with_sources(cfg, &sources, Some(game("DOOM3"))).run();
+    print!("{}", result.render_report());
+}

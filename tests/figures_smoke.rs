@@ -1,0 +1,124 @@
+//! Smoke tests of the figure-regeneration drivers: each driver must run
+//! end-to-end at tiny scale and produce structurally correct tables.
+//!
+//! The heavyweight multi-configuration drivers (Fig. 9–14) are `#[ignore]`
+//! by default — `cargo test -- --ignored` runs them (minutes); the full
+//! regeneration lives in `cargo run -p gat-bench --bin figures`.
+
+use gat::hetero::experiments::{self, ExpConfig};
+
+fn tiny() -> ExpConfig {
+    let mut cfg = ExpConfig::smoke();
+    cfg.limits.cpu_instructions = 60_000;
+    cfg.limits.gpu_frames = 2;
+    cfg.limits.warmup_cycles = 30_000;
+    cfg
+}
+
+#[test]
+fn motivation_driver_covers_w1_to_w14() {
+    let m = experiments::motivation(&tiny());
+    assert_eq!(m.rows.len(), 14);
+    for r in &m.rows {
+        assert!(r.fps_alone > 0.0, "{}: no standalone FPS", r.workload);
+        assert!(r.fps_hetero > 0.0, "{}: no hetero FPS", r.workload);
+        assert!(
+            r.cpu_ratio > 0.05 && r.cpu_ratio < 1.3,
+            "{}: CPU ratio {} out of range",
+            r.workload,
+            r.cpu_ratio
+        );
+        assert!(
+            r.gpu_ratio > 0.05 && r.gpu_ratio < 1.3,
+            "{}: GPU ratio {} out of range",
+            r.workload,
+            r.gpu_ratio
+        );
+    }
+    let t1 = m.fig1_table().render();
+    assert!(t1.contains("GMEAN"));
+    assert!(t1.contains("W14"));
+    let t2 = m.fig2_table().render();
+    assert!(t2.contains("DOOM3"));
+}
+
+#[test]
+fn fig3_driver_produces_speedups() {
+    let f = experiments::fig3(&tiny());
+    assert_eq!(f.rows.len(), 14);
+    for r in &f.rows {
+        assert!(
+            r.cpu_speedup > 0.3 && r.cpu_speedup < 2.0,
+            "{}: bypass speedup {} implausible",
+            r.workload,
+            r.cpu_speedup
+        );
+    }
+    assert!(f.table().render().contains("bypass"));
+}
+
+#[test]
+fn fig8_driver_reports_errors_for_all_games() {
+    let mut cfg = tiny();
+    cfg.limits.gpu_frames = 4; // the estimator needs frames to predict
+    let f = experiments::fig8(&cfg);
+    assert_eq!(f.rows.len(), 14);
+    for r in &f.rows {
+        assert!(
+            r.error_mean.abs() < 50.0,
+            "{}: estimation error {}%",
+            r.game,
+            r.error_mean
+        );
+    }
+    assert!(f.average_abs_error() < 25.0, "avg error {}", f.average_abs_error());
+    assert!(f.table().render().contains("UT2004"));
+}
+
+#[test]
+#[ignore = "runs 18 smoke simulations plus standalone calibration"]
+fn fig9_10_11_driver_full_shape() {
+    let mut cfg = tiny();
+    cfg.limits.gpu_frames = 3;
+    let e = experiments::throttle_eval(&cfg);
+    assert_eq!(e.rows.len(), 6, "six amenable mixes");
+    for r in &e.rows {
+        assert!(r.fps[0] > 0.0);
+        // Throttled FPS never above baseline.
+        assert!(r.fps[1] <= r.fps[0] * 1.1, "{}: {:?}", r.game, r.fps);
+        for w in r.ws_norm {
+            assert!(w > 0.5 && w < 2.0, "{}: ws {w}", r.game);
+        }
+    }
+    for t in [e.fig9_fps_table(), e.fig9_ws_table(), e.fig10_table(), e.fig11_table()] {
+        assert!(!t.render().is_empty());
+    }
+}
+
+#[test]
+#[ignore = "runs 36 smoke simulations plus standalone calibration"]
+fn fig12_comparison_driver() {
+    let mut cfg = tiny();
+    cfg.limits.gpu_frames = 3;
+    let c = experiments::comparison(&cfg, true);
+    assert_eq!(c.rows.len(), 6);
+    for r in &c.rows {
+        for f in r.fps {
+            assert!(f > 0.0, "{}: zero FPS", r.mix);
+        }
+        assert!((r.ws_norm[0] - 1.0).abs() < 1e-9, "baseline normalizes to 1");
+    }
+    assert!(c.fps_table().render().contains("ThrotCPUprio"));
+}
+
+#[test]
+#[ignore = "runs 48 smoke simulations plus standalone calibration"]
+fn fig13_14_non_amenable_driver() {
+    let mut cfg = tiny();
+    cfg.limits.gpu_frames = 2;
+    let c = experiments::comparison(&cfg, false);
+    assert_eq!(c.rows.len(), 8, "M1-M6, M9, M14");
+    let t = c.fig14_table().render();
+    assert!(t.contains("GMEAN"));
+    assert!(t.contains("M14"));
+}

@@ -1,0 +1,110 @@
+//! Property tests on the DRAM channel: conservation (every request
+//! completes exactly once), timing sanity, and scheduler-independence of
+//! conservation.
+
+use gat::cache::Source;
+use gat::dram::{DramAddressMap, DramChannel, DramRequest, DramTiming, SchedCtx, SchedulerKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const MAP: DramAddressMap = DramAddressMap::table_one();
+
+fn drive(
+    kind: SchedulerKind,
+    reqs: &[(u64, bool, bool)], // (addr seed, write, is_gpu)
+    ctx: SchedCtx,
+) -> Vec<(u64, u64)> {
+    // Returns (id, done_at) in completion order.
+    let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 32, kind.build(5));
+    let mut out = Vec::new();
+    let mut done = Vec::new();
+    let mut now = 0u64;
+    for (i, &(seed, write, gpu)) in reqs.iter().enumerate() {
+        let addr = (seed % (1 << 20)) * 64;
+        // Keep requests on this channel.
+        let addr = if MAP.decompose(addr).channel == 0 { addr } else { addr + 64 };
+        while !ch.can_accept() {
+            ch.tick(now, ctx);
+            ch.drain_completions(now, &mut out);
+            now += 1;
+            assert!(now < 1_000_000, "wedged while enqueuing");
+        }
+        ch.enqueue(
+            DramRequest {
+                id: i as u64,
+                addr,
+                write,
+                source: if gpu { Source::Gpu } else { Source::Cpu(0) },
+            },
+            MAP.decompose(addr),
+            now,
+        );
+    }
+    while ch.busy() {
+        ch.tick(now, ctx);
+        ch.drain_completions(now, &mut out);
+        now += 1;
+        assert!(now < 10_000_000, "wedged while draining");
+    }
+    for c in out {
+        done.push((c.id, c.done_at));
+    }
+    done
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FR-FCFS: every request completes exactly once, at a time that is
+    /// at least the minimum service latency.
+    #[test]
+    fn conservation_frfcfs(reqs in prop::collection::vec((any::<u64>(), any::<bool>(), any::<bool>()), 1..80)) {
+        let done = drive(SchedulerKind::FrFcfs, &reqs, SchedCtx::default());
+        prop_assert_eq!(done.len(), reqs.len());
+        let ids: HashSet<u64> = done.iter().map(|d| d.0).collect();
+        prop_assert_eq!(ids.len(), reqs.len(), "duplicate completion");
+        let t = DramTiming::ddr3_2133();
+        for &(_, at) in &done {
+            prop_assert!(at >= t.t_burst, "implausibly early completion {at}");
+        }
+    }
+
+    /// Conservation holds under every scheduler, including priority modes.
+    #[test]
+    fn conservation_all_schedulers(
+        reqs in prop::collection::vec((any::<u64>(), any::<bool>(), any::<bool>()), 1..60),
+        boost in any::<bool>(),
+        urgent in any::<bool>(),
+    ) {
+        let ctx = SchedCtx { cpu_prio_boost: boost, gpu_urgent: urgent, gpu_ahead: false };
+        for kind in [
+            SchedulerKind::FrFcfs,
+            SchedulerKind::FrFcfsCpuPrio,
+            SchedulerKind::Sms(0.9),
+            SchedulerKind::Sms(0.0),
+            SchedulerKind::DynPrio,
+        ] {
+            let done = drive(kind, &reqs, ctx);
+            prop_assert_eq!(done.len(), reqs.len(), "{:?} lost requests", kind);
+        }
+    }
+
+    /// With the CPU-priority boost asserted, a CPU read enqueued together
+    /// with a backlog of GPU reads is serviced earlier than without.
+    #[test]
+    fn cpu_prio_boost_helps_cpu(seed in 0u64..1000) {
+        // A burst of GPU requests followed by one CPU request.
+        let mut reqs: Vec<(u64, bool, bool)> = (0..24).map(|i| (seed + i * 7919, false, true)).collect();
+        reqs.push((seed + 13, false, false));
+        let plain = drive(SchedulerKind::FrFcfsCpuPrio, &reqs, SchedCtx::default());
+        let boosted = drive(
+            SchedulerKind::FrFcfsCpuPrio,
+            &reqs,
+            SchedCtx { cpu_prio_boost: true, gpu_urgent: false, gpu_ahead: false },
+        );
+        let cpu_id = (reqs.len() - 1) as u64;
+        let at = |v: &[(u64, u64)]| v.iter().find(|d| d.0 == cpu_id).unwrap().1;
+        prop_assert!(at(&boosted) <= at(&plain),
+            "boost must not delay the CPU request: {} vs {}", at(&boosted), at(&plain));
+    }
+}

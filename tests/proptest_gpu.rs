@@ -1,0 +1,131 @@
+//! Property tests on the GPU pipeline: work conservation (every emitted
+//! fragment retires), event-stream structure, and throttle monotonicity.
+
+use gat::cache::SinkPort;
+use gat::gpu::workload::{Api, GameProfile};
+use gat::gpu::{GpuConfig, GpuEvent, GpuPipeline, WorkloadGen};
+use gat::sim::rng::SimRng;
+use proptest::prelude::*;
+
+fn game(rtps: u32, frags: f64, texels: f64, jitter: f64) -> GameProfile {
+    GameProfile {
+        name: "prop",
+        api: Api::DirectX,
+        width: 96,
+        height: 64,
+        frames: (0, 99),
+        rtps_per_frame: rtps,
+        frags_per_tile: frags,
+        texels_per_frag: texels,
+        shade_rate: 2.0,
+        tex_working_set: 8 << 20,
+        tex_window: 256 << 10,
+        rtp_jitter: jitter,
+        frame_drift: jitter / 2.0,
+        scene_cut_period: 0,
+        table2_fps: 60.0,
+    }
+}
+
+/// Run `frames` frames against a fixed-latency memory; returns events.
+fn run(profile: GameProfile, frames: u64, latency: u64, quota: u32, seed: u64) -> Vec<GpuEvent> {
+    let cfg = GpuConfig {
+        scale: 1,
+        ..Default::default()
+    };
+    let mut pl = GpuPipeline::new(
+        cfg,
+        WorkloadGen::new(profile, SimRng::new(seed)),
+        SimRng::new(seed ^ 0xabc),
+    );
+    let mut port = SinkPort::default();
+    let mut inflight: Vec<(u64, u64)> = Vec::new();
+    let mut events = Vec::new();
+    let mut now = 0u64;
+    while pl.stats.frames.get() < frames {
+        let due: Vec<u64> = inflight
+            .iter()
+            .filter(|(t, _)| *t <= now)
+            .map(|&(_, tok)| tok)
+            .collect();
+        inflight.retain(|(t, _)| *t > now);
+        for tok in due {
+            pl.on_mem_response(now, tok);
+        }
+        pl.tick(now, quota, &mut port);
+        for (t, req) in port.accepted.drain(..) {
+            if !req.write {
+                inflight.push((t + latency, req.token));
+            }
+        }
+        pl.drain_events(&mut events);
+        now += 1;
+        assert!(now < 200_000_000, "pipeline wedged");
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every frame reports exactly `rtps_per_frame` RTPs, in order, and
+    /// per-RTP updates cover all tiles at least once.
+    #[test]
+    fn event_stream_is_structured(
+        rtps in 1u32..5,
+        frags in 16.0f64..512.0,
+        texels in 0.0f64..2.0,
+        latency in 5u64..400,
+        seed in 0u64..1000,
+    ) {
+        let p = game(rtps, frags, texels, 0.05);
+        let events = run(p, 2, latency, u32::MAX, seed);
+        let mut expected_rtp = 0u32;
+        let mut frame = 0u32;
+        for e in &events {
+            match *e {
+                GpuEvent::RtpComplete { frame: f, rtp, updates, tiles, .. } => {
+                    prop_assert_eq!(f, frame, "RTP from wrong frame");
+                    prop_assert_eq!(rtp, expected_rtp, "out-of-order RTP");
+                    prop_assert!(updates >= u64::from(tiles) * 4, "RTP must cover all tiles");
+                    expected_rtp += 1;
+                }
+                GpuEvent::FrameComplete { frame: f, cycles } => {
+                    prop_assert_eq!(f, frame);
+                    prop_assert_eq!(expected_rtp, rtps, "frame ended early");
+                    prop_assert!(cycles > 0);
+                    frame += 1;
+                    expected_rtp = 0;
+                }
+            }
+        }
+        prop_assert_eq!(frame, 2, "both frames completed");
+    }
+
+    /// Harder throttling never makes frames faster.
+    #[test]
+    fn throttle_monotonicity(seed in 0u64..500) {
+        let p = game(2, 128.0, 1.0, 0.0);
+        let cycles_of = |events: &[GpuEvent]| -> u64 {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    GpuEvent::FrameComplete { cycles, .. } => Some(*cycles),
+                    _ => None,
+                })
+                .sum()
+        };
+        let open = cycles_of(&run(p.clone(), 2, 50, u32::MAX, seed));
+        let tight = cycles_of(&run(p.clone(), 2, 50, 1, seed));
+        prop_assert!(tight >= open, "quota 1 faster than unthrottled: {tight} vs {open}");
+    }
+
+    /// Determinism: identical seeds and quotas give identical event logs.
+    #[test]
+    fn pipeline_determinism(seed in 0u64..500, quota in prop::sample::select(vec![2u32, 8, u32::MAX])) {
+        let p = game(2, 64.0, 0.5, 0.1);
+        let a = run(p.clone(), 2, 80, quota, seed);
+        let b = run(p, 2, 80, quota, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests on the paper's QoS machinery: the frame-rate estimator
+//! never panics or mispredicts structurally, and the throttling gate
+//! realizes exactly the admission rate its (W_G, N_G) policy implies.
+
+use gat::qos::{AccessThrottler, FrameRateEstimator, FrpuConfig, Phase};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The FRPU tolerates arbitrary RTP/frame event sequences without
+    /// panicking, and its prediction is always positive in the prediction
+    /// phase.
+    #[test]
+    fn frpu_total_robustness(events in prop::collection::vec(
+        (0u8..4, 1u64..5000, 1u64..5000, 1u64..2000), 1..300
+    )) {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        for (kind, a, b, c) in events {
+            if kind == 0 {
+                f.on_frame_complete(a * 4);
+            } else {
+                f.on_rtp_complete(a, b, 100, c);
+            }
+            if f.phase() == Phase::Predicting {
+                if let Some(p) = f.predicted_cycles_per_frame() {
+                    prop_assert!(p > 0.0, "non-positive prediction {p}");
+                    prop_assert!(p.is_finite());
+                }
+            }
+        }
+    }
+
+    /// On a perfectly periodic workload the estimator reaches the
+    /// prediction phase with zero error regardless of the frame shape.
+    #[test]
+    fn frpu_converges_on_periodic_frames(
+        rtps in 1u32..40,
+        updates in 1u64..10_000,
+        cycles in 1u64..100_000,
+    ) {
+        let mut f = FrameRateEstimator::new(FrpuConfig::default());
+        for _ in 0..6 {
+            for _ in 0..rtps {
+                f.on_rtp_complete(updates, cycles, 64, updates / 2 + 1);
+            }
+            f.on_frame_complete(u64::from(rtps) * cycles);
+        }
+        prop_assert_eq!(f.phase(), Phase::Predicting);
+        prop_assert_eq!(f.relearn_events, 0);
+        prop_assert!(f.error_percent.mean().abs() < 1e-6,
+            "periodic workload must predict exactly: {}", f.error_percent.mean());
+    }
+
+    /// Closed-loop contract: with `C_P = base + A·W_G` feedback (a fully
+    /// serializing pipeline) the controller converges near Fig. 6's
+    /// analytic bound, and the gate's long-run admission rate then equals
+    /// `1/(1 + W_G)` within tolerance.
+    #[test]
+    fn gate_rate_matches_policy(base in 500.0f64..50_000.0, c_t in 1000.0f64..100_000.0, a in 10.0f64..5000.0) {
+        let mut atu = AccessThrottler::new();
+        // Converge the closed loop.
+        for _ in 0..400 {
+            let c_p = base + a * atu.decision().w_g as f64;
+            atu.update(c_t, c_p, a);
+        }
+        let w_g = atu.decision().w_g;
+        if base >= c_t {
+            // Never above target: must stay (or settle) unthrottled.
+            prop_assert_eq!(w_g, 0, "slow GPU must not be throttled");
+            prop_assert_eq!(atu.quota(0), u32::MAX);
+            return Ok(());
+        }
+        // Stationary point of the feedback loop: base + A·W_G ≈ C_T.
+        let bound = (c_t - base) / a;
+        prop_assert!((w_g as f64) <= bound + 2.0, "W_G {w_g} above bound {bound}");
+        prop_assert!((w_g as f64) >= (bound - 2.5).min(gat::qos::atu::W_G_MAX as f64 - 2.0).max(0.0),
+            "W_G {w_g} under bound {bound}");
+        if w_g == 0 {
+            prop_assert_eq!(atu.quota(0), u32::MAX);
+            return Ok(());
+        }
+        // Measure the admission rate over a long window.
+        let mut sends = 0u64;
+        let horizon = 10_000u64;
+        for now in 0..horizon {
+            if atu.quota(now) > 0 {
+                atu.note_sends(now, 1);
+                sends += 1;
+            }
+        }
+        let expect = horizon as f64 / (1.0 + w_g as f64);
+        let ratio = sends as f64 / expect;
+        prop_assert!((0.9..=1.1).contains(&ratio),
+            "admission rate off: {sends} vs expected {expect} (W_G {w_g})");
+    }
+
+    /// The throttler never admits during a closed window.
+    #[test]
+    fn gate_never_leaks_during_closure(w_steps in 1u32..20) {
+        let mut atu = AccessThrottler::new();
+        for _ in 0..w_steps {
+            atu.update(1e9, 1.0, 1.0); // huge slack: ramp freely
+        }
+        let w_g = atu.decision().w_g;
+        prop_assert!(w_g >= 2);
+        // Admit one, then the gate must hold for exactly w_g cycles.
+        let t0 = 100u64;
+        prop_assert!(atu.quota(t0) > 0);
+        atu.note_sends(t0, 1);
+        for dt in 1..=w_g {
+            prop_assert_eq!(atu.quota(t0 + dt), 0, "leak at +{} (W_G {})", dt, w_g);
+        }
+        prop_assert!(atu.quota(t0 + w_g + 1) > 0, "gate failed to reopen");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests on the synthetic workload generators: the statistical
+//! contracts the calibration rests on must hold for *any* valid profile,
+//! not just the thirteen shipped ones.
+
+use gat::cpu::{Op, SpecProfile, StreamGen};
+use gat::gpu::workload::{Api, GameProfile, TILE_PX};
+use gat::gpu::WorkloadGen;
+use gat::sim::rng::SimRng;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SpecProfile> {
+    (
+        20u32..28,          // log2 working set: 1 MB .. 128 MB
+        0.05f64..0.6,       // mem fraction
+        0.0f64..0.6,        // write fraction
+        prop::collection::vec(0.0f64..1.0, 3),
+        0.3f64..1.0,        // hot fraction
+        1u8..6,             // chase chains
+        0.0f64..10.0,       // branch mpki
+        0.5f64..3.5,        // base ipc
+    )
+        .prop_map(|(ws, mem, wr, mix, hot, chains, mpki, ipc)| {
+            // Normalize the pattern mix to sum below 1.
+            let total: f64 = mix.iter().sum::<f64>().max(1e-9);
+            let scale = 0.95 / total.max(0.95);
+            SpecProfile {
+                spec_id: 900,
+                name: "prop",
+                working_set: 1u64 << ws,
+                mem_fraction: mem,
+                write_fraction: wr,
+                stream_fraction: mix[0] * scale,
+                stride_fraction: mix[1] * scale,
+                chase_fraction: mix[2] * scale,
+                stride_bytes: 256,
+                hot_fraction: hot,
+                chase_chains: chains,
+                branch_mpki: mpki,
+                base_ipc: ipc,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Addresses stay in-region and the op mix matches the profile's
+    /// fractions within sampling tolerance.
+    #[test]
+    fn stream_gen_respects_profile(p in arb_spec(), seed in 0u64..1000) {
+        p.validate();
+        let base = 7u64 << 32;
+        let mut g = StreamGen::new(p, base, SimRng::new(seed));
+        let n = 60_000;
+        let (mut mem, mut writes, mut chases) = (0u64, 0u64, 0u64);
+        for _ in 0..n {
+            match g.next_op() {
+                Op::Alu => {}
+                Op::Load { addr, serialized } => {
+                    prop_assert!(addr >= base && addr < base + p.working_set);
+                    mem += 1;
+                    if serialized {
+                        chases += 1;
+                    }
+                }
+                Op::Store { addr } => {
+                    prop_assert!(addr >= base && addr < base + p.working_set);
+                    mem += 1;
+                    writes += 1;
+                }
+            }
+        }
+        let mem_frac = mem as f64 / n as f64;
+        prop_assert!((mem_frac - p.mem_fraction).abs() < 0.03,
+            "mem fraction {mem_frac} vs {}", p.mem_fraction);
+        if mem > 1000 {
+            let wr_frac = writes as f64 / mem as f64;
+            prop_assert!((wr_frac - p.write_fraction).abs() < 0.05,
+                "write fraction {wr_frac} vs {}", p.write_fraction);
+            // Chases are loads only, so compare against the non-store share.
+            let chase_obs = chases as f64 / mem as f64;
+            let chase_exp = p.chase_fraction * (1.0 - p.write_fraction);
+            prop_assert!((chase_obs - chase_exp).abs() < 0.05,
+                "chase fraction {chase_obs} vs {chase_exp}");
+        }
+    }
+
+    /// The frame planner always covers every tile with bounded work, for
+    /// any jitter/drift/cut settings.
+    #[test]
+    fn workload_gen_plans_are_always_valid(
+        rtps in 1u32..12,
+        frags in 4.0f64..1024.0,
+        jitter in 0.0f64..0.4,
+        drift in 0.0f64..0.2,
+        cut in 0u32..10,
+        seed in 0u64..1000,
+    ) {
+        let p = GameProfile {
+            name: "prop",
+            api: Api::OpenGl,
+            width: 256,
+            height: 128,
+            frames: (0, 50),
+            rtps_per_frame: rtps,
+            frags_per_tile: frags,
+            texels_per_frag: 1.0,
+            shade_rate: 1.0,
+            tex_working_set: 16 << 20,
+            tex_window: 1 << 20,
+            rtp_jitter: jitter,
+            frame_drift: drift,
+            scene_cut_period: cut,
+            table2_fps: 30.0,
+        };
+        p.validate();
+        let mut gen = WorkloadGen::new(p, SimRng::new(seed));
+        for _ in 0..40 {
+            let plans = gen.next_frame();
+            prop_assert_eq!(plans.len(), rtps as usize);
+            for plan in plans {
+                prop_assert!(plan.frags_per_tile >= 4);
+                prop_assert!(plan.frags_per_tile <= TILE_PX * TILE_PX);
+            }
+        }
+    }
+
+    /// Generators are pure functions of (profile, seed): two instances
+    /// never diverge.
+    #[test]
+    fn generators_are_deterministic(p in arb_spec(), seed in 0u64..100) {
+        let mut a = StreamGen::new(p, 0, SimRng::new(seed));
+        let mut b = StreamGen::new(p, 0, SimRng::new(seed));
+        for _ in 0..5_000 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

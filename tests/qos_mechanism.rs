@@ -1,0 +1,167 @@
+//! Focused integration tests of the QoS control loop against a scripted
+//! GPU (no full machine): the controller must engage, converge, hold the
+//! target, and disengage exactly as §III describes.
+
+use gat::gpu::GpuEvent;
+use gat::qos::{QosController, QosControllerConfig};
+
+/// A scripted renderer: frame time responds linearly to the admitted
+/// access rate, like a memory-bound pipeline would.
+struct ScriptedGpu {
+    rtps: u32,
+    accesses_per_rtp: u64,
+    base_cycles_per_rtp: u64,
+    frame: u32,
+}
+
+impl ScriptedGpu {
+    /// Render one frame under the controller's gate; returns frame cycles.
+    fn render_frame(&mut self, ctrl: &mut QosController, now: &mut u64) -> u64 {
+        let start = *now;
+        for rtp in 0..self.rtps {
+            // Issue the RTP's accesses through the gate.
+            let mut sent = 0;
+            let mut cycles = 0u64;
+            while sent < self.accesses_per_rtp {
+                if ctrl.quota(*now) > 0 {
+                    ctrl.note_sends(*now, 1);
+                    sent += 1;
+                }
+                *now += 1;
+                cycles += 1;
+                assert!(cycles < 100_000_000, "gate wedged");
+            }
+            // Compute phase of the RTP (serialized after the memory
+            // phase: a memory-bound pass the gate can actually stretch).
+            *now += self.base_cycles_per_rtp;
+            let rtp_cycles = cycles + self.base_cycles_per_rtp;
+            ctrl.on_gpu_events(
+                *now,
+                &[GpuEvent::RtpComplete {
+                    frame: self.frame,
+                    rtp,
+                    updates: 1000,
+                    cycles: rtp_cycles,
+                    tiles: 64,
+                    llc_accesses: self.accesses_per_rtp,
+                }],
+            );
+        }
+        let total = *now - start;
+        ctrl.on_gpu_events(
+            *now,
+            &[GpuEvent::FrameComplete {
+                frame: self.frame,
+                cycles: total,
+            }],
+        );
+        self.frame += 1;
+        total
+    }
+}
+
+#[test]
+fn control_loop_converges_to_the_target_frame_time() {
+    // Unthrottled frame: 4 RTPs × (10_000 access + 40_000 compute) =
+    // 200_000 cycles. Target at 40 FPS, scale 100: 250_000 — 25% slack.
+    let mut ctrl = QosController::new(QosControllerConfig::proposal(100));
+    let mut gpu = ScriptedGpu {
+        rtps: 4,
+        accesses_per_rtp: 10_000,
+        base_cycles_per_rtp: 40_000,
+        frame: 0,
+    };
+    let mut now = 0u64;
+    let mut frames = Vec::new();
+    let mut engaged = false;
+    for _ in 0..30 {
+        frames.push(gpu.render_frame(&mut ctrl, &mut now));
+        engaged |= ctrl.atu.is_throttling();
+    }
+    let target = ctrl.target_cycles();
+    // The gate oscillates around the deadline (the W_G quantum is ±2);
+    // judge the steady-state average of the last few frames.
+    let tail: Vec<u64> = frames[frames.len() - 6..].to_vec();
+    let avg = tail.iter().sum::<u64>() as f64 / tail.len() as f64;
+    assert!(
+        avg > 0.78 * target,
+        "steady state {avg} too fast vs target {target} (tail {tail:?})"
+    );
+    assert!(
+        avg < 1.25 * target,
+        "steady state {avg} overshot target {target} (tail {tail:?})"
+    );
+    assert!(engaged, "gate must engage");
+    // Every frame stays at or above the unthrottled floor and no frame
+    // blows far past the deadline (the paper's 10 FPS cushion).
+    for &f in &tail {
+        assert!(f >= 200_000 && (f as f64) < 1.6 * target, "frame {f}");
+    }
+}
+
+#[test]
+fn control_loop_stays_off_below_target() {
+    // Unthrottled frame slower than the target: never throttle.
+    let mut ctrl = QosController::new(QosControllerConfig::proposal(100));
+    let mut gpu = ScriptedGpu {
+        rtps: 4,
+        accesses_per_rtp: 1_000,
+        base_cycles_per_rtp: 100_000, // 400_000 > 250_000 target
+        frame: 0,
+    };
+    let mut now = 0u64;
+    for _ in 0..10 {
+        gpu.render_frame(&mut ctrl, &mut now);
+    }
+    assert!(!ctrl.atu.is_throttling());
+    assert!(!ctrl.signals(now).cpu_prio_boost);
+    assert_eq!(ctrl.quota(now), u32::MAX);
+}
+
+#[test]
+fn control_loop_disengages_when_the_scene_gets_heavy() {
+    let mut ctrl = QosController::new(QosControllerConfig::proposal(100));
+    let mut gpu = ScriptedGpu {
+        rtps: 4,
+        accesses_per_rtp: 10_000,
+        // Light scene: 4 × (10K + 30K) = 160K cycles, well above target
+        // speed — W_G = 2 stretches it to 240K, still under the 250K
+        // deadline, so the gate holds steady.
+        base_cycles_per_rtp: 30_000,
+        frame: 0,
+    };
+    let mut now = 0u64;
+    for _ in 0..20 {
+        gpu.render_frame(&mut ctrl, &mut now);
+    }
+    assert!(ctrl.atu.is_throttling(), "engaged on the light scene");
+    // Scene becomes heavy: compute floor alone exceeds the target.
+    gpu.base_cycles_per_rtp = 100_000;
+    for _ in 0..20 {
+        gpu.render_frame(&mut ctrl, &mut now);
+    }
+    assert!(
+        !ctrl.atu.is_throttling(),
+        "gate must release once the GPU falls below target"
+    );
+}
+
+#[test]
+fn prio_only_ablation_boosts_without_gating() {
+    let mut ctrl = QosController::new(QosControllerConfig::prio_only(100));
+    let mut gpu = ScriptedGpu {
+        rtps: 4,
+        accesses_per_rtp: 10_000,
+        base_cycles_per_rtp: 50_000,
+        frame: 0,
+    };
+    let mut now = 0u64;
+    for _ in 0..5 {
+        gpu.render_frame(&mut ctrl, &mut now);
+    }
+    assert_eq!(ctrl.quota(now), u32::MAX, "no gating in prio-only mode");
+    assert!(
+        ctrl.signals(now).cpu_prio_boost,
+        "boost engages from the above-target estimate alone"
+    );
+}

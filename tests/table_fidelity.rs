@@ -1,0 +1,141 @@
+//! Fidelity checks against the paper's tables: the simulated machine must
+//! match Table I, the workloads Table II, and the mixes Table III.
+
+use gat::cache::ReplacementPolicy;
+use gat::prelude::*;
+use gat::qos::FrpuConfig;
+
+#[test]
+fn table1_cpu_side() {
+    let c = MachineConfig::table_one(64, 1);
+    // Per-core L1: 32 KB, 8-way, 64 B blocks, 2 cycles, LRU.
+    assert_eq!(c.hierarchy.l1_bytes, 32 << 10);
+    assert_eq!(c.hierarchy.l1_ways, 8);
+    assert_eq!(c.hierarchy.l1_latency, 2);
+    // Unified L2: 256 KB, 8-way, 3 cycles.
+    assert_eq!(c.hierarchy.l2_bytes, 256 << 10);
+    assert_eq!(c.hierarchy.l2_ways, 8);
+    assert_eq!(c.hierarchy.l2_latency, 3);
+    // 4 GHz cores, 1 GHz GPU.
+    assert_eq!(gat::sim::CPU_FREQ_HZ, 4_000_000_000);
+    assert_eq!(gat::sim::GPU_FREQ_HZ, 1_000_000_000);
+}
+
+#[test]
+fn table1_llc_and_interconnect() {
+    let c = MachineConfig::table_one(64, 1);
+    // Shared LLC: 16 MB, 16-way, 64 B blocks, 10-cycle lookup, SRRIP.
+    assert_eq!(c.llc_bytes, 16 << 20);
+    assert_eq!(c.llc_ways, 16);
+    assert_eq!(c.llc_latency, 10);
+    // SRRIP as specified (two-bit).
+    assert_eq!(gat::cache::replacement::RRPV_MAX, 3);
+    assert_eq!(
+        std::mem::discriminant(&ReplacementPolicy::Srrip),
+        std::mem::discriminant(&ReplacementPolicy::Srrip)
+    );
+    // Bidirectional ring, single-cycle hop.
+    let topo = gat::ring::RingTopology::table_one();
+    assert_eq!(topo.hop_cycles, 1);
+}
+
+#[test]
+fn table1_dram_side() {
+    let c = MachineConfig::table_one(64, 1);
+    // Two on-die single-channel DDR3-2133 controllers, 14-14-14, BL=8.
+    assert_eq!(c.dram_map.channels, 2);
+    assert_eq!(c.dram_map.banks_per_channel, 8);
+    assert_eq!(c.dram_map.row_bytes, 8192, "1KB/device × 8 x8 devices");
+    assert_eq!(c.dram_timing.t_cl, 14);
+    assert_eq!(c.dram_timing.t_rcd, 14);
+    assert_eq!(c.dram_timing.t_rp, 14);
+    assert_eq!(c.dram_timing.t_burst, 4, "BL8 on 64-bit channel");
+}
+
+#[test]
+fn table1_gpu_internal_caches() {
+    use gat::gpu::GpuCachesConfig;
+    let g = GpuCachesConfig::default();
+    assert_eq!(g.tex_l1_bytes, 64 << 10);
+    assert_eq!(g.tex_l1_ways, 16);
+    assert_eq!(g.tex_l2_bytes, 384 << 10);
+    assert_eq!(g.tex_l2_ways, 48);
+    assert_eq!(g.depth_l2_bytes, 32 << 10);
+    assert_eq!(g.depth_l2_ways, 32);
+    assert_eq!(g.color_l2_bytes, 32 << 10);
+    assert_eq!(g.color_l2_ways, 32);
+    assert_eq!(g.vertex_bytes, 16 << 10);
+}
+
+#[test]
+fn table2_catalogue() {
+    let games = all_games();
+    assert_eq!(games.len(), 14);
+    // Every Table II row: (name, fps, frame span, width).
+    let expect: [(&str, f64, u32, u32); 14] = [
+        ("3DMark06GT1", 6.0, 2, 1280),
+        ("3DMark06GT2", 13.8, 2, 1280),
+        ("3DMark06HDR1", 16.0, 2, 1280),
+        ("3DMark06HDR2", 20.8, 2, 1280),
+        ("COD2", 18.1, 2, 1920),
+        ("CRYSIS", 6.6, 2, 1920),
+        ("DOOM3", 81.0, 15, 1600),
+        ("HL2", 75.9, 9, 1600),
+        ("L4D", 32.5, 5, 1280),
+        ("NFS", 62.3, 8, 1280),
+        ("QUAKE4", 80.8, 10, 1600),
+        ("COR", 111.0, 15, 1280),
+        ("UT2004", 130.7, 18, 1600),
+        ("UT3", 26.8, 2, 1280),
+    ];
+    for (name, fps, frames, width) in expect {
+        let g = game(name);
+        assert_eq!(g.table2_fps, fps, "{name}");
+        assert_eq!(g.frame_count(), frames, "{name}");
+        assert_eq!(g.width, width, "{name}");
+    }
+}
+
+#[test]
+fn table3_mix_compositions() {
+    let expect_m: [(&str, &str); 14] = [
+        ("3DMark06GT1", "403,450,481,482"),
+        ("3DMark06GT2", "403,429,434,462"),
+        ("3DMark06HDR1", "401,437,450,470"),
+        ("3DMark06HDR2", "401,462,470,471"),
+        ("COD2", "401,437,450,470"),
+        ("CRYSIS", "429,433,434,482"),
+        ("DOOM3", "410,433,462,471"),
+        ("HL2", "410,429,433,434"),
+        ("L4D", "410,433,462,471"),
+        ("NFS", "410,429,433,471"),
+        ("QUAKE4", "401,437,450,481"),
+        ("COR", "403,437,450,481"),
+        ("UT2004", "401,437,462,470"),
+        ("UT3", "403,437,450,481"),
+    ];
+    for (i, (game_name, cpus)) in expect_m.iter().enumerate() {
+        let m = mix_m(i + 1);
+        assert_eq!(m.game.name, *game_name, "M{}", i + 1);
+        assert_eq!(&m.cpu_label(), cpus, "M{}", i + 1);
+    }
+    let expect_w = [481, 471, 470, 482, 470, 429, 462, 403, 462, 437, 410, 434, 450, 434];
+    for (i, id) in expect_w.iter().enumerate() {
+        assert_eq!(mix_w(i + 1).cpu[0].spec_id, *id, "W{}", i + 1);
+    }
+}
+
+#[test]
+fn storage_overhead_matches_section_3d() {
+    let bytes = gat::qos::overhead::storage_overhead_bytes(&FrpuConfig::default());
+    assert!(
+        (1024..=1280).contains(&bytes),
+        "§III-D: just over a kilobyte, got {bytes}"
+    );
+}
+
+#[test]
+fn qos_target_is_40_fps() {
+    let q = QosControllerConfig::proposal(1);
+    assert_eq!(q.target_fps, 40.0, "§II: 30 FPS + 10 FPS cushion");
+}
