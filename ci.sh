@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate + one ignored figure-driver smoke. Mirrors what a CI job
+# would run; keep it green before merging.
+#
+#   ./ci.sh          # build + full default test suite + ignored smoke
+#   SKIP_IGNORED=1 ./ci.sh   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+if [[ -z "${SKIP_IGNORED:-}" ]]; then
+    # One representative heavyweight driver (18 smoke simulations), capped
+    # so a wedged scheduler fails fast instead of hanging the pipeline.
+    echo "== ignored figure smoke (fig9_10_11_driver_full_shape, 20 min cap) =="
+    timeout 1200 cargo test -q --test figures_smoke \
+        fig9_10_11_driver_full_shape -- --ignored
+fi
+
+echo "ci.sh: all green"

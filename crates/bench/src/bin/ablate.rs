@@ -2,8 +2,11 @@
 //! proposal and stress its design choices on one amenable mix.
 //!
 //! ```text
-//! cargo run --release -p gat-bench --bin ablate -- [mix-number] [--scale N]
+//! cargo run --release -p gat-bench --bin ablate -- [mix-number] [--scale N] [--json PATH]
 //! ```
+//!
+//! `--json PATH` writes one JSONL object per variant wrapping the full
+//! `RunResult`: `{"type":"ablation_variant","variant":...,"result":{...}}`.
 //!
 //! Variants:
 //! * baseline            — FR-FCFS, no QoS
@@ -14,9 +17,12 @@
 //! * full-llc-lru        — full, with an LRU LLC instead of SRRIP
 //! * full-sms-dram       — full throttling over an SMS-0.9 DRAM scheduler
 
+use std::io::Write;
+
 use gat_cache::ReplacementPolicy;
 use gat_dram::SchedulerKind;
 use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunLimits, RunResult};
+use gat_sim::json::Obj;
 use gat_workloads::mix_m;
 
 fn main() {
@@ -31,6 +37,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(128);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut json = json_path.as_ref().map(|p| {
+        std::io::BufWriter::new(std::fs::File::create(p).expect("--json PATH not writable"))
+    });
     let mix = mix_m(k);
     println!(
         "ablation on M{k}: {} + CPUs {} (scale {scale})",
@@ -137,5 +151,17 @@ fn main() {
             r.dram.cpu_bytes() as f64 / r.cycles as f64,
             g.throttle_w_g,
         );
+        if let Some(f) = json.as_mut() {
+            let line = Obj::new()
+                .str("type", "ablation_variant")
+                .str("variant", label)
+                .raw("result", &r.to_json())
+                .finish();
+            writeln!(f, "{line}").expect("write --json");
+        }
+    }
+    if let Some(mut f) = json {
+        f.flush().expect("flush --json");
+        eprintln!("# wrote JSONL results to {}", json_path.unwrap());
     }
 }

@@ -2,19 +2,23 @@
 //!
 //! ```text
 //! figures <fig1|fig2|fig3|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all>
-//!         [--scale N] [--frames N] [--instr N] [--seed N] [--threads N]
+//!         [--scale N] [--frames N] [--instr N] [--seed N] [--threads N] [--json PATH]
 //! ```
 //!
 //! `all` shares runs between figures that use the same experiments
 //! (Fig. 1+2, Fig. 9+10+11, Fig. 13+14), which roughly halves the wall
-//! time of a full regeneration.
+//! time of a full regeneration. `--json PATH` additionally writes every
+//! table as one JSONL `{"type":"table",...}` object per line, from the
+//! same simulation runs as the text output.
 
-use gat_bench::run_figure;
+use std::io::Write;
+
+use gat_bench::{figure_tables, render_tables, tables_jsonl};
 use gat_hetero::experiments::ExpConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <figN|all> [--scale N] [--frames N] [--instr N] [--seed N] [--threads N]"
+        "usage: figures <figN|all> [--scale N] [--frames N] [--instr N] [--seed N] [--threads N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -26,6 +30,7 @@ fn main() {
     }
     let which = args[0].clone();
     let mut cfg = ExpConfig::default();
+    let mut json_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let key = args[i].as_str();
@@ -37,24 +42,39 @@ fn main() {
             "--seed" => cfg.seed = val.parse().expect("--seed N"),
             "--warmup" => cfg.limits.warmup_cycles = val.parse().expect("--warmup N"),
             "--threads" => cfg.threads = val.parse().expect("--threads N"),
+            "--json" => json_path = Some(val.clone()),
             _ => usage(),
         }
         i += 2;
     }
+    let mut json = json_path.as_ref().map(|p| {
+        std::io::BufWriter::new(std::fs::File::create(p).expect("--json PATH not writable"))
+    });
     eprintln!(
         "# scale={} frames={} instr={} seed={} threads={}",
         cfg.scale, cfg.limits.gpu_frames, cfg.limits.cpu_instructions, cfg.seed, cfg.threads
     );
     let start = std::time::Instant::now();
+    let mut emit = |id: &str| {
+        let tables = figure_tables(id, &cfg);
+        println!("{}", render_tables(&tables));
+        if let Some(f) = json.as_mut() {
+            write!(f, "{}", tables_jsonl(&tables)).expect("write --json");
+        }
+    };
     match which.as_str() {
         "all" => {
             for id in ["fig1+2", "fig3", "fig8", "fig9+10+11", "fig12", "fig13+14"] {
                 let t = std::time::Instant::now();
-                println!("{}", run_figure(id, &cfg));
+                emit(id);
                 eprintln!("# {id} took {:.1}s", t.elapsed().as_secs_f64());
             }
         }
-        id => println!("{}", run_figure(id, &cfg)),
+        id => emit(id),
+    }
+    if let Some(mut f) = json {
+        f.flush().expect("flush --json");
+        eprintln!("# wrote JSONL tables to {}", json_path.unwrap());
     }
     eprintln!("# total {:.1}s", start.elapsed().as_secs_f64());
 }

@@ -4,7 +4,10 @@
 //! runsim [--game DOOM3] [--cpus 470,410,433,462] [--sched frfcfs|cpuprio|sms09|sms0|dynprio|static]
 //!        [--qos off|observe|throttle|full|prioonly] [--fill base|bypass|helm]
 //!        [--scale N] [--instr N] [--frames N] [--warmup N] [--seed N]
-//!        [--gpu-ways K] [--partition-channels] [--llc-lru]
+//!        [--gpu-ways K] [--partition-channels] [--llc-lru] [--json PATH]
+//!
+//! `--json PATH` additionally writes the machine-readable result as two
+//! JSONL lines: the full `RunResult` and a final metrics-registry snapshot.
 //! ```
 //!
 //! Examples:
@@ -88,6 +91,15 @@ fn main() {
         "need at least one of --game/--cpus"
     );
 
-    let result = HeteroSystem::new(cfg, &apps, g).run();
+    let mut sys = HeteroSystem::new(cfg, &apps, g);
+    let result = sys.run();
     print!("{}", result.render_report());
+    if let Some(path) = get("--json") {
+        let mut out = result.to_json();
+        out.push('\n');
+        out.push_str(&sys.registry_snapshot().to_json());
+        out.push('\n');
+        std::fs::write(&path, out).expect("--json PATH not writable");
+        eprintln!("# wrote JSONL result to {path}");
+    }
 }

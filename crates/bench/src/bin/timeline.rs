@@ -4,25 +4,39 @@
 //!
 //! ```text
 //! cargo run --release -p gat-bench --bin timeline -- [mix-number] [--scale N] [--frames N]
+//!         [--epoch N] [--json PATH]
 //! ```
+//!
+//! The text table is driven by the structured run-event stream
+//! (`HeteroSystem::subscribe_run_events`). With `--json PATH` every event
+//! — frame boundaries, QoS transitions, DRAM priority flips, and one
+//! registry snapshot every `--epoch` CPU cycles — is also written to
+//! PATH as JSONL, followed by a final full registry snapshot.
+
+use std::io::Write;
 
 use gat_dram::SchedulerKind;
-use gat_gpu::GpuEvent;
-use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunLimits};
+use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunEvent, RunLimits};
 use gat_workloads::mix_m;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let k: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(7);
-    let get = |flag: &str, default: u32| -> u32 {
+    let get = |flag: &str, default: u64| -> u64 {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
-    let scale = get("--scale", 128);
-    let frames = get("--frames", 12);
+    let scale = get("--scale", 128) as u32;
+    let frames = get("--frames", 12) as u32;
+    let epoch = get("--epoch", 1_000_000);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let mix = mix_m(k);
     println!(
         "timeline of M{k}: {} + CPUs {} (scale {scale}, {frames} frames, target 40 FPS)",
@@ -41,34 +55,51 @@ fn main() {
     };
 
     let mut sys = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone()));
-    sys.observe_events(true);
+    let sub = sys.subscribe_run_events();
+    sys.set_epoch_sampling(if epoch > 0 { Some(epoch) } else { None });
+    let mut json = json_path.as_ref().map(|p| {
+        std::io::BufWriter::new(std::fs::File::create(p).expect("--json PATH not writable"))
+    });
     println!(
         "{:>5} {:>9} {:>7} {:>6} {:>5} {:>10} {:>10}",
         "frame", "cycles", "FPS", "WG", "boost", "gpu-sends", "retired"
     );
-    let mut events = Vec::new();
     let mut frame_count = 0u32;
     while frame_count < frames {
         sys.tick();
-        events.clear();
-        sys.drain_frame_events(&mut events);
-        for e in &events {
-            if let GpuEvent::FrameComplete { frame, cycles } = e {
+        for e in sys.poll_run_events(sub).events {
+            if let Some(f) = json.as_mut() {
+                writeln!(f, "{}", e.to_json()).expect("write --json");
+            }
+            if let RunEvent::FrameBoundary {
+                frame,
+                frame_cycles,
+                fps,
+                w_g,
+                cpu_prio_boost,
+                gpu_llc_sends,
+                cpu_retired,
+                ..
+            } = e
+            {
                 frame_count += 1;
-                let (w_g, boost) = sys.qos_snapshot();
-                let fps = 1e9 / (*cycles as f64 * f64::from(scale));
                 println!(
                     "{:>5} {:>9} {:>7.1} {:>6} {:>5} {:>10} {:>10}",
                     frame,
-                    cycles,
+                    frame_cycles,
                     fps,
                     w_g,
-                    if boost { "yes" } else { "no" },
-                    sys.gpu_llc_sends(),
-                    sys.total_retired(),
+                    if cpu_prio_boost { "yes" } else { "no" },
+                    gpu_llc_sends,
+                    cpu_retired,
                 );
             }
         }
         assert!(sys.now() < 40_000_000_000, "wedged");
+    }
+    if let Some(mut f) = json {
+        writeln!(f, "{}", sys.registry_snapshot().to_json()).expect("write --json");
+        f.flush().expect("flush --json");
+        eprintln!("# wrote JSONL timeline to {}", json_path.unwrap());
     }
 }

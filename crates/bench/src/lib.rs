@@ -13,66 +13,87 @@
 //! (components) and one representative run per figure family (figures).
 
 use gat_hetero::experiments::{self, ExpConfig};
+use gat_hetero::report::Table;
 
 /// All known figure ids, in paper order.
 pub const FIGURES: [&str; 10] = [
     "fig1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 ];
 
+/// Regenerate one figure as structured [`Table`]s. Both the text and the
+/// JSONL output of the `figures` binary derive from this single run.
+///
+/// # Panics
+/// Panics on an unknown figure id.
+pub fn figure_tables(id: &str, cfg: &ExpConfig) -> Vec<Table> {
+    match id {
+        "fig1" => vec![experiments::motivation(cfg).fig1_table()],
+        "fig2" => vec![experiments::motivation(cfg).fig2_table()],
+        "fig1+2" | "motivation" => {
+            let m = experiments::motivation(cfg);
+            vec![m.fig1_table(), m.fig2_table()]
+        }
+        "fig3" => vec![experiments::fig3(cfg).table()],
+        "fig8" => vec![experiments::fig8(cfg).table()],
+        "fig9" => {
+            let e = experiments::throttle_eval(cfg);
+            vec![e.fig9_fps_table(), e.fig9_ws_table()]
+        }
+        "fig9+10+11" | "throttle" => {
+            let e = experiments::throttle_eval(cfg);
+            vec![
+                e.fig9_fps_table(),
+                e.fig9_ws_table(),
+                e.fig10_table(),
+                e.fig11_table(),
+            ]
+        }
+        "fig10" => vec![experiments::throttle_eval(cfg).fig10_table()],
+        "fig11" => vec![experiments::throttle_eval(cfg).fig11_table()],
+        "fig12" => {
+            let c = experiments::comparison(cfg, true);
+            vec![c.fps_table(), c.ws_table()]
+        }
+        "fig13" => {
+            let c = experiments::comparison(cfg, false);
+            vec![c.fps_table(), c.ws_table()]
+        }
+        "fig13+14" => {
+            let c = experiments::comparison(cfg, false);
+            vec![c.fps_table(), c.ws_table(), c.fig14_table()]
+        }
+        "fig14" => vec![experiments::comparison(cfg, false).fig14_table()],
+        other => panic!("unknown figure id {other:?}; known: {FIGURES:?}"),
+    }
+}
+
+/// Render a figure's tables as text, separated by blank lines (each
+/// [`Table::render`] already ends in a newline).
+pub fn render_tables(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(Table::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Render a figure's tables as JSONL: one `{"type":"table",...}` object
+/// per line, trailing newline included.
+pub fn tables_jsonl(tables: &[Table]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(&t.to_json());
+        out.push('\n');
+    }
+    out
+}
+
 /// Regenerate one figure; returns the rendered table(s).
 ///
 /// # Panics
 /// Panics on an unknown figure id.
 pub fn run_figure(id: &str, cfg: &ExpConfig) -> String {
-    match id {
-        "fig1" => experiments::motivation(cfg).fig1_table().render(),
-        "fig2" => experiments::motivation(cfg).fig2_table().render(),
-        "fig1+2" | "motivation" => {
-            let m = experiments::motivation(cfg);
-            format!("{}\n{}", m.fig1_table().render(), m.fig2_table().render())
-        }
-        "fig3" => experiments::fig3(cfg).table().render(),
-        "fig8" => experiments::fig8(cfg).table().render(),
-        "fig9" => {
-            let e = experiments::throttle_eval(cfg);
-            format!(
-                "{}\n{}",
-                e.fig9_fps_table().render(),
-                e.fig9_ws_table().render()
-            )
-        }
-        "fig9+10+11" | "throttle" => {
-            let e = experiments::throttle_eval(cfg);
-            format!(
-                "{}\n{}\n{}\n{}",
-                e.fig9_fps_table().render(),
-                e.fig9_ws_table().render(),
-                e.fig10_table().render(),
-                e.fig11_table().render()
-            )
-        }
-        "fig10" => experiments::throttle_eval(cfg).fig10_table().render(),
-        "fig11" => experiments::throttle_eval(cfg).fig11_table().render(),
-        "fig12" => {
-            let c = experiments::comparison(cfg, true);
-            format!("{}\n{}", c.fps_table().render(), c.ws_table().render())
-        }
-        "fig13" => {
-            let c = experiments::comparison(cfg, false);
-            format!("{}\n{}", c.fps_table().render(), c.ws_table().render())
-        }
-        "fig13+14" => {
-            let c = experiments::comparison(cfg, false);
-            format!(
-                "{}\n{}\n{}",
-                c.fps_table().render(),
-                c.ws_table().render(),
-                c.fig14_table().render()
-            )
-        }
-        "fig14" => experiments::comparison(cfg, false).fig14_table().render(),
-        other => panic!("unknown figure id {other:?}; known: {FIGURES:?}"),
-    }
+    render_tables(&figure_tables(id, cfg))
 }
 
 #[cfg(test)]
@@ -89,5 +110,18 @@ mod tests {
     fn figure_list_is_complete() {
         assert_eq!(FIGURES.len(), 10);
         assert!(FIGURES.contains(&"fig14"));
+    }
+
+    #[test]
+    fn tables_jsonl_is_one_object_per_line() {
+        let mut t = Table::new("t", &["w", "x"]);
+        t.row_f("a", &[1.0]);
+        let jsonl = tables_jsonl(&[t.clone(), t]);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            gat_sim::json::validate_json_line(line).unwrap();
+        }
+        assert!(jsonl.ends_with('\n'));
     }
 }

@@ -11,7 +11,31 @@
 use crate::atu::AccessThrottler;
 use crate::frpu::{FrameRateEstimator, FrpuConfig, Phase};
 use gat_gpu::GpuEvent;
+use gat_sim::events::{EventBus, Poll, SubscriberId};
 use gat_sim::{Cycle, GPU_FREQ_HZ};
+
+/// Structured QoS transitions published by the controller on a bounded
+/// ring ([`gat_sim::events::EventBus`]); consumers subscribe via
+/// [`QosController::subscribe_events`]. Cycles are GPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosEvent {
+    /// FRPU FSM transition (Fig. 4): learning ↔ prediction.
+    FrpuPhase { cycle: Cycle, from: Phase, to: Phase },
+    /// The FRPU discarded its model (point B of Fig. 4); `total` is the
+    /// cumulative re-learn count.
+    FrpuRelearn { cycle: Cycle, total: u64 },
+    /// The ATU gate went from open to closed (`W_G` 0 → nonzero).
+    ThrottleEngage { cycle: Cycle, w_g: u64 },
+    /// The gate window changed while engaged.
+    ThrottleAdjust { cycle: Cycle, from_w_g: u64, w_g: u64 },
+    /// The gate fully opened (`W_G` → 0).
+    ThrottleRelease { cycle: Cycle },
+}
+
+/// Capacity of the controller's event ring. Evaluations run ~64× per
+/// frame and most produce no transition; consumers polling once per frame
+/// stay far below this bound.
+const QOS_EVENT_RING: usize = 4096;
 
 /// Controller policy knobs.
 #[derive(Debug, Clone)]
@@ -103,6 +127,8 @@ pub struct QosController {
     next_eval: Cycle,
     /// Evaluation interval in GPU cycles (C_T / 64).
     eval_interval: Cycle,
+    /// Structured transition stream; see [`QosEvent`].
+    events: EventBus<QosEvent>,
 }
 
 impl QosController {
@@ -122,7 +148,23 @@ impl QosController {
             above_target: false,
             next_eval: 0,
             eval_interval,
+            events: EventBus::new(QOS_EVENT_RING),
         }
+    }
+
+    /// Register a consumer of the [`QosEvent`] stream.
+    pub fn subscribe_events(&mut self) -> SubscriberId {
+        self.events.subscribe()
+    }
+
+    /// Deliver all transitions published since this subscriber's last poll.
+    pub fn poll_events(&mut self, sub: SubscriberId) -> Poll<QosEvent> {
+        self.events.poll(sub)
+    }
+
+    /// The underlying event ring (published/dropped accounting).
+    pub fn event_bus(&self) -> &EventBus<QosEvent> {
+        &self.events
     }
 
     pub fn config(&self) -> &QosControllerConfig {
@@ -137,6 +179,8 @@ impl QosController {
     /// Feed the GPU's milestone events observed up to GPU cycle `now`.
     pub fn on_gpu_events(&mut self, now: Cycle, events: &[GpuEvent]) {
         for e in events {
+            let prev_phase = self.frpu.phase();
+            let prev_relearns = self.frpu.relearn_events;
             match *e {
                 GpuEvent::RtpComplete {
                     updates,
@@ -146,10 +190,12 @@ impl QosController {
                     ..
                 } => {
                     self.frpu.on_rtp_complete(updates, cycles, tiles, llc_accesses);
+                    self.publish_frpu_transitions(now, prev_phase, prev_relearns);
                     self.evaluate(now);
                 }
                 GpuEvent::FrameComplete { cycles, .. } => {
                     self.frpu.on_frame_complete(cycles);
+                    self.publish_frpu_transitions(now, prev_phase, prev_relearns);
                     self.frame_start = now;
                     self.evaluate(now);
                 }
@@ -157,22 +203,55 @@ impl QosController {
         }
     }
 
+    /// Publish FRPU FSM transitions by diffing against the state captured
+    /// before the estimator was fed.
+    fn publish_frpu_transitions(&mut self, now: Cycle, prev_phase: Phase, prev_relearns: u64) {
+        let total = self.frpu.relearn_events;
+        if total > prev_relearns {
+            self.events.publish(QosEvent::FrpuRelearn { cycle: now, total });
+        }
+        let phase = self.frpu.phase();
+        if phase != prev_phase {
+            self.events.publish(QosEvent::FrpuPhase {
+                cycle: now,
+                from: prev_phase,
+                to: phase,
+            });
+        }
+    }
+
     /// Run one Fig. 6 evaluation from the current FRPU state, using the
     /// live (elapsed-floored) projection so fast periodic ramping cannot
     /// outrun stale per-RTP feedback.
     fn evaluate(&mut self, now: Cycle) {
+        let prev_w_g = self.atu.decision().w_g;
         let elapsed = now.saturating_sub(self.frame_start);
         let live = self.frpu.live_prediction(elapsed);
         self.above_target = live.is_some_and(|c_p| c_p < self.c_t);
-        if !self.cfg.enable_throttle {
-            self.atu.disable();
-            return;
-        }
-        match (live, self.frpu.accesses_per_frame()) {
-            (Some(c_p), Some(a)) => {
-                self.atu.update(self.c_t, c_p, a);
+        if self.cfg.enable_throttle {
+            match (live, self.frpu.accesses_per_frame()) {
+                (Some(c_p), Some(a)) => {
+                    self.atu.update(self.c_t, c_p, a);
+                }
+                _ => self.atu.disable(), // learning phase: run unthrottled
             }
-            _ => self.atu.disable(), // learning phase: run unthrottled
+        } else {
+            self.atu.disable();
+        }
+        let w_g = self.atu.decision().w_g;
+        if w_g != prev_w_g {
+            let ev = if prev_w_g == 0 {
+                QosEvent::ThrottleEngage { cycle: now, w_g }
+            } else if w_g == 0 {
+                QosEvent::ThrottleRelease { cycle: now }
+            } else {
+                QosEvent::ThrottleAdjust {
+                    cycle: now,
+                    from_w_g: prev_w_g,
+                    w_g,
+                }
+            };
+            self.events.publish(ev);
         }
     }
 
@@ -303,6 +382,48 @@ mod tests {
         let start = 8000u64;
         assert!(!c.signals(start + (0.5 * budget) as u64).gpu_urgent);
         assert!(c.signals(start + (0.95 * budget) as u64).gpu_urgent);
+    }
+
+    #[test]
+    fn event_stream_reports_phase_engage_and_release() {
+        let mut c = QosController::new(QosControllerConfig::proposal(16));
+        let sub = c.subscribe_events();
+        learn(&mut c, 2000);
+        // Learning → Predicting transition is published, and the fast
+        // learned frame engages the gate in the same evaluation.
+        let p = c.poll_events(sub);
+        assert!(p.events.contains(&QosEvent::FrpuPhase {
+            cycle: 8000,
+            from: Phase::Learning,
+            to: Phase::Predicting,
+        }));
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, QosEvent::ThrottleEngage { w_g: 2, .. })));
+        // The next fast RTP ramps the window: adjust, not engage.
+        c.on_gpu_events(10_000, &[rtp(1000, 2000, 250)]);
+        let p = c.poll_events(sub);
+        assert!(p.events.iter().any(|e| matches!(
+            e,
+            QosEvent::ThrottleAdjust {
+                from_w_g: 2,
+                w_g: 4,
+                ..
+            }
+        )));
+        // A scene cut (work deviation) re-learns, releasing the gate.
+        c.on_gpu_events(14_000, &[rtp(50_000, 2000, 250)]);
+        let p = c.poll_events(sub);
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, QosEvent::FrpuRelearn { total: 1, .. })));
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, QosEvent::ThrottleRelease { .. })));
+        assert_eq!(c.event_bus().dropped(), 0);
     }
 
     #[test]

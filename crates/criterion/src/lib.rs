@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot reach crates-io, so the real criterion is
+//! unavailable. This shim implements exactly the API subset the workspace's
+//! benches use (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `throughput`, `sample_size`, `bench_function`, `Bencher::iter`) with a
+//! simple wall-clock timer: each benchmark runs a short warm-up, then a
+//! fixed number of timed batches, and the mean ns/iter is printed. No
+//! statistics machinery, no HTML reports — just enough to keep
+//! `cargo bench` compiling and producing a usable number.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group. Recorded and echoed
+/// in the report line; no rate math is performed beyond elems-or-bytes/sec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<'a>(&'a mut self, name: &str) -> BenchmarkGroup<'a> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group_name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group_name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let full_id = format!("{}/{}", self.group_name, id);
+        b.report(&full_id, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handed to the benchmark closure; `iter` runs the workload in timed
+/// batches and accumulates the per-iteration mean.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Brief warm-up so the first timed batch isn't paying cold caches.
+        let warm_until = Instant::now() + Duration::from_millis(20);
+        while Instant::now() < warm_until {
+            std::hint::black_box(f());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("  {id}: no iterations recorded");
+            return;
+        }
+        let ns_per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(", {:.3e} elem/s", n as f64 * 1e9 / ns_per_iter)
+            }
+            Throughput::Bytes(n) => {
+                format!(", {:.3e} B/s", n as f64 * 1e9 / ns_per_iter)
+            }
+        });
+        println!(
+            "  {id}: {:.1} ns/iter ({} samples{})",
+            ns_per_iter,
+            self.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Declares a benchmark group function that runs each listed bench with a
+/// fresh default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_group, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        shim_group();
+    }
+
+    #[test]
+    fn top_level_bench_function_runs() {
+        let mut c = Criterion::default();
+        c.sample_size(2).bench_function("direct", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+    }
+}

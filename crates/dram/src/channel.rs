@@ -78,6 +78,11 @@ pub struct DramStats {
     pub ticks: Counter,
     /// REF commands issued.
     pub refreshes: Counter,
+    /// CPU-priority line transitions observed by this channel (each
+    /// engage or release of the boost is one flip; §III-C actuation).
+    pub prio_boost_flips: Counter,
+    /// Ticks spent with the CPU-priority line asserted.
+    pub prio_boost_ticks: Counter,
 }
 
 impl DramStats {
@@ -123,6 +128,8 @@ pub struct DramChannel {
     energy_model: DramEnergyModel,
     pub energy: DramEnergy,
     pub stats: DramStats,
+    /// Last observed state of the CPU-priority line (flip detection).
+    last_prio_boost: bool,
 }
 
 impl DramChannel {
@@ -142,6 +149,7 @@ impl DramChannel {
             energy_model: DramEnergyModel::ddr3_2133(),
             energy: DramEnergy::default(),
             stats: DramStats::default(),
+            last_prio_boost: false,
         }
     }
 
@@ -252,6 +260,13 @@ impl DramChannel {
     /// request.
     pub fn tick(&mut self, now: u64, ctx: SchedCtx) {
         self.stats.ticks.inc();
+        if ctx.cpu_prio_boost != self.last_prio_boost {
+            self.stats.prio_boost_flips.inc();
+            self.last_prio_boost = ctx.cpu_prio_boost;
+        }
+        if ctx.cpu_prio_boost {
+            self.stats.prio_boost_ticks.inc();
+        }
         self.energy.background_pj += self.energy_model.background_pj_per_cycle;
         self.refresh_if_due(now);
         if self.queue.is_empty() {
@@ -695,6 +710,24 @@ mod tests {
             ch.tick(now, SchedCtx::default());
         }
         assert_eq!(ch.stats.refreshes.get(), 4);
+    }
+
+    #[test]
+    fn prio_boost_flips_are_counted() {
+        let mut ch = channel();
+        let boosted = SchedCtx {
+            cpu_prio_boost: true,
+            ..SchedCtx::default()
+        };
+        // off → on → on → off → on: three transitions, two boosted ticks
+        // before the final one.
+        ch.tick(0, SchedCtx::default());
+        ch.tick(1, boosted);
+        ch.tick(2, boosted);
+        ch.tick(3, SchedCtx::default());
+        ch.tick(4, boosted);
+        assert_eq!(ch.stats.prio_boost_flips.get(), 3);
+        assert_eq!(ch.stats.prio_boost_ticks.get(), 3);
     }
 
     #[test]

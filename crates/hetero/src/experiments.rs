@@ -122,6 +122,10 @@ impl Proposal {
 }
 
 /// Run independent jobs on up to `threads` workers, preserving order.
+///
+/// Result order (and therefore every rendered table and JSONL export)
+/// must be independent of `threads`; `tests/determinism.rs` pins this
+/// at the byte level.
 pub fn par_run<J, R>(jobs: Vec<J>, threads: usize, f: impl Fn(J) -> R + Sync) -> Vec<R>
 where
     J: Send,

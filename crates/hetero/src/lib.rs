@@ -12,6 +12,7 @@
 //! * [`report`] — plain-text table rendering for the `figures` binary.
 
 pub mod config;
+pub mod events;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
@@ -19,6 +20,7 @@ pub mod system;
 pub mod uncore;
 
 pub use config::{FillPolicyKind, MachineConfig, QosMode, RunLimits};
+pub use events::RunEvent;
 pub use metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
 
 pub use system::HeteroSystem;

@@ -1,5 +1,7 @@
 //! Per-run results: the raw numbers behind every figure.
 
+use gat_sim::json::{Arr, Obj};
+
 /// One CPU application's outcome.
 #[derive(Debug, Clone)]
 pub struct CoreResult {
@@ -137,6 +139,73 @@ impl RunResult {
 }
 
 impl RunResult {
+    /// Render as one JSONL object:
+    /// `{"type":"run_result","label":...,"cycles":...,"cores":[...],
+    /// "gpu":{...}|null,"llc":{...},"dram":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut cores = Arr::new();
+        for c in &self.cores {
+            cores = cores.raw(
+                &Obj::new()
+                    .u64("core", u64::from(c.core))
+                    .u64("spec_id", u64::from(c.spec_id))
+                    .str("name", c.name)
+                    .f64("ipc", c.ipc)
+                    .u64("retired", c.retired)
+                    .u64("prefetches", c.prefetches)
+                    .u64("loads", c.loads)
+                    .finish(),
+            );
+        }
+        let gpu = match &self.gpu {
+            Some(g) => Obj::new()
+                .str("game", g.game)
+                .f64("fps", g.fps)
+                .f64("fps_min", g.fps_min)
+                .u64("frames", g.frames)
+                .u64("llc_reads", g.llc_reads)
+                .u64("llc_writes", g.llc_writes)
+                .f64("est_error_mean", g.est_error_mean)
+                .f64("est_error_min", g.est_error_min)
+                .f64("est_error_max", g.est_error_max)
+                .u64("predicted_frames", g.predicted_frames)
+                .u64("relearn_events", g.relearn_events)
+                .u64("throttle_w_g", g.throttle_w_g)
+                .u64("gated_cycles", g.gated_cycles)
+                .finish(),
+            None => "null".to_string(),
+        };
+        let llc = Obj::new()
+            .u64("cpu_hits", self.llc.cpu_hits)
+            .u64("cpu_misses", self.llc.cpu_misses)
+            .u64("gpu_hits", self.llc.gpu_hits)
+            .u64("gpu_misses", self.llc.gpu_misses)
+            .u64("back_invalidations", self.llc.back_invalidations)
+            .u64("gpu_fills_bypassed", self.llc.gpu_fills_bypassed)
+            .finish();
+        let dram = Obj::new()
+            .u64("cpu_read_bytes", self.dram.cpu_read_bytes)
+            .u64("cpu_write_bytes", self.dram.cpu_write_bytes)
+            .u64("gpu_read_bytes", self.dram.gpu_read_bytes)
+            .u64("gpu_write_bytes", self.dram.gpu_write_bytes)
+            .f64("row_hit_rate", self.dram.row_hit_rate)
+            .u64("reads", self.dram.reads)
+            .u64("writes", self.dram.writes)
+            .f64("read_latency_mean", self.dram.read_latency_mean)
+            .f64("energy_pj", self.dram.energy_pj)
+            .f64("power_mw", self.dram.power_mw)
+            .finish();
+        Obj::new()
+            .str("type", "run_result")
+            .str("label", &self.label)
+            .u64("cycles", self.cycles)
+            .raw("cores", &cores.finish())
+            .raw("gpu", &gpu)
+            .raw("llc", &llc)
+            .raw("dram", &dram)
+            .finish()
+    }
+
     /// Render a full hierarchical report of this run (the `runsim`
     /// binary's output; handy when exploring configurations by hand).
     pub fn render_report(&self) -> String {
@@ -259,6 +328,42 @@ mod tests {
         for needle in ["CPU cores", "GPU", "shared LLC", "DRAM", "W_G = 2", "avg FPS"] {
             assert!(rep.contains(needle), "missing {needle} in report");
         }
+    }
+
+    #[test]
+    fn json_export_covers_all_sections() {
+        let mut r = run_with_ipcs(&[1.25]);
+        r.gpu = Some(GpuResult {
+            game: "UT2004",
+            fps: 40.0,
+            fps_min: 35.0,
+            frames: 5,
+            llc_reads: 100,
+            llc_writes: 50,
+            est_error_mean: f64::NAN, // no predictions: must emit null
+            est_error_min: 0.0,
+            est_error_max: 0.0,
+            predicted_frames: 0,
+            relearn_events: 0,
+            throttle_w_g: 2,
+            gated_cycles: 10,
+            unit_stats: [(0, 0); 5],
+        });
+        let line = r.to_json();
+        gat_sim::json::validate_json_line(&line).unwrap();
+        for needle in [
+            "\"type\":\"run_result\"",
+            "\"ipc\":1.25",
+            "\"game\":\"UT2004\"",
+            "\"est_error_mean\":null",
+            "\"llc\":{",
+            "\"dram\":{",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+        // CPU-only runs export "gpu":null.
+        let cpu_only = run_with_ipcs(&[1.0]);
+        assert!(cpu_only.to_json().contains("\"gpu\":null"));
     }
 
     #[test]

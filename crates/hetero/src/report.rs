@@ -5,6 +5,7 @@
 //! (GMEAN or arithmetic mean) as the final row. No external dependencies —
 //! the output is meant to be diffed and pasted into EXPERIMENTS.md.
 
+use gat_sim::json::{Arr, Obj};
 use gat_sim::stats::{arithmetic_mean, geometric_mean};
 
 /// A simple aligned table builder.
@@ -71,6 +72,31 @@ impl Table {
             }
         }
         self.row(cells);
+    }
+
+    /// Render as one JSONL object:
+    /// `{"type":"table","title":...,"headers":[...],"rows":[[...],...]}`.
+    /// Cells stay strings — the table is a presentation artifact and the
+    /// numeric formatting ("1.000", "n/a") is part of its contract.
+    pub fn to_json(&self) -> String {
+        let mut headers = Arr::new();
+        for h in &self.headers {
+            headers = headers.str(h);
+        }
+        let mut rows = Arr::new();
+        for row in &self.rows {
+            let mut cells = Arr::new();
+            for c in row {
+                cells = cells.str(c);
+            }
+            rows = rows.raw(&cells.finish());
+        }
+        Obj::new()
+            .str("type", "table")
+            .str("title", &self.title)
+            .raw("headers", &headers.finish())
+            .raw("rows", &rows.finish())
+            .finish()
     }
 
     /// Render with aligned columns.
@@ -151,6 +177,21 @@ mod tests {
         t.amean_row();
         let s = t.render();
         assert!(s.lines().last().unwrap().contains("n/a"));
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let mut t = Table::new("Fig. \"X\"", &["Workload", "A"]);
+        t.row_f("W1", &[1.5]);
+        t.row_f("W2", &[f64::NAN]);
+        t.gmean_row();
+        let line = t.to_json();
+        gat_sim::json::validate_json_line(&line).unwrap();
+        assert!(line.contains("\"type\":\"table\""));
+        assert!(line.contains("\\\"X\\\""), "title quotes escaped: {line}");
+        assert!(line.contains("[\"W1\",\"1.500\"]"));
+        assert!(line.contains("[\"W2\",\"n/a\"]"));
+        assert!(line.contains("[\"GMEAN\",\"1.500\"]"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! contention stays realistic.
 
 use crate::config::{MachineConfig, QosMode};
+use crate::events::RunEvent;
 use crate::metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
 use crate::uncore::{BackInval, Uncore, UncoreCompletion, UncorePort};
 use gat_cache::Source;
@@ -17,8 +18,15 @@ use gat_cpu::stream::Op;
 use std::sync::Arc;
 use gat_dram::{SchedCtx, SchedulerKind};
 use gat_gpu::{GameProfile, GpuEvent, GpuPipeline, WorkloadGen};
+use gat_sim::events::{EventBus, Poll, SubscriberId};
+use gat_sim::metrics::{MetricsRegistry, RegistrySnapshot};
 use gat_sim::rng::SimRng;
 use gat_sim::{Cycle, GPU_CLOCK_DIVIDER};
+
+/// Capacity of the system's [`RunEvent`] ring. Sized for the densest
+/// stream — per-evaluation throttle adjustments plus frame boundaries —
+/// between two polls of a per-frame consumer.
+const RUN_EVENT_RING: usize = 1 << 16;
 
 /// The machine.
 pub struct HeteroSystem {
@@ -39,6 +47,18 @@ pub struct HeteroSystem {
     observed_events: Vec<GpuEvent>,
     observe_events: bool,
     label: String,
+    /// Structured run events (frame boundaries, QoS transitions, DRAM
+    /// priority flips, epoch snapshots) on a bounded ring.
+    run_events: EventBus<RunEvent>,
+    /// Our subscription to the QoS controller's transition stream.
+    qos_sub: Option<SubscriberId>,
+    /// Named metrics, synced from component stats before each snapshot.
+    registry: MetricsRegistry,
+    /// Emit an [`RunEvent::EpochSnapshot`] every this many CPU cycles.
+    epoch_interval: Option<Cycle>,
+    next_epoch: Cycle,
+    /// Last CPU-priority state handed to the DRAM scheduler (flip events).
+    last_sched_boost: bool,
 }
 
 impl HeteroSystem {
@@ -106,11 +126,12 @@ impl HeteroSystem {
             (true, QosMode::ThrotCpuPrio, _) => Some(QosControllerConfig::proposal(cfg.scale)),
             (true, QosMode::CpuPrioOnly, _) => Some(QosControllerConfig::prio_only(cfg.scale)),
         };
-        let qos = qcfg.map(|mut q| {
+        let mut qos = qcfg.map(|mut q| {
             q.strict_release = cfg.strict_release;
             q.target_fps = cfg.target_fps;
             QosController::new(q)
         });
+        let qos_sub = qos.as_mut().map(|q| q.subscribe_events());
         let uncore = Uncore::new(&cfg);
         let label = format!(
             "{}+{:?}+{:?}",
@@ -133,6 +154,12 @@ impl HeteroSystem {
             observed_events: Vec::new(),
             observe_events: false,
             label,
+            run_events: EventBus::new(RUN_EVENT_RING),
+            qos_sub,
+            registry: MetricsRegistry::new(),
+            epoch_interval: None,
+            next_epoch: 0,
+            last_sched_boost: false,
             cfg,
         }
     }
@@ -150,6 +177,110 @@ impl HeteroSystem {
     /// Drain retained GPU events (requires [`Self::observe_events`]).
     pub fn drain_frame_events(&mut self, out: &mut Vec<GpuEvent>) {
         out.append(&mut self.observed_events);
+    }
+
+    /// Register a consumer of the structured [`RunEvent`] stream.
+    pub fn subscribe_run_events(&mut self) -> SubscriberId {
+        self.run_events.subscribe()
+    }
+
+    /// Deliver all run events published since this subscriber's last poll.
+    pub fn poll_run_events(&mut self, sub: SubscriberId) -> Poll<RunEvent> {
+        self.run_events.poll(sub)
+    }
+
+    /// The underlying run-event ring (published/dropped accounting).
+    pub fn run_event_bus(&self) -> &EventBus<RunEvent> {
+        &self.run_events
+    }
+
+    /// Emit a [`RunEvent::EpochSnapshot`] every `interval` CPU cycles
+    /// (`None` disables, the default). The first sample fires on the next
+    /// tick, then every `interval` cycles after.
+    pub fn set_epoch_sampling(&mut self, interval: Option<Cycle>) {
+        self.epoch_interval = interval.filter(|&i| i > 0);
+        self.next_epoch = self.now;
+    }
+
+    /// Sync component statistics into the metrics registry under the
+    /// hierarchical key namespace (`llc.*`, `dram.chN.*`, `frpu.*`,
+    /// `atu.*`, `gpu.*`, `cpu.*`; see DESIGN.md "Observability").
+    pub fn sync_registry(&mut self) {
+        fn set(reg: &mut MetricsRegistry, key: &str, v: u64) {
+            let id = reg.counter(key);
+            reg.set_counter(id, v);
+        }
+        let reg = &mut self.registry;
+        let ls = &self.uncore.llc.stats;
+        set(reg, "llc.cpu_hits", ls.cpu_hits.get());
+        set(reg, "llc.cpu_misses", ls.cpu_misses.get());
+        set(reg, "llc.gpu_hits", ls.gpu_hits.get());
+        set(reg, "llc.gpu_misses", ls.gpu_misses.get());
+        set(
+            reg,
+            "llc.back_invalidations",
+            self.uncore.stats.back_invalidations.get(),
+        );
+        set(
+            reg,
+            "llc.gpu_fills_bypassed",
+            self.uncore.stats.gpu_fills_bypassed.get(),
+        );
+        for (i, ch) in self.uncore.channels.iter().enumerate() {
+            let p = format!("dram.ch{i}");
+            set(reg, &format!("{p}.reads"), ch.stats.reads.get());
+            set(reg, &format!("{p}.writes"), ch.stats.writes.get());
+            set(reg, &format!("{p}.row_hits"), ch.stats.row_hits.get());
+            set(reg, &format!("{p}.row_misses"), ch.stats.row_misses.get());
+            set(reg, &format!("{p}.refreshes"), ch.stats.refreshes.get());
+            set(
+                reg,
+                &format!("{p}.prio_boost_flips"),
+                ch.stats.prio_boost_flips.get(),
+            );
+            set(
+                reg,
+                &format!("{p}.prio_boost_ticks"),
+                ch.stats.prio_boost_ticks.get(),
+            );
+            let lat = reg.stat(&format!("{p}.read_latency"));
+            reg.set_stat(lat, ch.stats.read_latency);
+            let hist = reg.hist(&format!("{p}.read_latency_hist"));
+            reg.set_hist(hist, ch.stats.read_latency_hist.clone());
+        }
+        let retired: u64 = self.cores.iter().map(|c| c.retired.get()).sum();
+        set(reg, "cpu.retired", retired);
+        for c in &self.cores {
+            set(
+                reg,
+                &format!("cpu.core{}.retired", c.core_id()),
+                c.retired.get(),
+            );
+        }
+        if let Some(g) = self.gpu.as_ref() {
+            set(reg, "gpu.frames", g.stats.frames.get());
+            set(reg, "gpu.llc_reads", g.stats.llc_reads_sent.get());
+            set(reg, "gpu.llc_writes", g.stats.llc_writes_sent.get());
+            set(reg, "gpu.gated_cycles", g.stats.gated_cycles.get());
+            let fc = reg.stat("gpu.frame_cycles");
+            reg.set_stat(fc, g.stats.frame_cycles);
+        }
+        if let Some(q) = self.qos.as_ref() {
+            set(reg, "frpu.relearn_events", q.frpu.relearn_events);
+            set(reg, "frpu.predicted_frames", q.frpu.predicted_frames);
+            set(reg, "frpu.learning_frames", q.frpu.learning_frames);
+            let err = reg.stat("frpu.error_percent");
+            reg.set_stat(err, q.frpu.error_percent);
+            set(reg, "atu.evaluations", q.atu.evaluations);
+            set(reg, "atu.closed_cycles", q.atu.closed_cycles);
+            set(reg, "atu.w_g", q.atu.decision().w_g);
+        }
+    }
+
+    /// Sync and capture every registered metric at the current cycle.
+    pub fn registry_snapshot(&mut self) -> RegistrySnapshot {
+        self.sync_registry();
+        self.registry.snapshot(self.now)
     }
 
     /// Current `(W_G, cpu_prio_boost)` of the QoS controller.
@@ -244,6 +375,36 @@ impl HeteroSystem {
                 if let Some(q) = self.qos.as_mut() {
                     q.note_sends(gpu_now, sends);
                     q.on_gpu_events(gpu_now, &self.event_buf);
+                    // Forward the controller's transitions onto the run
+                    // stream, stamped with the global CPU cycle.
+                    if let Some(sub) = self.qos_sub {
+                        for event in q.poll_events(sub).events {
+                            self.run_events.publish(RunEvent::Qos { cycle: now, event });
+                        }
+                    }
+                }
+                for e in &self.event_buf {
+                    if let GpuEvent::FrameComplete { frame, cycles } = *e {
+                        let (w_g, boost) = match self.qos.as_ref() {
+                            Some(q) => {
+                                (q.atu.decision().w_g, q.signals(gpu_now).cpu_prio_boost)
+                            }
+                            None => (0, false),
+                        };
+                        let cpu_retired: u64 =
+                            self.cores.iter().map(|c| c.retired.get()).sum();
+                        self.run_events.publish(RunEvent::FrameBoundary {
+                            cycle: now,
+                            frame: frame.into(),
+                            frame_cycles: cycles,
+                            fps: gpu.fps_of_cycles(cycles as f64),
+                            w_g,
+                            cpu_prio_boost: boost,
+                            gpu_llc_sends: gpu.stats.llc_reads_sent.get()
+                                + gpu.stats.llc_writes_sent.get(),
+                            cpu_retired,
+                        });
+                    }
                 }
                 if self.observe_events {
                     self.observed_events.extend_from_slice(&self.event_buf);
@@ -264,7 +425,23 @@ impl HeteroSystem {
             }
             None => SchedCtx::default(),
         };
+        if ctx.cpu_prio_boost != self.last_sched_boost {
+            self.last_sched_boost = ctx.cpu_prio_boost;
+            self.run_events.publish(RunEvent::DramPrioFlip {
+                cycle: now,
+                boost: ctx.cpu_prio_boost,
+            });
+        }
         self.uncore.tick(now, ctx);
+
+        // 6. Epoch sampler.
+        if let Some(interval) = self.epoch_interval {
+            if now >= self.next_epoch {
+                self.next_epoch = now + interval;
+                let snap = self.registry_snapshot();
+                self.run_events.publish(RunEvent::EpochSnapshot(snap));
+            }
+        }
         self.now += 1;
     }
 
@@ -468,6 +645,52 @@ mod tests {
         assert!(cpu_ratio < 1.02, "co-run CPU ratio {cpu_ratio}");
         assert!(gpu_ratio < 1.02, "co-run GPU ratio {gpu_ratio}");
         assert!(cpu_ratio > 0.2 && gpu_ratio > 0.2, "sane degradation");
+    }
+
+    #[test]
+    fn run_event_stream_and_registry_cover_a_qos_run() {
+        let mut cfg = smoke_cfg(1);
+        cfg.qos = QosMode::ThrotCpuPrio;
+        let mut sys = HeteroSystem::new(cfg, &[spec(403)], Some(game("NFS")));
+        let sub = sys.subscribe_run_events();
+        sys.set_epoch_sampling(Some(100_000));
+        let _ = sys.run();
+        let p = sys.poll_run_events(sub);
+        assert!(!p.events.is_empty(), "no run events published");
+        let frames = p
+            .events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::FrameBoundary { .. }))
+            .count();
+        assert!(frames >= 3, "expected frame boundaries, got {frames}");
+        let epochs = p
+            .events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::EpochSnapshot(_)))
+            .count();
+        assert!(epochs >= 2, "expected epoch snapshots, got {epochs}");
+        // Every event serializes to a valid JSONL line.
+        for e in &p.events {
+            gat_sim::json::validate_json_line(&e.to_json()).unwrap();
+        }
+        // The registry snapshot carries the documented key namespace.
+        let snap = sys.registry_snapshot();
+        for key in [
+            "llc.cpu_misses",
+            "dram.ch0.row_hits",
+            "frpu.relearn_events",
+            "atu.w_g",
+            "gpu.frames",
+            "cpu.retired",
+        ] {
+            assert!(snap.get(key).is_some(), "registry key {key} missing");
+        }
+        // Frame boundaries ride the same stream the timeline binary uses.
+        let fb = p.events.iter().find_map(|e| match e {
+            RunEvent::FrameBoundary { fps, .. } => Some(*fps),
+            _ => None,
+        });
+        assert!(fb.unwrap() > 0.0);
     }
 
     #[test]

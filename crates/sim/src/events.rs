@@ -1,0 +1,194 @@
+//! Bounded ring buffer with multi-subscriber cursors — the transport under
+//! the structured `RunEvent` stream.
+//!
+//! Publishers push events; each subscriber polls independently and receives
+//! every event published since its cursor, in order. The buffer is bounded:
+//! when it fills, the oldest events are overwritten and any subscriber that
+//! had not yet consumed them observes a non-zero `missed` count on its next
+//! poll instead of silently losing data. A global drop counter is also kept
+//! so unconsumed overflow is visible even with no subscribers attached.
+//!
+//! Everything is single-threaded by design (the simulator core is
+//! single-threaded per run; experiment-level parallelism clones whole
+//! systems), so there are no locks and polls are deterministic.
+
+use std::collections::VecDeque;
+
+/// Handle returned by [`EventBus::subscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberId(usize);
+
+/// Result of one poll: the events delivered plus how many were overwritten
+/// before this subscriber could read them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poll<T> {
+    pub events: Vec<T>,
+    pub missed: u64,
+}
+
+/// Bounded multi-subscriber event ring; see the module docs.
+#[derive(Debug, Clone)]
+pub struct EventBus<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    /// Sequence number of the oldest event still in `buf`.
+    head_seq: u64,
+    /// Sequence number the next published event will get.
+    next_seq: u64,
+    /// Events overwritten before *any* subscriber consumed them.
+    dropped: u64,
+    cursors: Vec<u64>,
+}
+
+impl<T: Clone> EventBus<T> {
+    /// A bus holding at most `cap` unconsumed events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            head_seq: 0,
+            next_seq: 0,
+            dropped: 0,
+            cursors: Vec::new(),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn publish(&mut self, event: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.head_seq += 1;
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+        self.next_seq += 1;
+    }
+
+    /// Register a subscriber that will see every event published from now
+    /// on (not history already in the ring).
+    pub fn subscribe(&mut self) -> SubscriberId {
+        let id = SubscriberId(self.cursors.len());
+        self.cursors.push(self.next_seq);
+        id
+    }
+
+    /// Deliver everything published since this subscriber's last poll.
+    pub fn poll(&mut self, sub: SubscriberId) -> Poll<T> {
+        let cursor = self.cursors[sub.0];
+        let missed = self.head_seq.saturating_sub(cursor);
+        let start = cursor.max(self.head_seq);
+        let skip = (start - self.head_seq) as usize;
+        let events: Vec<T> = self.buf.iter().skip(skip).cloned().collect();
+        self.cursors[sub.0] = self.next_seq;
+        Poll { events, missed }
+    }
+
+    /// Total events ever published.
+    pub fn published(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted from the ring before being polled by everyone.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drop everything buffered (subscribers' next poll starts fresh).
+    pub fn clear(&mut self) {
+        self.head_seq = self.next_seq;
+        self.buf.clear();
+        for c in &mut self.cursors {
+            *c = self.next_seq;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribers_see_events_in_order() {
+        let mut bus = EventBus::new(8);
+        let a = bus.subscribe();
+        bus.publish(1);
+        bus.publish(2);
+        let b = bus.subscribe();
+        bus.publish(3);
+        let pa = bus.poll(a);
+        assert_eq!(pa.events, vec![1, 2, 3]);
+        assert_eq!(pa.missed, 0);
+        // b subscribed after 1 and 2 were published; it only sees 3.
+        let pb = bus.poll(b);
+        assert_eq!(pb.events, vec![3]);
+        assert_eq!(pb.missed, 0);
+        // Nothing new: empty polls.
+        assert!(bus.poll(a).events.is_empty());
+    }
+
+    #[test]
+    fn overflow_reports_missed_counts() {
+        let mut bus = EventBus::new(4);
+        let sub = bus.subscribe();
+        for i in 0..10 {
+            bus.publish(i);
+        }
+        let p = bus.poll(sub);
+        // Ring holds the last 4; the first 6 were overwritten.
+        assert_eq!(p.events, vec![6, 7, 8, 9]);
+        assert_eq!(p.missed, 6);
+        assert_eq!(bus.dropped(), 6);
+        assert_eq!(bus.published(), 10);
+        // After catching up, no further misses.
+        bus.publish(10);
+        let p = bus.poll(sub);
+        assert_eq!(p.events, vec![10]);
+        assert_eq!(p.missed, 0);
+    }
+
+    #[test]
+    fn independent_cursors() {
+        let mut bus = EventBus::new(16);
+        let fast = bus.subscribe();
+        let slow = bus.subscribe();
+        bus.publish("x");
+        assert_eq!(bus.poll(fast).events, vec!["x"]);
+        bus.publish("y");
+        assert_eq!(bus.poll(fast).events, vec!["y"]);
+        // The slow subscriber still gets both, in order.
+        assert_eq!(bus.poll(slow).events, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn clear_resets_buffer_and_cursors() {
+        let mut bus = EventBus::new(4);
+        let sub = bus.subscribe();
+        bus.publish(1);
+        bus.publish(2);
+        bus.clear();
+        assert!(bus.is_empty());
+        let p = bus.poll(sub);
+        assert!(p.events.is_empty());
+        assert_eq!(p.missed, 0);
+        bus.publish(3);
+        assert_eq!(bus.poll(sub).events, vec![3]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut bus = EventBus::new(0);
+        bus.publish(1);
+        bus.publish(2);
+        assert_eq!(bus.len(), 1);
+        assert_eq!(bus.dropped(), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Hand-rolled, dependency-free JSON emission.
+//!
+//! The observability layer exports registry snapshots, per-frame timeline
+//! samples and run results as JSONL (one object per line). The workspace is
+//! intentionally free of external runtime dependencies, so instead of serde
+//! this module provides a tiny append-only builder that produces valid,
+//! deterministic JSON:
+//!
+//! * floats are rendered with Rust's shortest-roundtrip `{}` formatting, so
+//!   the same bits always produce the same bytes (the determinism tests
+//!   compare exports byte-for-byte);
+//! * NaN and ±infinity — unrepresentable in JSON — are emitted as `null`;
+//! * object fields appear exactly in insertion order, and callers feed keys
+//!   from sorted maps, so output ordering never depends on hash seeds.
+//!
+//! Only emission is provided. The golden-snapshot tests use a minimal
+//! validating scanner ([`validate_json_line`]) rather than a full parser.
+
+use std::fmt::Write as _;
+
+/// Escape a string for embedding inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an f64 as a JSON value: shortest-roundtrip decimal for finite
+/// values, `null` for NaN/±inf (which JSON cannot represent).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // Rust renders some floats as `1e300`; JSON accepts that form, but
+        // bare `inf`/`NaN` never reach here thanks to the finite check.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder. Fields appear in call order.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Self { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Embed a pre-rendered JSON value (object, array, or literal) verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental JSON array builder.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+}
+
+impl Arr {
+    pub fn new() -> Self {
+        Self { buf: String::new() }
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    pub fn str(mut self, v: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    pub fn u64(mut self, v: u64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn f64(mut self, v: f64) -> Self {
+        self.sep();
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    pub fn raw(mut self, v: &str) -> Self {
+        self.sep();
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+/// Minimal structural validator for one JSONL line: checks that the line is
+/// a single balanced JSON object with correctly quoted strings. Not a full
+/// parser — enough for tests to reject truncated or interleaved output.
+pub fn validate_json_line(line: &str) -> Result<(), String> {
+    let line = line.trim();
+    if !line.starts_with('{') {
+        return Err(format!("line does not start with '{{': {line:.40}"));
+    }
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escape_next = false;
+    let mut end_at = None;
+    for (i, ch) in line.char_indices() {
+        if escape_next {
+            escape_next = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => escape_next = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth_obj += 1,
+            '}' if !in_str => {
+                depth_obj -= 1;
+                if depth_obj == 0 && depth_arr == 0 && end_at.is_none() {
+                    end_at = Some(i);
+                }
+            }
+            '[' if !in_str => depth_arr += 1,
+            ']' if !in_str => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err(format!("unbalanced bracket at byte {i}"));
+        }
+    }
+    if in_str {
+        return Err("unterminated string".into());
+    }
+    match end_at {
+        Some(i) if i == line.len() - 1 => Ok(()),
+        Some(i) => Err(format!("trailing bytes after object (ends at {i})")),
+        None => Err("object never closes".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(1.0), "1");
+        assert_eq!(number(0.25), "0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn object_and_array_builders_compose() {
+        let inner = Arr::new().u64(1).f64(2.5).str("x").finish();
+        let line = Obj::new()
+            .str("type", "demo")
+            .u64("cycle", 42)
+            .bool("boost", true)
+            .f64("fps", 58.5)
+            .raw("samples", &inner)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"type":"demo","cycle":42,"boost":true,"fps":58.5,"samples":[1,2.5,"x"]}"#
+        );
+        validate_json_line(&line).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_json_line(r#"{"a":1}"#).is_ok());
+        assert!(validate_json_line(r#"{"a":1"#).is_err());
+        assert!(validate_json_line(r#"{"a":1}}"#).is_err());
+        assert!(validate_json_line(r#"{"a":"unterminated}"#).is_err());
+        assert!(validate_json_line(r#"not json"#).is_err());
+        assert!(validate_json_line(r#"{"a":[1,2}"#).is_err());
+    }
+}

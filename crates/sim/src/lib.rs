@@ -20,6 +20,9 @@
 pub mod addr;
 pub mod calendar;
 pub mod clock;
+pub mod events;
+pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 

@@ -50,6 +50,11 @@ impl fmt::Display for Counter {
 }
 
 /// Welford online mean/variance over f64 samples.
+///
+/// Non-finite samples (NaN, ±inf) are rejected rather than accumulated: a
+/// single NaN would otherwise poison the mean forever, and the registry
+/// snapshots exported as JSONL must stay representable as JSON numbers.
+/// Rejections are counted and visible via [`RunningStat::rejected`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RunningStat {
     n: u64,
@@ -57,6 +62,7 @@ pub struct RunningStat {
     m2: f64,
     min: f64,
     max: f64,
+    rejected: u64,
 }
 
 impl RunningStat {
@@ -67,11 +73,16 @@ impl RunningStat {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            rejected: 0,
         }
     }
 
     #[inline]
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -82,6 +93,11 @@ impl RunningStat {
 
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Number of non-finite samples rejected by [`RunningStat::push`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     pub fn mean(&self) -> f64 {
@@ -282,5 +298,57 @@ mod tests {
     fn amean_basics() {
         assert_eq!(arithmetic_mean(&[]), 0.0);
         assert!((arithmetic_mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stat_rejects_non_finite() {
+        let mut s = RunningStat::new();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.rejected(), 3);
+        assert_eq!(s.mean(), 0.0);
+        // Finite samples after a rejection behave as if the rejects never
+        // happened.
+        s.push(3.0);
+        s.push(5.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 5.0);
+        assert!(s.mean().is_finite() && s.variance().is_finite());
+    }
+
+    #[test]
+    fn quantile_at_zero_returns_first_bucket_bound() {
+        let mut h = Log2Histogram::new();
+        h.record(100);
+        // q=0 asks for "at least 0 samples", satisfied at bucket 0, whose
+        // upper bound is 2^1. Documented lower-sentinel behavior.
+        assert_eq!(h.quantile_upper_bound(0.0), 2);
+        // Empty histogram short-circuits to 0 at any q.
+        assert_eq!(Log2Histogram::new().quantile_upper_bound(0.0), 0);
+        assert_eq!(Log2Histogram::new().quantile_upper_bound(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_top_bucket() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..10 {
+            h.record(u64::MAX); // lands in bucket 63
+        }
+        assert_eq!(h.bucket(63), 10);
+        // The exponent saturates at 63, so the bound is 2^63, not an
+        // overflowing 2^64.
+        assert_eq!(h.quantile_upper_bound(0.5), 1u64 << 63);
+        assert_eq!(h.quantile_upper_bound(1.0), 1u64 << 63);
+    }
+
+    #[test]
+    fn gmean_all_non_positive_is_identity() {
+        // Every entry is skipped, leaving the "no data" identity of 1.0.
+        assert_eq!(geometric_mean(&[0.0, -1.0, -7.5]), 1.0);
+        assert_eq!(geometric_mean(&[-3.0]), 1.0);
     }
 }
