@@ -13,6 +13,17 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== fast-forward equivalence (10 min cap) =="
+# FF on vs off must produce byte-identical results, registry snapshots
+# and event streams (includes randomized ATU-throttled configs).
+timeout 600 cargo test -q --release --test ff_equivalence
+
+echo "== hotbench smoke (10 min cap) =="
+# Quick perf-trajectory pass: also asserts FF-on tables match the
+# cycle-by-cycle loop on a real figure driver.
+timeout 600 cargo run --release -p gat-bench --bin hotbench -- \
+    --quick --out /tmp/gat_hotbench_smoke.json
+
 if [[ -z "${SKIP_IGNORED:-}" ]]; then
     # One representative heavyweight driver (18 smoke simulations), capped
     # so a wedged scheduler fails fast instead of hanging the pipeline.

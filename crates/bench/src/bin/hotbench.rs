@@ -1,0 +1,193 @@
+//! Hot-path benchmark: measure what the quiescence-aware fast-forward
+//! engine buys on the figure drivers, and record the trajectory.
+//!
+//! ```text
+//! hotbench [--quick] [--out PATH] [--drivers a,b,c]
+//!          [--scale N] [--frames N] [--instr N] [--seed N]
+//! ```
+//!
+//! Each driver is run twice at `threads = 1`: once with fast-forward
+//! disabled (the reference cycle-by-cycle loop) and once with it enabled
+//! (the default). Both runs produce identical tables — asserted here —
+//! so the wall-clock ratio is a pure measurement of the engine. Results
+//! are written as JSONL (default `BENCH_hotpath.json`): one meta line,
+//! then one line per driver with wall-clock seconds, cycles simulated,
+//! cycles skipped, and cycles per second for both loops.
+
+use std::time::Instant;
+
+use gat_bench::{figure_tables, render_tables};
+use gat_hetero::experiments::ExpConfig;
+use gat_hetero::ffstats;
+use gat_sim::json::{validate_json_line, Obj};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hotbench [--quick] [--out PATH] [--drivers a,b,c] \
+         [--scale N] [--frames N] [--instr N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// Pre-optimization wall-clock seconds for each figure driver, recorded
+/// with the strict cycle-by-cycle loop at the default hotbench config
+/// (`figures_progress.txt`: scale=128, frames=4, instr=200000,
+/// seed=538379561, threads=1). Only valid for that exact config; the
+/// comparison is omitted whenever any knob is changed.
+const RECORDED_BASELINE_S: &[(&str, f64)] = &[
+    ("fig1+2", 51.8),
+    ("fig3", 82.3),
+    ("fig8", 57.6),
+    ("fig9+10+11", 36.8),
+    ("fig12", 135.8),
+    ("fig13+14", 373.6),
+];
+
+/// One driver timed under one loop flavour.
+struct Sample {
+    wall_s: f64,
+    simulated: u64,
+    skipped: u64,
+    spans: u64,
+    tables: String,
+}
+
+fn run_once(id: &str, cfg: &ExpConfig) -> Sample {
+    let _ = ffstats::take();
+    let start = Instant::now();
+    let tables = render_tables(&figure_tables(id, cfg));
+    let wall_s = start.elapsed().as_secs_f64();
+    let (simulated, skipped, spans) = ffstats::take();
+    Sample {
+        wall_s,
+        simulated,
+        skipped,
+        spans,
+        tables,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig {
+        // Fixed measurement config: single worker so wall-clock ratios are
+        // loop-speed ratios, not scheduling artifacts.
+        threads: 1,
+        scale: 128,
+        seed: 538_379_561,
+        ..ExpConfig::default()
+    };
+    cfg.limits.gpu_frames = 4;
+    cfg.limits.cpu_instructions = 200_000;
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let mut drivers: Vec<String> = ["fig1+2", "fig3", "fig8", "fig9+10+11"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+                continue;
+            }
+            key => {
+                let val = args.get(i + 1).unwrap_or_else(|| usage());
+                match key {
+                    "--out" => out_path = val.clone(),
+                    "--drivers" => {
+                        drivers = val.split(',').map(|s| s.trim().to_string()).collect()
+                    }
+                    "--scale" => cfg.scale = val.parse().expect("--scale N"),
+                    "--frames" => cfg.limits.gpu_frames = val.parse().expect("--frames N"),
+                    "--instr" => {
+                        cfg.limits.cpu_instructions = val.parse().expect("--instr N")
+                    }
+                    "--seed" => cfg.seed = val.parse().expect("--seed N"),
+                    _ => usage(),
+                }
+                i += 2;
+            }
+        }
+    }
+    if quick {
+        // CI smoke: one small driver pair, seconds not minutes.
+        cfg.scale = 256;
+        cfg.limits.cpu_instructions = 60_000;
+        cfg.limits.gpu_frames = 2;
+        cfg.limits.warmup_cycles = 30_000;
+        drivers = vec!["fig1+2".to_string()];
+    }
+    let at_recorded_config = !quick
+        && cfg.scale == 128
+        && cfg.limits.gpu_frames == 4
+        && cfg.limits.cpu_instructions == 200_000
+        && cfg.seed == 538_379_561;
+
+    let mut lines = Vec::new();
+    lines.push(
+        Obj::new()
+            .str("type", "bench_meta")
+            .str("bench", "hotbench")
+            .u64("scale", u64::from(cfg.scale))
+            .u64("frames", u64::from(cfg.limits.gpu_frames))
+            .u64("instr", cfg.limits.cpu_instructions)
+            .u64("seed", cfg.seed)
+            .u64("threads", cfg.threads as u64)
+            .bool("quick", quick)
+            .finish(),
+    );
+
+    for id in &drivers {
+        eprintln!("# {id}: cycle-by-cycle baseline ...");
+        let mut base_cfg = cfg.clone();
+        base_cfg.fast_forward = false;
+        let base = run_once(id, &base_cfg);
+        assert_eq!(base.skipped, 0, "baseline must not fast-forward");
+        eprintln!("# {id}: fast-forward ...");
+        let ff = run_once(id, &cfg);
+        assert_eq!(
+            base.tables, ff.tables,
+            "{id}: fast-forward changed the figure tables"
+        );
+        let speedup = base.wall_s / ff.wall_s;
+        let skip_pct = 100.0 * ff.skipped as f64 / ff.simulated.max(1) as f64;
+        eprintln!(
+            "# {id}: {:.2}s -> {:.2}s ({speedup:.2}x), {:.1}% of {} cycles skipped in {} spans",
+            base.wall_s, ff.wall_s, skip_pct, ff.simulated, ff.spans
+        );
+        let mut obj = Obj::new()
+            .str("type", "hotbench")
+            .str("driver", id)
+            .f64("baseline_wall_s", base.wall_s)
+            .f64("ff_wall_s", ff.wall_s)
+            .f64("speedup", speedup)
+            .u64("cycles_simulated", ff.simulated)
+            .u64("cycles_skipped", ff.skipped)
+            .u64("ff_spans", ff.spans)
+            .f64("skip_pct", skip_pct)
+            .f64("baseline_cycles_per_s", base.simulated as f64 / base.wall_s)
+            .f64("ff_cycles_per_s", ff.simulated as f64 / ff.wall_s);
+        if at_recorded_config {
+            if let Some(&(_, rec)) = RECORDED_BASELINE_S.iter().find(|(d, _)| d == id) {
+                let vs = rec / ff.wall_s;
+                eprintln!("# {id}: {vs:.2}x vs the recorded pre-optimization loop ({rec:.1}s)");
+                obj = obj
+                    .f64("recorded_baseline_s", rec)
+                    .f64("speedup_vs_recorded", vs);
+            }
+        }
+        lines.push(obj.finish());
+    }
+
+    let mut out = String::new();
+    for line in &lines {
+        validate_json_line(line).expect("hotbench emitted invalid JSON");
+        out.push_str(line);
+        out.push('\n');
+    }
+    std::fs::write(&out_path, &out).expect("cannot write bench output");
+    eprintln!("# wrote {out_path}");
+}

@@ -12,7 +12,7 @@
 //!   GPU resources such as request buffers and MSHRs attached to the caches
 //!   internal to the GPU" — the GPU pipeline stalls exactly when these fill.
 
-use std::collections::HashMap;
+use gat_sim::hashing::FastMap;
 
 /// Result of trying to allocate an MSHR for a missed block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,10 @@ pub enum MshrOutcome {
 pub struct MshrFile {
     capacity: usize,
     max_waiters: usize,
-    entries: HashMap<u64, Vec<u64>>,
+    entries: FastMap<u64, Vec<u64>>,
+    /// Recycled waiter vectors (always empty), so the steady state of
+    /// allocate/complete churns no heap memory.
+    pool: Vec<Vec<u64>>,
     /// High-water mark of simultaneously live entries.
     peak: usize,
     stalls: u64,
@@ -48,7 +51,8 @@ impl MshrFile {
         Self {
             capacity,
             max_waiters,
-            entries: HashMap::with_capacity(capacity),
+            entries: FastMap::with_capacity_and_hasher(capacity, Default::default()),
+            pool: Vec::new(),
             peak: 0,
             stalls: 0,
             merges: 0,
@@ -70,7 +74,9 @@ impl MshrFile {
             self.stalls += 1;
             return MshrOutcome::Full;
         }
-        self.entries.insert(block, vec![token]);
+        let mut waiters = self.pool.pop().unwrap_or_default();
+        waiters.push(token);
+        self.entries.insert(block, waiters);
         self.peak = self.peak.max(self.entries.len());
         MshrOutcome::Primary
     }
@@ -79,6 +85,26 @@ impl MshrFile {
     /// queued requester token (primary first, then merge order).
     pub fn complete(&mut self, block: u64) -> Vec<u64> {
         self.entries.remove(&block).unwrap_or_default()
+    }
+
+    /// Allocation-free [`Self::complete`]: append every queued requester
+    /// token for `block` to `out` (primary first, then merge order) and
+    /// recycle the entry's storage. Appends nothing for an unknown block.
+    pub fn complete_into(&mut self, block: u64, out: &mut Vec<u64>) {
+        if let Some(mut waiters) = self.entries.remove(&block) {
+            out.extend_from_slice(&waiters);
+            waiters.clear();
+            self.pool.push(waiters);
+        }
+    }
+
+    /// Drop the entry for `block` without reading its waiters (allocation
+    /// rollback), recycling the storage.
+    pub fn cancel(&mut self, block: u64) {
+        if let Some(mut waiters) = self.entries.remove(&block) {
+            waiters.clear();
+            self.pool.push(waiters);
+        }
     }
 
     /// Is a miss to `block` already outstanding?

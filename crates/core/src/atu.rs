@@ -144,6 +144,18 @@ impl AccessThrottler {
         self.tokens.min(u32::MAX as u64) as u32
     }
 
+    /// If the gate is currently closed at GPU cycle `now`, the GPU cycle at
+    /// which it reopens. `None` while the gate is open (or throttling is
+    /// off), so an idle-span driver can treat the window expiry as a wake
+    /// deadline.
+    pub fn gate_reopens_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.w_g > 0 && now < self.closed_until {
+            Some(self.closed_until)
+        } else {
+            None
+        }
+    }
+
     /// Report `sends` accesses made at GPU cycle `now`.
     pub fn note_sends(&mut self, now: Cycle, sends: u32) {
         if self.w_g == 0 || sends == 0 {

@@ -162,6 +162,12 @@ impl QosController {
         self.events.poll(sub)
     }
 
+    /// Allocation-free [`Self::poll_events`]: appends the pending events to
+    /// `out` and returns the missed count.
+    pub fn poll_events_into(&mut self, sub: SubscriberId, out: &mut Vec<QosEvent>) -> u64 {
+        self.events.poll_into(sub, out)
+    }
+
     /// The underlying event ring (published/dropped accounting).
     pub fn event_bus(&self) -> &EventBus<QosEvent> {
         &self.events
@@ -269,6 +275,14 @@ impl QosController {
             self.next_eval = now + self.eval_interval;
             self.evaluate(now);
         }
+    }
+
+    /// The GPU cycle at or after which the next periodic policy evaluation
+    /// fires (it runs from `note_sends`, so it only actually happens on a
+    /// GPU tick with nonzero sends or a quota probe — this is the earliest
+    /// candidate deadline for an idle-span driver).
+    pub fn next_eval_at(&self) -> Cycle {
+        self.next_eval
     }
 
     /// Cycle-level signals for the DRAM scheduler.

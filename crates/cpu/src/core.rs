@@ -78,7 +78,7 @@ pub struct Core {
     /// Outstanding *serialized* (pointer-chase) loads: a chase load cannot
     /// issue while another chase load is in flight — one dependence chain,
     /// while independent loads overlap freely around it.
-    outstanding_chases: std::collections::HashSet<u64>,
+    outstanding_chases: gat_sim::hashing::FastSet<u64>,
     dispatch_credit: f64,
     /// Dispatch is frozen until this cycle (branch-misprediction refill).
     frontend_stall_until: Cycle,
@@ -98,6 +98,8 @@ pub struct Core {
     measure_budget: Option<u64>,
     /// Cycles it took to retire the budget, once reached.
     budget_cycles: Option<u64>,
+    /// Scratch for completed-load seqs (kept empty between responses).
+    resp_seqs: Vec<u64>,
 }
 
 impl Core {
@@ -114,7 +116,7 @@ impl Core {
             next_seq: 0,
             access_queue: VecDeque::new(),
             outstanding_loads: 0,
-            outstanding_chases: std::collections::HashSet::new(),
+            outstanding_chases: gat_sim::hashing::FastSet::default(),
             dispatch_credit: 0.0,
             frontend_stall_until: 0,
             instrs_to_misp: u64::MAX,
@@ -126,6 +128,7 @@ impl Core {
             mark_cycles: 0,
             measure_budget: None,
             budget_cycles: None,
+            resp_seqs: Vec::new(),
         }
     }
 
@@ -318,15 +321,131 @@ impl Core {
         }
     }
 
+    /// Earliest cycle at or after `now` at which ticking this core could
+    /// do observable work. `None` means the core is active *at* `now` and
+    /// must be ticked normally; `Some(w)` means every tick in `[now, w)`
+    /// is inert (only per-cycle counters advance, replayed exactly by
+    /// [`Core::fast_forward`]); `Some(Cycle::MAX)` means the core is fully
+    /// blocked on an external event (a memory response).
+    ///
+    /// "Inert" is strict: any tick that would touch the cache hierarchy
+    /// (even a stalled retry — `load`/`store` bump counters and train the
+    /// prefetcher on every call), pop the ROB, or dispatch an op counts as
+    /// active.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // Pending write-backs drain to the port every tick.
+        if self.hierarchy.writebacks_queued() > 0 {
+            return None;
+        }
+        let mut wake = Cycle::MAX;
+        // Commit: a Done/expired-Timed front retires now; a future Timed
+        // front fixes a wake cycle.
+        if let Some(e) = self.rob.front() {
+            match e.state {
+                EntryState::Done => return None,
+                EntryState::Timed(at) => {
+                    if at <= now {
+                        return None;
+                    }
+                    wake = wake.min(at);
+                }
+                EntryState::WaitingAccess | EntryState::WaitingData => {}
+            }
+        }
+        // Access queue: an attemptable front means `start_accesses` calls
+        // into the hierarchy this cycle (side effects even on Stall). A
+        // chase-blocked front only unblocks on a memory response, which is
+        // delivered by an active uncore — no self-wake needed.
+        if let Some(&(_, _, _, serialized)) = self.access_queue.front() {
+            let chase_blocked = serialized
+                && self.outstanding_chases.len()
+                    >= usize::from(self.stream.profile().chase_chains);
+            if !chase_blocked {
+                return None;
+            }
+        }
+        // Dispatch: emits an op once the front end has refilled, credit
+        // reaches 1.0 and there is structural room. Credit accrual alone
+        // (and its min-cap) is replayed by `fast_forward`.
+        let b = self.stream.profile().base_ipc;
+        let rob_open = self.rob.len() < self.cfg.rob_size
+            && self.access_queue.len() < self.cfg.rob_size / 2;
+        if rob_open && b > 0.0 {
+            if now < self.frontend_stall_until {
+                wake = wake.min(self.frontend_stall_until);
+            } else if self.dispatch_credit + b >= 1.0 {
+                return None;
+            } else {
+                // Find the exact tick whose accrual lifts credit to 1.0 by
+                // replaying the rounded float sequence (an analytic ceil
+                // can be off by one ULP-induced cycle). The loop is short:
+                // at most ~1/base_ipc iterations.
+                let cap = self.cfg.dispatch_width as f64;
+                let mut c = self.dispatch_credit;
+                let mut m: Cycle = 0;
+                loop {
+                    let next = (c + b).min(cap);
+                    m += 1;
+                    if next >= 1.0 {
+                        wake = wake.min(now + m - 1);
+                        break;
+                    }
+                    if next == c {
+                        break; // saturated below 1.0: never dispatches
+                    }
+                    c = next;
+                }
+            }
+        }
+        Some(wake)
+    }
+
+    /// Batch-advance the per-cycle state over the inert span `[from, to)`
+    /// (every cycle in it was certified inert by [`Core::next_activity`]).
+    /// Counter sums and the dispatch-credit float sequence are replayed
+    /// addition-by-addition so results stay bit-identical to per-cycle
+    /// ticking.
+    pub fn fast_forward(&mut self, from: Cycle, to: Cycle) {
+        let k = to - from;
+        if k == 0 {
+            return;
+        }
+        self.cycles.add(k);
+        if !self.rob.is_empty() {
+            self.commit_stall_cycles.add(k);
+        }
+        // Dispatch-credit accrues on every tick at/after the front-end
+        // refill point, even when dispatch is structurally blocked. Replay
+        // the exact `(c + b).min(cap)` sequence; once it reaches a fixed
+        // point (saturated at the cap) further additions are no-ops.
+        let b = self.stream.profile().base_ipc;
+        let cap = self.cfg.dispatch_width as f64;
+        let accrue_from = from.max(self.frontend_stall_until);
+        if accrue_from < to {
+            let mut d = to - accrue_from;
+            while d > 0 {
+                let next = (self.dispatch_credit + b).min(cap);
+                if next == self.dispatch_credit {
+                    break;
+                }
+                self.dispatch_credit = next;
+                d -= 1;
+            }
+        }
+    }
+
     /// A read the hierarchy sent below has completed (`token` is the block
     /// address used in the request).
     pub fn on_mem_response(&mut self, now: Cycle, token: u64, port: &mut dyn MemPort) {
-        let seqs = self.hierarchy.on_response(now, token, port);
-        for seq in seqs {
+        let mut seqs = std::mem::take(&mut self.resp_seqs);
+        self.hierarchy.on_response(now, token, port, &mut seqs);
+        for &seq in &seqs {
             self.outstanding_loads = self.outstanding_loads.saturating_sub(1);
             self.outstanding_chases.remove(&seq);
             self.set_state(seq, EntryState::Done);
         }
+        seqs.clear();
+        self.resp_seqs = seqs;
     }
 
     /// Back-invalidation from the inclusive LLC.

@@ -12,7 +12,7 @@ use gat_cache::{AccessKind, BlockReq, CacheConfig, MemPort, MshrFile, MshrOutcom
 use gat_sim::addr::line_of;
 use gat_sim::stats::Counter;
 use gat_sim::Cycle;
-use std::collections::HashMap;
+use gat_sim::hashing::FastMap;
 
 /// Geometry/latency knobs; defaults are Table I.
 #[derive(Debug, Clone)]
@@ -94,7 +94,7 @@ pub struct CpuHierarchy {
     pub l1d: SetAssocCache,
     pub l2: SetAssocCache,
     mshr: MshrFile,
-    pending: HashMap<u64, PendingBlock>,
+    pending: FastMap<u64, PendingBlock>,
     streams: [StreamEntry; STREAM_TABLE],
     stream_stamp: u64,
     last_block: u64,
@@ -136,7 +136,7 @@ impl CpuHierarchy {
             l1d,
             l2,
             mshr,
-            pending: HashMap::new(),
+            pending: FastMap::default(),
             streams: [StreamEntry::default(); STREAM_TABLE],
             stream_stamp: 0,
             last_block: u64::MAX,
@@ -233,7 +233,7 @@ impl CpuHierarchy {
                     LoadOutcome::Pending
                 } else {
                     // Downstream full: roll back the MSHR.
-                    self.mshr.complete(block);
+                    self.mshr.cancel(block);
                     LoadOutcome::Stall
                 }
             }
@@ -363,11 +363,18 @@ impl CpuHierarchy {
         self.writeback_buf.push(line_of(addr));
     }
 
-    /// The block read for `token` returned. Fills L2 then L1 and returns
-    /// the load seqs now complete.
-    pub fn on_response(&mut self, _now: Cycle, token: u64, port: &mut dyn MemPort) -> Vec<u64> {
+    /// The block read for `token` returned. Fills L2 then L1 and appends
+    /// the load seqs now complete to `out` (in waiter order).
+    pub fn on_response(
+        &mut self,
+        _now: Cycle,
+        token: u64,
+        port: &mut dyn MemPort,
+        out: &mut Vec<u64>,
+    ) {
         let block = token;
-        let waiters = self.mshr.complete(block);
+        let start = out.len();
+        self.mshr.complete_into(block, out);
         let pend = self.pending.remove(&block).unwrap_or_default();
         let src = self.source();
         if let Some(ev) = self.l2.fill(block, src, pend.any_store) {
@@ -383,11 +390,17 @@ impl CpuHierarchy {
         if pend.demand {
             self.fill_l1(block, pend.any_store, port);
         }
-        waiters
-            .into_iter()
-            .filter(|w| w & 1 == 0)
-            .map(|w| w >> 1)
-            .collect()
+        // In place over the appended waiters: drop prefetch sentinels
+        // (odd tokens) and decode load seqs, preserving waiter order.
+        let mut w = start;
+        for i in start..out.len() {
+            let t = out[i];
+            if t & 1 == 0 {
+                out[w] = t >> 1;
+                w += 1;
+            }
+        }
+        out.truncate(w);
     }
 
     /// Back-invalidation from the inclusive LLC: drop our copies; dirty
@@ -450,6 +463,13 @@ mod tests {
         )
     }
 
+    /// Collect completed-load seqs into a fresh vector (test convenience).
+    fn resp(h: &mut CpuHierarchy, now: u64, token: u64, port: &mut SinkPort) -> Vec<u64> {
+        let mut out = Vec::new();
+        h.on_response(now, token, port, &mut out);
+        out
+    }
+
     #[test]
     fn l1_hit_after_fill() {
         let mut h = hier();
@@ -457,7 +477,7 @@ mod tests {
         assert_eq!(h.load(0, 0x1000, 1, &mut port), LoadOutcome::Pending);
         assert_eq!(port.accepted.len(), 1);
         assert_eq!(port.accepted[0].1.addr, 0x1000);
-        let done = h.on_response(100, 0x1000, &mut port);
+        let done = resp(&mut h,100, 0x1000, &mut port);
         assert_eq!(done, vec![1]);
         assert_eq!(
             h.load(101, 0x1008, 2, &mut port),
@@ -471,13 +491,13 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         h.load(0, 0x2000, 1, &mut port);
-        h.on_response(10, 0x2000, &mut port);
+        resp(&mut h,10, 0x2000, &mut port);
         // Evict from L1 only (fill 8 conflicting blocks: L1 32KB/8w/64B =
         // 64 sets; stride 64*64 = 4096 hits the same L1 set).
         for i in 1..=8u64 {
             let a = 0x2000 + i * 4096;
             h.load(20, a, 10 + i, &mut port);
-            h.on_response(30, a, &mut port);
+            resp(&mut h,30, a, &mut port);
         }
         assert!(!h.l1d.probe(0x2000), "L1 victimized");
         // L2 (256KB/8w = 512 sets, stride 32768 maps same set) still has it.
@@ -492,7 +512,7 @@ mod tests {
         assert_eq!(h.load(0, 0x3000, 1, &mut port), LoadOutcome::Pending);
         assert_eq!(h.load(0, 0x3008, 2, &mut port), LoadOutcome::Pending);
         assert_eq!(port.accepted.len(), 1, "one downstream request");
-        let done = h.on_response(50, 0x3000, &mut port);
+        let done = resp(&mut h,50, 0x3000, &mut port);
         assert_eq!(done, vec![1, 2]);
     }
 
@@ -510,7 +530,7 @@ mod tests {
         assert_eq!(h.load(0, 0x1000, 2, &mut port), LoadOutcome::Pending);
         assert_eq!(h.load(0, 0x2000, 3, &mut port), LoadOutcome::Stall);
         assert!(!h.can_miss());
-        h.on_response(10, 0x0000, &mut port);
+        resp(&mut h,10, 0x0000, &mut port);
         assert!(h.can_miss());
     }
 
@@ -533,7 +553,7 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         assert_eq!(h.store(0, 0x4000, &mut port), LoadOutcome::Pending);
-        let done = h.on_response(10, 0x4000, &mut port);
+        let done = resp(&mut h,10, 0x4000, &mut port);
         assert!(done.is_empty(), "stores deliver no load seqs");
         // The block must be dirty: back-invalidate and expect a write-back.
         h.back_invalidate(0x4000);
@@ -550,7 +570,7 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         h.load(0, 0x5000, 1, &mut port);
-        h.on_response(10, 0x5000, &mut port);
+        resp(&mut h,10, 0x5000, &mut port);
         h.back_invalidate(0x5000);
         assert_eq!(h.writebacks_queued(), 0);
         assert!(!h.l1d.probe(0x5000));
@@ -575,7 +595,7 @@ mod tests {
             .collect();
         assert!(pf_addrs.contains(&0x8080));
         // Deliver a prefetch: it fills L2 but not L1.
-        h.on_response(10, 0x8080, &mut port);
+        resp(&mut h,10, 0x8080, &mut port);
         assert!(h.l2.probe(0x8080));
         assert!(!h.l1d.probe(0x8080), "prefetch must not pollute L1");
         assert_eq!(h.load(20, 0x8080, 3, &mut port), LoadOutcome::Hit { latency: 5 });
@@ -599,7 +619,7 @@ mod tests {
             let outstanding: Vec<u64> =
                 port.accepted.drain(..).filter(|(_, r)| !r.write).map(|(_, r)| r.token).collect();
             for tok in outstanding {
-                h.on_response(i, tok, &mut port);
+                resp(&mut h,i, tok, &mut port);
             }
         }
         assert!(
@@ -617,7 +637,7 @@ mod tests {
         assert!(h.mshr.contains(0x8080), "prefetch in flight");
         // Demand load merges onto the in-flight prefetch of 0x8080.
         assert_eq!(h.load(2, 0x8080, 3, &mut port), LoadOutcome::Pending);
-        h.on_response(10, 0x8080, &mut port);
+        resp(&mut h,10, 0x8080, &mut port);
         assert!(h.l1d.probe(0x8080), "demand-merged fill reaches L1");
     }
 
@@ -626,7 +646,7 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         h.store(0, 0x6000, &mut port);
-        h.on_response(5, 0x6000, &mut port);
+        resp(&mut h,5, 0x6000, &mut port);
         h.back_invalidate(0x6000);
         let mut closed = SinkPort {
             reject_all: true,

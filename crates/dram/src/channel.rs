@@ -120,7 +120,23 @@ pub struct DramChannel {
     act_any_ready: u64,
     scheduler: Box<dyn Scheduler>,
     completions: Vec<Completion>,
+    /// Exact earliest `done_at` over `completions` (`u64::MAX` when
+    /// empty) — O(1) drain early-out and quiescence-probe horizon.
+    done_min: u64,
+    /// Scratch for the per-tick scheduler view (kept empty between ticks).
+    info_buf: Vec<ReqInfo>,
     arrivals: u64,
+    /// Queued writes (kept in lockstep with `queue` so the per-tick
+    /// write-drain hysteresis needs no queue pass).
+    queued_writes: usize,
+    /// The scheduler is known to return `None` before this cycle: no
+    /// eligible request's bank can start a first command earlier, the
+    /// queue is unchanged, and the policy is [`Scheduler::pure_when_starved`].
+    /// Cleared on enqueue, refresh, and reset; never set for impure
+    /// policies, so they still see every cycle.
+    starved_until: u64,
+    /// Cached [`Scheduler::pure_when_starved`] for the installed policy.
+    sched_starved_skip: bool,
     /// Currently in a write-drain burst.
     draining_writes: bool,
     /// Next cycle at which a REF command is due.
@@ -134,6 +150,7 @@ pub struct DramChannel {
 
 impl DramChannel {
     pub fn new(timing: DramTiming, banks: u32, queue_capacity: usize, scheduler: Box<dyn Scheduler>) -> Self {
+        let sched_starved_skip = scheduler.pure_when_starved();
         Self {
             timing,
             banks: vec![Bank::default(); banks as usize],
@@ -143,7 +160,12 @@ impl DramChannel {
             act_any_ready: 0,
             scheduler,
             completions: Vec::new(),
+            done_min: u64::MAX,
+            info_buf: Vec::new(),
             arrivals: 0,
+            queued_writes: 0,
+            starved_until: 0,
+            sched_starved_skip,
             draining_writes: false,
             next_refresh: timing.t_refi,
             energy_model: DramEnergyModel::ddr3_2133(),
@@ -180,6 +202,10 @@ impl DramChannel {
         // `arrivals` gives a strict total order even for same-cycle pushes.
         let arrival = now * 4096 + (self.arrivals & 0xFFF);
         self.arrivals += 1;
+        self.queued_writes += usize::from(req.write);
+        // A new arrival can change the starved verdict (it may be
+        // issuable at once, or flip write eligibility).
+        self.starved_until = 0;
         self.queue.push(Pending {
             req,
             coord,
@@ -187,11 +213,13 @@ impl DramChannel {
         });
     }
 
-    fn req_infos(&self, now: u64) -> Vec<ReqInfo> {
-        let writes_eligible = self.writes_eligible();
-        self.queue
-            .iter()
-            .map(|p| {
+    /// Build the scheduler's view of the queue into `out`. Returns the
+    /// earliest `issuable_at` over *eligible* requests (`u64::MAX` if
+    /// none is eligible) — the first cycle the starved verdict can flip
+    /// without a queue or bank-state change.
+    fn req_infos(&self, now: u64, writes_eligible: bool, out: &mut Vec<ReqInfo>) -> u64 {
+        let mut eligible_ready = u64::MAX;
+        out.extend(self.queue.iter().map(|p| {
                 let bank = &self.banks[p.coord.bank as usize];
                 let (row_hit, issuable_at) = match bank.open_row {
                     Some(r) if r == p.coord.row => {
@@ -214,6 +242,10 @@ impl DramChannel {
                         (false, at)
                     }
                 };
+                let eligible = !p.req.write || writes_eligible;
+                if eligible {
+                    eligible_ready = eligible_ready.min(issuable_at);
+                }
                 ReqInfo {
                     is_gpu: p.req.source.is_gpu(),
                     source_id: p.req.source.encode(),
@@ -221,18 +253,12 @@ impl DramChannel {
                     arrival: p.arrival,
                     row_hit,
                     issuable: issuable_at <= now,
-                    eligible: !p.req.write || writes_eligible,
+                    eligible,
                     bank: p.coord.bank,
                     row: p.coord.row,
                 }
-            })
-            .collect()
-    }
-
-    /// Writes may be scheduled while a drain burst is active or when no
-    /// reads are waiting.
-    fn writes_eligible(&self) -> bool {
-        self.draining_writes || !self.queue.iter().any(|p| !p.req.write)
+        }));
+        eligible_ready
     }
 
     /// Issue a REF when due: precharge all banks and hold the rank for
@@ -251,6 +277,8 @@ impl DramChannel {
             b.pre_ready = 0;
         }
         self.act_any_ready = self.act_any_ready.max(end);
+        // REF rewrites bank timing, so any cached starved verdict is stale.
+        self.starved_until = 0;
         self.next_refresh += self.timing.t_refi;
         self.stats.refreshes.inc();
         self.energy.refresh_pj += self.energy_model.refresh_pj;
@@ -273,20 +301,51 @@ impl DramChannel {
             return;
         }
         self.stats.busy_cycles.inc();
-        // Update the write-drain hysteresis.
-        let writes = self.queue.iter().filter(|p| p.req.write).count();
+        // Known-starved span: nothing new arrived, no bank timing moved,
+        // and no eligible request's first command is ready yet, so a
+        // pure-when-starved scheduler would rebuild the same view and
+        // return `None` again. Skip straight out (bookkeeping above
+        // still ran).
+        if now < self.starved_until {
+            return;
+        }
+        // Update the write-drain hysteresis (the incrementally-tracked
+        // write count settles write eligibility: writes may issue while
+        // draining or when no reads are waiting, i.e. the queue is all
+        // writes).
+        debug_assert_eq!(
+            self.queued_writes,
+            self.queue.iter().filter(|p| p.req.write).count()
+        );
+        let writes = self.queued_writes;
         if writes >= WRITE_DRAIN_HI {
             self.draining_writes = true;
         } else if writes <= WRITE_DRAIN_LO {
             self.draining_writes = false;
         }
-        let infos = self.req_infos(now);
-        let Some(idx) = self.scheduler.select(&infos, now, ctx) else {
-            return;
-        };
-        debug_assert!(infos[idx].issuable, "scheduler picked a non-issuable request");
-        let p = self.queue.swap_remove(idx);
-        self.issue(p, now);
+        let writes_eligible = self.draining_writes || writes == self.queue.len();
+        let mut infos = std::mem::take(&mut self.info_buf);
+        let eligible_ready = self.req_infos(now, writes_eligible, &mut infos);
+        let picked = self.scheduler.select(&infos, now, ctx);
+        if let Some(idx) = picked {
+            debug_assert!(infos[idx].issuable, "scheduler picked a non-issuable request");
+        }
+        infos.clear();
+        self.info_buf = infos;
+        match picked {
+            Some(idx) => {
+                let p = self.queue.swap_remove(idx);
+                self.queued_writes -= usize::from(p.req.write);
+                self.issue(p, now);
+            }
+            None if self.sched_starved_skip => {
+                // Work-conserving policy found nothing issuable+eligible;
+                // that verdict holds until the earliest bank-ready time
+                // (enqueue/REF clear it sooner).
+                self.starved_until = eligible_ready;
+            }
+            None => {}
+        }
     }
 
     fn issue(&mut self, p: Pending, now: u64) {
@@ -362,26 +421,72 @@ impl DramChannel {
             source: p.req.source,
             done_at,
         });
+        self.done_min = self.done_min.min(done_at);
     }
 
     /// Remove and return all completions due at or before `now`.
     pub fn drain_completions(&mut self, now: u64, out: &mut Vec<Completion>) {
+        if now < self.done_min {
+            // Nothing due: `out` is left exactly as-is (any earlier
+            // channel's drain already sorted it, so re-sorting is a no-op).
+            return;
+        }
+        let mut remaining = u64::MAX;
         let mut i = 0;
         while i < self.completions.len() {
             if self.completions[i].done_at <= now {
                 out.push(self.completions.swap_remove(i));
             } else {
+                remaining = remaining.min(self.completions[i].done_at);
                 i += 1;
             }
         }
+        self.done_min = remaining;
         // Deterministic delivery order regardless of swap_remove shuffling.
         out.sort_by_key(|c| (c.done_at, c.id));
+    }
+
+    /// Any requests waiting in the command queue? While this holds, the
+    /// channel must be ticked every DRAM cycle (the scheduler may issue,
+    /// and some schedulers consult an RNG).
+    pub fn has_queued_requests(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Earliest DRAM cycle at which an *idle* (empty-queue) channel next
+    /// does time-driven work: a completion coming due or the periodic REF.
+    /// REF fires on idle channels too, so it is always a horizon.
+    pub fn next_event(&self) -> u64 {
+        self.done_min.min(self.next_refresh)
+    }
+
+    /// Batch-advance `d` idle (empty-queue, pre-refresh, pre-completion)
+    /// DRAM cycles that a fast-forwarding driver skipped. Replays exactly
+    /// what `tick` would have done on each: the tick/boost counters and
+    /// the per-cycle background-energy accumulation (added one cycle at a
+    /// time — float addition is not associative and the totals must stay
+    /// bit-identical to per-cycle ticking). The priority-boost line cannot
+    /// flip mid-span: it only changes at QoS evaluations, which are hard
+    /// wake-ups.
+    pub fn fast_forward_idle(&mut self, d: u64, cpu_prio_boost: bool) {
+        debug_assert!(self.queue.is_empty());
+        debug_assert_eq!(cpu_prio_boost, self.last_prio_boost);
+        self.stats.ticks.add(d);
+        if cpu_prio_boost {
+            self.stats.prio_boost_ticks.add(d);
+        }
+        for _ in 0..d {
+            self.energy.background_pj += self.energy_model.background_pj_per_cycle;
+        }
     }
 
     /// Drop all queued and in-flight state (phase boundaries).
     pub fn reset_state(&mut self) {
         self.queue.clear();
+        self.queued_writes = 0;
+        self.starved_until = 0;
         self.completions.clear();
+        self.done_min = u64::MAX;
         self.banks.fill(Bank::default());
         self.bus_free_at = 0;
         self.act_any_ready = 0;

@@ -63,6 +63,18 @@ pub trait Scheduler: Send {
     fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize>;
     /// Display name for reports.
     fn name(&self) -> &'static str;
+    /// True when the policy is *work-conserving and inert under
+    /// starvation*: `select` returns `Some` whenever any request is
+    /// issuable and eligible, and otherwise returns `None` without
+    /// mutating internal state (no RNG draws, no cursors). The channel
+    /// uses this to skip rebuilding the scheduler view on cycles where
+    /// the starved outcome provably repeats (no bank can start a first
+    /// command yet and the queue is unchanged). SMS opts out: its batch
+    /// formation draws the policy coin even on cycles that issue
+    /// nothing, so every cycle must reach it.
+    fn pure_when_starved(&self) -> bool {
+        false
+    }
 }
 
 /// Which scheduler to construct (plumbing for experiment configs).
@@ -132,6 +144,10 @@ impl Scheduler for FrFcfs {
     fn name(&self) -> &'static str {
         "FR-FCFS"
     }
+
+    fn pure_when_starved(&self) -> bool {
+        true
+    }
 }
 
 /// FR-FCFS that serves all CPU requests ahead of all GPU requests while the
@@ -172,6 +188,10 @@ impl Scheduler for FrFcfsCpuPrio {
 
     fn name(&self) -> &'static str {
         "FR-FCFS+CPUprio"
+    }
+
+    fn pure_when_starved(&self) -> bool {
+        true
     }
 }
 
@@ -309,6 +329,10 @@ impl Scheduler for StaticCpuPrio {
     fn name(&self) -> &'static str {
         "StaticCPUprio"
     }
+
+    fn pure_when_starved(&self) -> bool {
+        true
+    }
 }
 
 /// DynPrio (Jeong et al., DAC 2012): equal priority normally, GPU boosted
@@ -333,6 +357,10 @@ impl Scheduler for DynPrio {
 
     fn name(&self) -> &'static str {
         "DynPrio"
+    }
+
+    fn pure_when_starved(&self) -> bool {
+        true
     }
 }
 

@@ -134,7 +134,7 @@ pub struct GpuCaches {
     depth_mshr: MshrFile,
     vertex_mshr: MshrFile,
     /// Misses/evictions waiting to enter the GPU memory interface.
-    pub outbound: Vec<OutboundReq>,
+    pub outbound: std::collections::VecDeque<OutboundReq>,
 }
 
 impl GpuCaches {
@@ -193,7 +193,7 @@ impl GpuCaches {
             tex_mshr: MshrFile::new(cfg.tex_mshrs, 16),
             depth_mshr: MshrFile::new(cfg.depth_mshrs, 16),
             vertex_mshr: MshrFile::new(cfg.vertex_mshrs, 8),
-            outbound: Vec::new(),
+            outbound: std::collections::VecDeque::new(),
         }
     }
 
@@ -209,7 +209,7 @@ impl GpuCaches {
         }
         match self.tex_mshr.allocate(line_of(addr), waiter) {
             MshrOutcome::Primary => {
-                self.outbound.push(OutboundReq {
+                self.outbound.push_back(OutboundReq {
                     unit: GpuUnit::Texture,
                     addr: line_of(addr),
                     write: false,
@@ -229,7 +229,7 @@ impl GpuCaches {
         }
         match self.depth_mshr.allocate(line_of(addr), waiter) {
             MshrOutcome::Primary => {
-                self.outbound.push(OutboundReq {
+                self.outbound.push_back(OutboundReq {
                     unit: GpuUnit::Depth,
                     addr: line_of(addr),
                     write: false,
@@ -251,7 +251,7 @@ impl GpuCaches {
         }
         if let Some(ev) = self.color_l2.fill(addr, src, true) {
             if ev.dirty {
-                self.outbound.push(OutboundReq {
+                self.outbound.push_back(OutboundReq {
                     unit: GpuUnit::Color,
                     addr: ev.addr,
                     write: true,
@@ -271,7 +271,7 @@ impl GpuCaches {
         // allocates without a fetch and flushes dirty victims to the LLC.
         if let Some(ev) = self.hiz.fill(addr, src, true) {
             if ev.dirty {
-                self.outbound.push(OutboundReq {
+                self.outbound.push_back(OutboundReq {
                     unit: GpuUnit::HierZ,
                     addr: ev.addr,
                     write: true,
@@ -288,7 +288,7 @@ impl GpuCaches {
             return;
         }
         self.shader_i.fill(addr, src, false);
-        self.outbound.push(OutboundReq {
+        self.outbound.push_back(OutboundReq {
             unit: GpuUnit::ShaderI,
             addr: line_of(addr),
             write: false,
@@ -303,7 +303,7 @@ impl GpuCaches {
         }
         match self.vertex_mshr.allocate(line_of(addr), 0) {
             MshrOutcome::Primary => {
-                self.outbound.push(OutboundReq {
+                self.outbound.push_back(OutboundReq {
                     unit: GpuUnit::Vertex,
                     addr: line_of(addr),
                     write: false,
@@ -316,37 +316,35 @@ impl GpuCaches {
     }
 
     /// A read issued below for (`unit`, block) returned; fills the caches
-    /// and returns the waiting group ids.
-    pub fn on_fill(&mut self, unit: GpuUnit, block: u64) -> Vec<u64> {
+    /// and appends the waiting group ids to `out` (allocation-free: MSHR
+    /// waiter storage is recycled, the caller reuses its scratch vector).
+    pub fn on_fill(&mut self, unit: GpuUnit, block: u64, out: &mut Vec<u64>) {
         let src = Source::Gpu;
         match unit {
             GpuUnit::Texture => {
-                let waiters = self.tex_mshr.complete(block);
+                self.tex_mshr.complete_into(block, out);
                 self.tex_l2.fill(block, src, false);
                 self.tex_l1.fill(block, src, false);
-                waiters
             }
             GpuUnit::Depth => {
-                let waiters = self.depth_mshr.complete(block);
+                self.depth_mshr.complete_into(block, out);
                 if let Some(ev) = self.depth_l2.fill(block, src, true) {
                     if ev.dirty {
-                        self.outbound.push(OutboundReq {
+                        self.outbound.push_back(OutboundReq {
                             unit: GpuUnit::Depth,
                             addr: ev.addr,
                             write: true,
                         });
                     }
                 }
-                waiters
             }
             GpuUnit::Vertex => {
-                let waiters = self.vertex_mshr.complete(block);
+                self.vertex_mshr.complete_into(block, out);
                 self.vertex.fill(block, src, false);
-                waiters
             }
             // Color never reads; HiZ allocates locally; shader-I fills are
             // posted (already installed optimistically above).
-            GpuUnit::Color | GpuUnit::HierZ | GpuUnit::ShaderI => Vec::new(),
+            GpuUnit::Color | GpuUnit::HierZ | GpuUnit::ShaderI => {}
         }
     }
 
@@ -360,6 +358,13 @@ impl GpuCaches {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Collect `on_fill` waiters into a fresh vector (test convenience).
+    fn fill(c: &mut GpuCaches, unit: GpuUnit, block: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        c.on_fill(unit, block, &mut out);
+        out
+    }
 
     #[test]
     fn unit_encoding_round_trips() {
@@ -408,7 +413,7 @@ mod tests {
         assert_eq!(c.outbound.len(), 1);
         assert_eq!(c.outbound[0].unit, GpuUnit::Texture);
         assert!(!c.outbound[0].write);
-        let waiters = c.on_fill(GpuUnit::Texture, 0x1000);
+        let waiters = fill(&mut c, GpuUnit::Texture, 0x1000);
         assert_eq!(waiters, vec![7]);
         assert_eq!(c.tex_read(0x1008, 8), GpuReadOutcome::Hit);
     }
@@ -419,20 +424,20 @@ mod tests {
         c.tex_read(0x2000, 1);
         assert_eq!(c.tex_read(0x2010, 2), GpuReadOutcome::Pending);
         assert_eq!(c.outbound.len(), 1, "merged, no second outbound");
-        assert_eq!(c.on_fill(GpuUnit::Texture, 0x2000), vec![1, 2]);
+        assert_eq!(fill(&mut c, GpuUnit::Texture, 0x2000), vec![1, 2]);
     }
 
     #[test]
     fn tex_l2_hit_refills_l1() {
         let mut c = GpuCaches::new(&GpuCachesConfig::default());
         c.tex_read(0x0, 1);
-        c.on_fill(GpuUnit::Texture, 0x0);
+        fill(&mut c, GpuUnit::Texture, 0x0);
         // Push the block out of the 64-set L1 with 16 conflicting fills
         // (L1: 64KB/16w/64B = 64 sets → stride 4096 conflicts).
         for i in 1..=16u64 {
             let a = i * 4096;
             c.tex_read(a, 1);
-            c.on_fill(GpuUnit::Texture, a);
+            fill(&mut c, GpuUnit::Texture, a);
         }
         assert!(!c.tex_l1.probe(0x0));
         assert!(c.tex_l2.probe(0x0));
@@ -463,7 +468,7 @@ mod tests {
     fn depth_read_fills_dirty_and_writes_back() {
         let mut c = GpuCaches::new(&GpuCachesConfig::default());
         assert_eq!(c.depth_read(0x100, 3), GpuReadOutcome::Pending);
-        assert_eq!(c.on_fill(GpuUnit::Depth, 0x100), vec![3]);
+        assert_eq!(fill(&mut c, GpuUnit::Depth, 0x100), vec![3]);
         assert_eq!(c.depth_read(0x100, 4), GpuReadOutcome::Hit);
         // Evict it via conflicting fills; the line was dirtied by the
         // depth write, so a write-back must appear.
@@ -471,7 +476,7 @@ mod tests {
         for i in 1..=32u64 {
             let a = 0x100 + i * 1024; // 32KB/32w/64B = 16 sets → stride 1KB
             c.depth_read(a, 5);
-            c.on_fill(GpuUnit::Depth, a);
+            fill(&mut c, GpuUnit::Depth, a);
         }
         assert!(
             c.outbound
@@ -498,7 +503,7 @@ mod tests {
     fn vertex_reads_are_posted() {
         let mut c = GpuCaches::new(&GpuCachesConfig::default());
         assert_eq!(c.vertex_read(0x9000), GpuReadOutcome::Pending);
-        assert_eq!(c.on_fill(GpuUnit::Vertex, 0x9000), vec![0]);
+        assert_eq!(fill(&mut c, GpuUnit::Vertex, 0x9000), vec![0]);
         assert_eq!(c.vertex_read(0x9000), GpuReadOutcome::Hit);
     }
 }

@@ -114,6 +114,11 @@ pub struct MachineConfig {
     /// QoS target frame rate (the paper uses 40 FPS = 30 FPS visual
     /// acceptability + a 10 FPS cushion, §II).
     pub target_fps: f64,
+    /// Quiescence-aware fast-forward: skip spans where every component is
+    /// provably inert (byte-identical results; see DESIGN.md). Default on;
+    /// the `GAT_NO_FASTFORWARD=1` environment variable forces it off for
+    /// bisection against the reference cycle-by-cycle loop.
+    pub fast_forward: bool,
 }
 
 impl MachineConfig {
@@ -150,6 +155,7 @@ impl MachineConfig {
             gpu_llc_ways: None,
             partition_channels: false,
             target_fps: 40.0,
+            fast_forward: true,
         }
     }
 

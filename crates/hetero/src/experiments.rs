@@ -32,6 +32,8 @@ pub struct ExpConfig {
     pub limits: RunLimits,
     /// Worker threads for independent simulations.
     pub threads: usize,
+    /// Quiescence-aware fast-forward (see [`MachineConfig::fast_forward`]).
+    pub fast_forward: bool,
 }
 
 impl Default for ExpConfig {
@@ -48,6 +50,7 @@ impl Default for ExpConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            fast_forward: true,
         }
     }
 }
@@ -69,6 +72,7 @@ impl ExpConfig {
             MachineConfig::table_one(self.scale, self.seed)
         };
         m.limits = self.limits;
+        m.fast_forward = self.fast_forward;
         m
     }
 }

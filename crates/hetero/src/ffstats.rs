@@ -1,0 +1,31 @@
+//! Process-wide fast-forward accounting for the perf-trajectory bench.
+//!
+//! Every [`crate::system::HeteroSystem::run`] records how many cycles it
+//! simulated and how many of those the quiescence engine skipped. The
+//! totals are plain atomic sums (commutative), so they are deterministic
+//! even when experiment drivers run systems on worker threads. `hotbench`
+//! takes and resets them between driver invocations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SIMULATED: AtomicU64 = AtomicU64::new(0);
+static SKIPPED: AtomicU64 = AtomicU64::new(0);
+static SPANS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one finished run: `simulated` total cycles reached, of which
+/// `skipped` were fast-forwarded across `spans` contiguous jumps.
+pub fn record(simulated: u64, skipped: u64, spans: u64) {
+    SIMULATED.fetch_add(simulated, Ordering::Relaxed);
+    SKIPPED.fetch_add(skipped, Ordering::Relaxed);
+    SPANS.fetch_add(spans, Ordering::Relaxed);
+}
+
+/// Return `(simulated, skipped, spans)` accumulated since the last take,
+/// and reset all three to zero.
+pub fn take() -> (u64, u64, u64) {
+    (
+        SIMULATED.swap(0, Ordering::Relaxed),
+        SKIPPED.swap(0, Ordering::Relaxed),
+        SPANS.swap(0, Ordering::Relaxed),
+    )
+}

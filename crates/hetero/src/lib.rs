@@ -14,6 +14,7 @@
 pub mod config;
 pub mod events;
 pub mod experiments;
+pub mod ffstats;
 pub mod metrics;
 pub mod report;
 pub mod system;

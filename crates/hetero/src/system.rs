@@ -12,7 +12,7 @@ use crate::events::RunEvent;
 use crate::metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
 use crate::uncore::{BackInval, Uncore, UncoreCompletion, UncorePort};
 use gat_cache::Source;
-use gat_core::{QosController, QosControllerConfig};
+use gat_core::{QosController, QosControllerConfig, QosEvent};
 use gat_cpu::{Core, CpuHierarchy, InstructionStream, SpecProfile, StreamGen, TraceStream};
 use gat_cpu::stream::Op;
 use std::sync::Arc;
@@ -39,9 +39,15 @@ pub struct HeteroSystem {
     uncore: Uncore,
     now: Cycle,
     mark_cycle: Cycle,
+    // Reused scratch buffers. Invariant: every one of these is *restored
+    // empty* by the code that borrows it (drain loops clear before putting
+    // the buffer back), so no take/borrow site ever needs a defensive
+    // `clear()` first. The same invariant holds for the uncore's internal
+    // drain/completion buffers.
     comp_buf: Vec<UncoreCompletion>,
     inval_buf: Vec<BackInval>,
     event_buf: Vec<GpuEvent>,
+    qos_event_buf: Vec<QosEvent>,
     /// GPU events retained for external observers (timeline tools); only
     /// populated after `observe_events(true)`.
     observed_events: Vec<GpuEvent>,
@@ -59,6 +65,22 @@ pub struct HeteroSystem {
     next_epoch: Cycle,
     /// Last CPU-priority state handed to the DRAM scheduler (flip events).
     last_sched_boost: bool,
+    /// Quiescence-aware fast-forward enabled (config AND the
+    /// `GAT_NO_FASTFORWARD` escape hatch).
+    fast_forward: bool,
+    /// Cycles skipped by fast-forward so far (subset of `now`).
+    ff_skipped: Cycle,
+    /// Contiguous fast-forward jumps taken so far.
+    ff_spans: u64,
+    /// Ticks left before the next quiescence probe. Skipping probes is
+    /// always safe — a missed probe only forgoes a skip opportunity, it
+    /// never changes behaviour — so after a failed probe we back off
+    /// exponentially instead of paying the probe cost every cycle while
+    /// the machine is busy.
+    ff_cooldown: u32,
+    /// Current backoff step (doubles on each failed probe, capped, and
+    /// resets to 1 whenever a probe finds the machine quiescent).
+    ff_backoff: u32,
 }
 
 impl HeteroSystem {
@@ -133,6 +155,11 @@ impl HeteroSystem {
         });
         let qos_sub = qos.as_mut().map(|q| q.subscribe_events());
         let uncore = Uncore::new(&cfg);
+        // Escape hatch for bisecting against the reference loop: any
+        // non-empty value other than "0" disables fast-forward.
+        let env_off = std::env::var_os("GAT_NO_FASTFORWARD")
+            .is_some_and(|v| !v.is_empty() && v != "0");
+        let fast_forward = cfg.fast_forward && !env_off;
         let label = format!(
             "{}+{:?}+{:?}",
             cfg.sched.label(),
@@ -151,6 +178,7 @@ impl HeteroSystem {
             comp_buf: Vec::new(),
             inval_buf: Vec::new(),
             event_buf: Vec::new(),
+            qos_event_buf: Vec::new(),
             observed_events: Vec::new(),
             observe_events: false,
             label,
@@ -160,8 +188,23 @@ impl HeteroSystem {
             epoch_interval: None,
             next_epoch: 0,
             last_sched_boost: false,
+            fast_forward,
+            ff_skipped: 0,
+            ff_spans: 0,
+            ff_cooldown: 0,
+            ff_backoff: 1,
             cfg,
         }
+    }
+
+    /// Is the quiescence-aware fast-forward engine active?
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Cycles skipped by fast-forward so far (subset of [`Self::now`]).
+    pub fn ff_skipped(&self) -> Cycle {
+        self.ff_skipped
     }
 
     pub fn now(&self) -> Cycle {
@@ -311,19 +354,22 @@ impl HeteroSystem {
     pub fn tick(&mut self) {
         let now = self.now;
 
-        // 1. Deliver finished reads.
-        self.comp_buf.clear();
+        // One port for the whole tick; only the requester source changes
+        // between uses (hoisting the construction off the per-core loop).
+        let mut port = UncorePort {
+            uncore: &mut self.uncore,
+            source: Source::Cpu(0),
+        };
+
+        // 1. Deliver finished reads. (`comp_buf` is restored empty — see
+        // the invariant on the scratch-buffer fields.)
         let mut comp = std::mem::take(&mut self.comp_buf);
-        self.uncore.drain_completions(&mut comp);
+        port.uncore.drain_completions(&mut comp);
         for c in &comp {
             match c.source {
                 Source::Cpu(i) => {
-                    let core = &mut self.cores[i as usize];
-                    let mut port = UncorePort {
-                        uncore: &mut self.uncore,
-                        source: c.source,
-                    };
-                    core.on_mem_response(now, c.token, &mut port);
+                    port.source = c.source;
+                    self.cores[i as usize].on_mem_response(now, c.token, &mut port);
                 }
                 Source::Gpu => {
                     if let Some(gpu) = self.gpu.as_mut() {
@@ -332,26 +378,23 @@ impl HeteroSystem {
                 }
             }
         }
+        comp.clear();
         self.comp_buf = comp;
 
         // 2. Back-invalidations from the inclusive LLC.
-        self.inval_buf.clear();
         let mut invals = std::mem::take(&mut self.inval_buf);
-        self.uncore.drain_back_invals(&mut invals);
+        port.uncore.drain_back_invals(&mut invals);
         for b in &invals {
             if let Some(core) = self.cores.get_mut(b.core as usize) {
                 core.back_invalidate(b.addr);
             }
         }
+        invals.clear();
         self.inval_buf = invals;
 
         // 3. CPU cores.
         for core in &mut self.cores {
-            let source = Source::Cpu(core.core_id());
-            let mut port = UncorePort {
-                uncore: &mut self.uncore,
-                source,
-            };
+            port.source = Source::Cpu(core.core_id());
             core.tick(now, &mut port);
         }
 
@@ -365,24 +408,28 @@ impl HeteroSystem {
                     .as_ref()
                     .map(|q| q.quota(gpu_now))
                     .unwrap_or(u32::MAX);
-                let mut port = UncorePort {
-                    uncore: &mut self.uncore,
-                    source: Source::Gpu,
-                };
+                port.source = Source::Gpu;
                 let sends = gpu.tick(gpu_now, quota, &mut port);
-                self.event_buf.clear();
                 gpu.drain_events(&mut self.event_buf);
                 if let Some(q) = self.qos.as_mut() {
                     q.note_sends(gpu_now, sends);
                     q.on_gpu_events(gpu_now, &self.event_buf);
                     // Forward the controller's transitions onto the run
-                    // stream, stamped with the global CPU cycle.
+                    // stream, stamped with the global CPU cycle
+                    // (allocation-free: the scratch buffer is reused).
                     if let Some(sub) = self.qos_sub {
-                        for event in q.poll_events(sub).events {
+                        let mut qev = std::mem::take(&mut self.qos_event_buf);
+                        q.poll_events_into(sub, &mut qev);
+                        for &event in &qev {
                             self.run_events.publish(RunEvent::Qos { cycle: now, event });
                         }
+                        qev.clear();
+                        self.qos_event_buf = qev;
                     }
                 }
+                // Total retired is re-used by every frame boundary in this
+                // tick; sum it at most once.
+                let mut retired_memo: Option<u64> = None;
                 for e in &self.event_buf {
                     if let GpuEvent::FrameComplete { frame, cycles } = *e {
                         let (w_g, boost) = match self.qos.as_ref() {
@@ -391,8 +438,8 @@ impl HeteroSystem {
                             }
                             None => (0, false),
                         };
-                        let cpu_retired: u64 =
-                            self.cores.iter().map(|c| c.retired.get()).sum();
+                        let cpu_retired = *retired_memo
+                            .get_or_insert_with(|| self.cores.iter().map(|c| c.retired.get()).sum());
                         self.run_events.publish(RunEvent::FrameBoundary {
                             cycle: now,
                             frame: frame.into(),
@@ -409,6 +456,7 @@ impl HeteroSystem {
                 if self.observe_events {
                     self.observed_events.extend_from_slice(&self.event_buf);
                 }
+                self.event_buf.clear();
                 self.uncore.gpu_tolerance = gpu.latency_tolerance();
             }
         }
@@ -445,10 +493,137 @@ impl HeteroSystem {
         self.now += 1;
     }
 
+    /// Earliest cycle at or after `self.now` at which any component could
+    /// do observable work, or `None` if some component is active at
+    /// `self.now` (the normal case). All probes are conservative: a cycle
+    /// is only skippable when *every* layer certifies it inert, so a
+    /// fast-forwarded run is byte-identical to the cycle-by-cycle one.
+    fn next_activity(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut wake = Cycle::MAX;
+        for core in &self.cores {
+            match core.next_activity(now) {
+                None => return None,
+                Some(w) => wake = wake.min(w),
+            }
+        }
+        match self.uncore.next_activity(now) {
+            None => return None,
+            Some(w) => wake = wake.min(w),
+        }
+        if let Some(gpu) = self.gpu.as_ref() {
+            let next_gpu_tick = now.next_multiple_of(GPU_CLOCK_DIVIDER);
+            let g_now = next_gpu_tick / GPU_CLOCK_DIVIDER;
+            let gate_reopen = self
+                .qos
+                .as_ref()
+                .and_then(|q| q.atu.gate_reopens_at(g_now));
+            match gpu.next_activity(g_now, gate_reopen) {
+                None => {
+                    // Active at its next tick; only skippable if that tick
+                    // is still in the future.
+                    if next_gpu_tick == now {
+                        return None;
+                    }
+                    wake = wake.min(next_gpu_tick);
+                }
+                Some(w) => {
+                    if w != Cycle::MAX {
+                        wake = wake.min(w.saturating_mul(GPU_CLOCK_DIVIDER));
+                    }
+                }
+            }
+            if let Some(q) = self.qos.as_ref() {
+                // The periodic policy evaluation fires from `note_sends`
+                // on the first GPU tick at/after its deadline.
+                let eval_cpu = q
+                    .next_eval_at()
+                    .saturating_mul(GPU_CLOCK_DIVIDER)
+                    .max(next_gpu_tick);
+                if eval_cpu <= now {
+                    return None;
+                }
+                wake = wake.min(eval_cpu);
+            }
+        }
+        if self.epoch_interval.is_some() {
+            if self.next_epoch <= now {
+                return None;
+            }
+            wake = wake.min(self.next_epoch);
+        }
+        Some(wake)
+    }
+
+    /// Jump `now` to `target`, batch-advancing every per-cycle counter
+    /// exactly as `target - now` inert ticks would have.
+    fn fast_forward_to(&mut self, target: Cycle) {
+        let from = self.now;
+        debug_assert!(target > from);
+        for core in &mut self.cores {
+            core.fast_forward(from, target);
+        }
+        if let Some(gpu) = self.gpu.as_mut() {
+            // GPU ticks skipped in `[from, target)` are the GPU cycles in
+            // `[ceil(from/4), ceil(target/4))`.
+            let g_from = from.div_ceil(GPU_CLOCK_DIVIDER);
+            let g = target.div_ceil(GPU_CLOCK_DIVIDER) - g_from;
+            if g > 0 {
+                // Gated for the whole span: the span never extends past the
+                // gate-reopen wake, so closed-at-start means closed
+                // throughout.
+                let gated = gpu.iface_occupancy() > 0
+                    && self
+                        .qos
+                        .as_ref()
+                        .is_some_and(|q| q.atu.gate_reopens_at(g_from).is_some());
+                gpu.fast_forward(g, gated);
+            }
+        }
+        // The boost line is state-derived (not time-derived) and only
+        // changes at QoS evaluations, which are hard wake-ups — constant
+        // over the span.
+        let boost = match self.qos.as_ref() {
+            Some(q) => q.signals(from / GPU_CLOCK_DIVIDER).cpu_prio_boost,
+            None => false,
+        };
+        self.uncore.fast_forward(from, target, boost);
+        self.ff_skipped += target - from;
+        self.ff_spans += 1;
+        self.now = target;
+    }
+
+    /// If every component is quiescent, jump to the earliest wake cycle
+    /// (bounded by `cap`, exclusive of the jump target's tick).
+    fn try_fast_forward(&mut self, cap: Cycle) {
+        if !self.fast_forward || self.now >= cap {
+            return;
+        }
+        if self.ff_cooldown > 0 {
+            self.ff_cooldown -= 1;
+            return;
+        }
+        let Some(wake) = self.next_activity() else {
+            // Busy: probe less often while activity continues. This only
+            // delays when a skippable span is *noticed*, never what the
+            // machine does, so outputs stay byte-identical.
+            self.ff_cooldown = self.ff_backoff;
+            self.ff_backoff = (self.ff_backoff * 2).min(32);
+            return;
+        };
+        self.ff_backoff = 1;
+        let target = wake.min(cap);
+        if target > self.now {
+            self.fast_forward_to(target);
+        }
+    }
+
     /// Warm up, reset statistics, and mark the measurement start.
     fn warm_up(&mut self) {
-        for _ in 0..self.cfg.limits.warmup_cycles {
+        let end = self.now + self.cfg.limits.warmup_cycles;
+        while self.now < end {
             self.tick();
+            self.try_fast_forward(end);
         }
         for core in &mut self.cores {
             core.mark();
@@ -480,20 +655,35 @@ impl HeteroSystem {
     /// Panics if the run exceeds `limits.max_cycles` (wedged machine).
     pub fn run(&mut self) -> RunResult {
         self.warm_up();
-        while !self.goals_met() {
-            self.tick();
-            assert!(
-                self.now < self.cfg.limits.max_cycles,
-                "run exceeded max_cycles at {} (cores retired: {:?}, gpu frames: {:?}, uncore in-flight: {})",
-                self.now,
-                self.cores
-                    .iter()
-                    .map(|c| c.retired_since_mark())
-                    .collect::<Vec<_>>(),
-                self.gpu.as_ref().map(|g| g.stats.frames.get()),
-                self.uncore.in_flight(),
-            );
+        // One goal check per tick: the check after `tick` both ends the
+        // loop and gates the skip, so a finished machine never ticks or
+        // fast-forwards again (same exit cycle as checking up front).
+        if !self.goals_met() {
+            loop {
+                self.tick();
+                assert!(
+                    self.now < self.cfg.limits.max_cycles,
+                    "run exceeded max_cycles at {} (cores retired: {:?}, gpu frames: {:?}, uncore in-flight: {})",
+                    self.now,
+                    self.cores
+                        .iter()
+                        .map(|c| c.retired_since_mark())
+                        .collect::<Vec<_>>(),
+                    self.gpu.as_ref().map(|g| g.stats.frames.get()),
+                    self.uncore.in_flight(),
+                );
+                if self.goals_met() {
+                    break;
+                }
+                // Only skip ahead while the goals are still unmet:
+                // quiescent spans retire nothing and render nothing, so
+                // goal state is constant across them and the final `now`
+                // (hence `RunResult::cycles`) matches the cycle-by-cycle
+                // run.
+                self.try_fast_forward(self.cfg.limits.max_cycles);
+            }
         }
+        crate::ffstats::record(self.now, self.ff_skipped, self.ff_spans);
         self.collect()
     }
 

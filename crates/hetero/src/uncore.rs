@@ -27,7 +27,7 @@ use gat_ring::{Ring, RingTopology, StopId};
 use gat_sim::addr::line_of;
 use gat_sim::stats::Counter;
 use gat_sim::{Cycle, DRAM_CLOCK_DIVIDER};
-use std::collections::HashMap;
+use gat_sim::hashing::FastMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Stage {
@@ -87,9 +87,15 @@ pub struct Uncore {
     miss_due: Vec<(Cycle, u64)>,
     /// (due cycle, txn id) — DRAM data arriving back at the LLC stop.
     fill_due: Vec<(Cycle, u64)>,
+    /// Exact earliest due cycle per list (`Cycle::MAX` when empty): the
+    /// per-cycle sweep and the quiescence probe consult these instead of
+    /// scanning the lists on cycles where nothing can be due.
+    resp_min: Cycle,
+    miss_min: Cycle,
+    fill_min: Cycle,
     pub channels: Vec<DramChannel>,
     mc_retry: Vec<std::collections::VecDeque<u64>>,
-    txns: HashMap<u64, Txn>,
+    txns: FastMap<u64, Txn>,
     next_id: u64,
     policy: Box<dyn LlcFillPolicy>,
     /// GPU latency tolerance sampled by the system each cycle (HeLM).
@@ -146,9 +152,12 @@ impl Uncore {
             resp_due: Vec::new(),
             miss_due: Vec::new(),
             fill_due: Vec::new(),
+            resp_min: Cycle::MAX,
+            miss_min: Cycle::MAX,
+            fill_min: Cycle::MAX,
             channels,
             mc_retry,
-            txns: HashMap::new(),
+            txns: FastMap::default(),
             next_id: 0,
             policy,
             gpu_tolerance: 0.0,
@@ -203,7 +212,8 @@ impl Uncore {
     }
 
     fn drain_ring(&mut self, now: Cycle) {
-        self.drain_buf.clear();
+        // Reused buffer: restored empty below (see the invariant note in
+        // `system.rs`), so no clear is needed before the take.
         let mut buf = std::mem::take(&mut self.drain_buf);
         self.ring.drain_delivered(now, &mut buf);
         for &id in &buf {
@@ -222,6 +232,7 @@ impl Uncore {
                 }
             }
         }
+        buf.clear();
         self.drain_buf = buf;
     }
 
@@ -332,13 +343,17 @@ impl Uncore {
     fn llc_read(&mut self, now: Cycle, id: u64, txn: Txn) {
         if self.llc.access(txn.addr, AccessKind::Read, txn.requester) {
             self.txns.get_mut(&id).unwrap().stage = Stage::Resp;
-            self.resp_due.push((now + Cycle::from(self.cfg.llc_latency), id));
+            let due = now + Cycle::from(self.cfg.llc_latency);
+            self.resp_due.push((due, id));
+            self.resp_min = self.resp_min.min(due);
             return;
         }
         match self.llc_mshr.allocate(txn.addr, id) {
             MshrOutcome::Primary => {
                 self.txns.get_mut(&id).unwrap().stage = Stage::ToMc;
-                self.miss_due.push((now + Cycle::from(self.cfg.llc_latency), id));
+                let due = now + Cycle::from(self.cfg.llc_latency);
+                self.miss_due.push((due, id));
+                self.miss_min = self.miss_min.min(due);
             }
             MshrOutcome::Merged => {
                 // Parked on the primary; response comes with the fill.
@@ -356,37 +371,56 @@ impl Uncore {
 
     fn process_due(&mut self, now: Cycle) {
         let llc_stop = StopId(self.cfg.llc_stop());
-        let mut i = 0;
-        while i < self.resp_due.len() {
-            if self.resp_due[i].0 <= now {
-                let (_, id) = self.resp_due.swap_remove(i);
-                if let Some(txn) = self.txns.get(&id).copied() {
-                    self.ring.send(now, llc_stop, self.stop_of(txn.requester), id);
+        // Each sweep runs only when its earliest entry is due; it then
+        // recomputes the exact minimum of what it keeps. Entries appended
+        // mid-sweep are visited by the same sweep (the bound is re-read),
+        // so their dues are folded in too.
+        if self.resp_min <= now {
+            let mut remaining = Cycle::MAX;
+            let mut i = 0;
+            while i < self.resp_due.len() {
+                if self.resp_due[i].0 <= now {
+                    let (_, id) = self.resp_due.swap_remove(i);
+                    if let Some(txn) = self.txns.get(&id).copied() {
+                        self.ring.send(now, llc_stop, self.stop_of(txn.requester), id);
+                    }
+                } else {
+                    remaining = remaining.min(self.resp_due[i].0);
+                    i += 1;
                 }
-            } else {
-                i += 1;
             }
+            self.resp_min = remaining;
         }
-        let mut i = 0;
-        while i < self.miss_due.len() {
-            if self.miss_due[i].0 <= now {
-                let (_, id) = self.miss_due.swap_remove(i);
-                if let Some(txn) = self.txns.get(&id).copied() {
-                    let ch = self.channel_of(&txn);
-                    self.ring.send(now, llc_stop, StopId(self.cfg.mc_stop(ch)), id);
+        if self.miss_min <= now {
+            let mut remaining = Cycle::MAX;
+            let mut i = 0;
+            while i < self.miss_due.len() {
+                if self.miss_due[i].0 <= now {
+                    let (_, id) = self.miss_due.swap_remove(i);
+                    if let Some(txn) = self.txns.get(&id).copied() {
+                        let ch = self.channel_of(&txn);
+                        self.ring.send(now, llc_stop, StopId(self.cfg.mc_stop(ch)), id);
+                    }
+                } else {
+                    remaining = remaining.min(self.miss_due[i].0);
+                    i += 1;
                 }
-            } else {
-                i += 1;
             }
+            self.miss_min = remaining;
         }
-        let mut i = 0;
-        while i < self.fill_due.len() {
-            if self.fill_due[i].0 <= now {
-                let (_, id) = self.fill_due.swap_remove(i);
-                self.finish_fill(now, id);
-            } else {
-                i += 1;
+        if self.fill_min <= now {
+            let mut remaining = Cycle::MAX;
+            let mut i = 0;
+            while i < self.fill_due.len() {
+                if self.fill_due[i].0 <= now {
+                    let (_, id) = self.fill_due.swap_remove(i);
+                    self.finish_fill(now, id);
+                } else {
+                    remaining = remaining.min(self.fill_due[i].0);
+                    i += 1;
+                }
             }
+            self.fill_min = remaining;
         }
     }
 
@@ -395,7 +429,7 @@ impl Uncore {
             return;
         }
         let dram_now = now / DRAM_CLOCK_DIVIDER;
-        self.comp_buf.clear();
+        // Reused buffer, restored empty below — no clear before the take.
         let mut buf = std::mem::take(&mut self.comp_buf);
         for ch in 0..self.channels.len() {
             self.channels[ch].tick(dram_now, ctx);
@@ -417,7 +451,9 @@ impl Uncore {
                 .topology()
                 .latency(StopId(self.cfg.mc_stop(ch)), StopId(self.cfg.llc_stop()));
             self.fill_due.push((now + hop, c.id));
+            self.fill_min = self.fill_min.min(now + hop);
         }
+        buf.clear();
         self.comp_buf = buf;
     }
 
@@ -501,6 +537,77 @@ impl Uncore {
     /// Deliver pending back-invalidations.
     pub fn drain_back_invals(&mut self, out: &mut Vec<BackInval>) {
         out.append(&mut self.back_invals);
+    }
+
+    /// Earliest cycle at or after `now` at which ticking the uncore could
+    /// do observable work. `None` means active at `now`; `Some(w)` means
+    /// every tick in `[now, w)` only advances the DRAM channels' per-cycle
+    /// accumulators (replayed exactly by [`Uncore::fast_forward`]): the
+    /// ring drains nothing, no LLC lookup or due-list entry fires, and no
+    /// DRAM channel has queued work or a due completion/refresh.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // Undelivered completions/back-invals are consumed by the system
+        // at the top of its tick.
+        if !self.completions.is_empty() || !self.back_invals.is_empty() {
+            return None;
+        }
+        // Pending LLC lookups are served every cycle.
+        if !self.llc_queue.is_empty() || !self.llc_retry.is_empty() {
+            return None;
+        }
+        // A retryable MC request re-enqueues as soon as its channel has
+        // room. (A blocked retry is side-effect-free, and its channel is
+        // necessarily non-empty, so the DRAM-tick wake below covers it.)
+        for (ch, retry) in self.channels.iter().zip(&self.mc_retry) {
+            if !retry.is_empty() && ch.can_accept() {
+                return None;
+            }
+        }
+        let mut wake = Cycle::MAX;
+        if let Some(d) = self.ring.next_delivery() {
+            if d <= now {
+                return None;
+            }
+            wake = wake.min(d);
+        }
+        let due_min = self.resp_min.min(self.miss_min).min(self.fill_min);
+        if due_min <= now {
+            return None;
+        }
+        wake = wake.min(due_min);
+        // DRAM channels tick on the divider. A channel with queued work
+        // must see every DRAM cycle (its scheduler may issue and may
+        // consult an RNG); an idle channel next acts when a completion
+        // comes due or its periodic refresh fires.
+        let dram_tick_cycle = now.next_multiple_of(DRAM_CLOCK_DIVIDER);
+        for ch in &self.channels {
+            let w = if ch.has_queued_requests() {
+                dram_tick_cycle
+            } else {
+                ch.next_event()
+                    .saturating_mul(DRAM_CLOCK_DIVIDER)
+                    .max(dram_tick_cycle)
+            };
+            if w <= now {
+                return None;
+            }
+            wake = wake.min(w);
+        }
+        Some(wake)
+    }
+
+    /// Batch-advance the inert span `[from, to)` (certified by
+    /// [`Uncore::next_activity`]): replay the skipped DRAM ticks' per-cycle
+    /// accounting on every channel. A span containing a DRAM tick implies
+    /// all channels were idle for it.
+    pub fn fast_forward(&mut self, from: Cycle, to: Cycle, cpu_prio_boost: bool) {
+        let d = to.div_ceil(DRAM_CLOCK_DIVIDER) - from.div_ceil(DRAM_CLOCK_DIVIDER);
+        if d == 0 {
+            return;
+        }
+        for ch in &mut self.channels {
+            ch.fast_forward_idle(d, cpu_prio_boost);
+        }
     }
 
     /// Anything still in flight?

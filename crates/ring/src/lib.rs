@@ -99,6 +99,12 @@ pub struct Ring {
     /// Injections permitted per cycle per direction, per stop.
     widths: Vec<u32>,
     in_flight: Vec<Flight>,
+    /// Exact earliest `deliver_at` over `in_flight` (`Cycle::MAX` when
+    /// empty) — lets the per-cycle drain and the fast-forward probe skip
+    /// the O(n) scan on cycles with nothing due.
+    next_due: Cycle,
+    /// Scratch for `drain_delivered` (kept empty between calls).
+    due_buf: Vec<Flight>,
     seq: u64,
     pub sent: Counter,
     pub delivered: Counter,
@@ -113,6 +119,8 @@ impl Ring {
             inject_free: vec![[0, 0]; usize::from(topo.stops)],
             widths: vec![1; usize::from(topo.stops)],
             in_flight: Vec::new(),
+            next_due: Cycle::MAX,
+            due_buf: Vec::new(),
             seq: 0,
             sent: Counter::new(),
             delivered: Counter::new(),
@@ -151,30 +159,39 @@ impl Ring {
             token,
             seq: self.seq,
         });
+        self.next_due = self.next_due.min(deliver_at);
         self.sent.inc();
         deliver_at
     }
 
     /// Pop every message due at or before `now`, in delivery order.
     pub fn drain_delivered(&mut self, now: Cycle, out: &mut Vec<u64>) {
+        if now < self.next_due {
+            return; // Nothing due; skip the scan entirely.
+        }
         let before = out.len();
-        let mut due: Vec<Flight> = Vec::new();
+        let mut due = std::mem::take(&mut self.due_buf);
+        let mut remaining_min = Cycle::MAX;
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].deliver_at <= now {
                 due.push(self.in_flight.swap_remove(i));
             } else {
+                remaining_min = remaining_min.min(self.in_flight[i].deliver_at);
                 i += 1;
             }
         }
+        self.next_due = remaining_min;
         due.sort_by_key(|f| (f.deliver_at, f.seq));
         out.extend(due.iter().map(|f| f.token));
+        due.clear();
+        self.due_buf = due;
         self.delivered.add((out.len() - before) as u64);
     }
 
     /// Earliest pending delivery, if any (lets the driver skip idle spans).
     pub fn next_delivery(&self) -> Option<Cycle> {
-        self.in_flight.iter().map(|f| f.deliver_at).min()
+        (self.next_due != Cycle::MAX).then_some(self.next_due)
     }
 
     pub fn idle(&self) -> bool {
@@ -183,6 +200,7 @@ impl Ring {
 
     pub fn reset_state(&mut self) {
         self.in_flight.clear();
+        self.next_due = Cycle::MAX;
         self.inject_free.fill([0, 0]);
     }
 

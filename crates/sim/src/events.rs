@@ -74,13 +74,22 @@ impl<T: Clone> EventBus<T> {
 
     /// Deliver everything published since this subscriber's last poll.
     pub fn poll(&mut self, sub: SubscriberId) -> Poll<T> {
+        let mut events = Vec::new();
+        let missed = self.poll_into(sub, &mut events);
+        Poll { events, missed }
+    }
+
+    /// Allocation-free variant of [`EventBus::poll`]: appends the pending
+    /// events to `out` (which the caller reuses across polls) and returns
+    /// the missed count.
+    pub fn poll_into(&mut self, sub: SubscriberId, out: &mut Vec<T>) -> u64 {
         let cursor = self.cursors[sub.0];
         let missed = self.head_seq.saturating_sub(cursor);
         let start = cursor.max(self.head_seq);
         let skip = (start - self.head_seq) as usize;
-        let events: Vec<T> = self.buf.iter().skip(skip).cloned().collect();
+        out.extend(self.buf.iter().skip(skip).cloned());
         self.cursors[sub.0] = self.next_seq;
-        Poll { events, missed }
+        missed
     }
 
     /// Total events ever published.

@@ -1,0 +1,94 @@
+//! Fast deterministic hashing for the simulator's hot-path maps.
+//!
+//! The uncore transaction table, MSHR files and pending-miss maps are all
+//! keyed by `u64` ids or block addresses and are hit several times per
+//! simulated cycle. `std`'s default SipHash is DoS-resistant but costs
+//! tens of nanoseconds per lookup; these tables never hash untrusted
+//! input, so a two-instruction multiply-xor hash is both safe and much
+//! faster. The hasher is fully deterministic (no per-process random
+//! state), which also keeps any incidental iteration order stable across
+//! runs — though no simulator code may depend on map iteration order.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for integer keys (Fibonacci multiplier plus an
+/// xor-shift so block-aligned addresses — low bits constant — still
+/// spread over the low bucket bits).
+#[derive(Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let h = (self.0 ^ x).wrapping_mul(K);
+        self.0 = h ^ (h >> 29);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+/// Drop-in `HashMap` with the fast deterministic hasher.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+/// Drop-in `HashSet` with the fast deterministic hasher.
+pub type FastSet<K> = HashSet<K, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let b = FastBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+    }
+
+    #[test]
+    fn block_aligned_keys_spread_low_bits(// cache lines: low 6 bits zero
+    ) {
+        let b = FastBuildHasher::default();
+        let mut low_bits = HashSet::new();
+        for i in 0..64u64 {
+            low_bits.insert(b.hash_one(i << 6) & 0x3F);
+        }
+        assert!(low_bits.len() > 32, "low bucket bits collapse: {low_bits:?}");
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        m.insert(7, 1);
+        m.insert(7 << 6, 2);
+        assert_eq!(m.get(&7), Some(&1));
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}

@@ -1,0 +1,117 @@
+//! Fast-forward equivalence: the quiescence engine must be an invisible
+//! optimisation. For any configuration, a run with fast-forward enabled
+//! must produce the same `RunResult` JSON, the same `MetricsRegistry`
+//! snapshot bytes, and the same structured run-event stream as the
+//! reference cycle-by-cycle loop — including runs where the ATU gate is
+//! actively throttling GPU accesses.
+
+use gat::prelude::*;
+use proptest::prelude::*;
+
+/// Run one system and capture everything an observer could see: the
+/// JSONL run-event stream, the registry snapshot, the result JSON, and
+/// how many cycles the fast-forward engine skipped.
+fn run_artifacts(cfg: MachineConfig, mix: &Mix) -> (String, String, String, u64) {
+    let mut sys = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone()));
+    let sub = sys.subscribe_run_events();
+    sys.set_epoch_sampling(Some(250_000));
+    let result = sys.run();
+    let poll = sys.poll_run_events(sub);
+    assert_eq!(poll.missed, 0, "event ring overflowed");
+    let mut events = String::new();
+    for e in &poll.events {
+        events.push_str(&e.to_json());
+        events.push('\n');
+    }
+    let snapshot = sys.registry_snapshot().to_json();
+    (events, snapshot, result.to_json(), sys.ff_skipped())
+}
+
+/// Assert FF on vs. off equivalence for one configuration and return the
+/// number of cycles the enabled run skipped (for vacuity checks).
+fn assert_equivalent(mut cfg: MachineConfig, mix: &Mix) -> u64 {
+    cfg.fast_forward = true;
+    let (ev_on, snap_on, res_on, skipped) = run_artifacts(cfg.clone(), mix);
+    cfg.fast_forward = false;
+    let (ev_off, snap_off, res_off, skipped_off) = run_artifacts(cfg, mix);
+    assert_eq!(skipped_off, 0, "disabled run must not fast-forward");
+    assert_eq!(res_on, res_off, "RunResult JSON diverged");
+    assert_eq!(snap_on, snap_off, "registry snapshot diverged");
+    if ev_on != ev_off {
+        for (i, (a, b)) in ev_on.lines().zip(ev_off.lines()).enumerate() {
+            assert_eq!(a, b, "event stream diverged at line {}", i + 1);
+        }
+        panic!(
+            "event stream length diverged: {} lines on vs {} off",
+            ev_on.lines().count(),
+            ev_off.lines().count()
+        );
+    }
+    skipped
+}
+
+/// Small limits so the cycle-by-cycle reference runs stay fast.
+fn tiny_limits() -> RunLimits {
+    RunLimits {
+        cpu_instructions: 50_000,
+        gpu_frames: 2,
+        warmup_cycles: 25_000,
+        max_cycles: 300_000_000,
+    }
+}
+
+/// The golden-snapshot configuration (M7, full proposal, smoke limits):
+/// the exact run whose artifacts are frozen under `tests/golden/` must be
+/// reproduced byte-for-byte by the fast-forward engine, and the engine
+/// must actually engage (a zero-skip pass would prove nothing).
+#[test]
+fn golden_config_is_ff_invariant() {
+    let mix = mix_m(7);
+    let mut cfg = MachineConfig::table_one(256, 9);
+    cfg.limits = RunLimits::smoke();
+    cfg.qos = QosMode::ThrotCpuPrio;
+    cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+    let skipped = assert_equivalent(cfg, &mix);
+    assert!(skipped > 0, "fast-forward never engaged on the golden config");
+}
+
+/// The single-core §II motivation machine is where quiescent spans are
+/// longest (one stalled core, no QoS hardware); it must also be exact.
+#[test]
+fn motivation_config_is_ff_invariant() {
+    let mut mix = mix_m(3);
+    mix.cpu.truncate(1);
+    let mut cfg = MachineConfig::motivation(128, 17);
+    cfg.limits = tiny_limits();
+    let skipped = assert_equivalent(cfg, &mix);
+    assert!(skipped > 0, "fast-forward never engaged on the motivation config");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized mixes, seeds, scales and QoS modes — including
+    /// ATU-throttled (`Throttle`/`ThrotCpuPrio`) runs where the gate
+    /// closes and reopens — all byte-identical with fast-forward on.
+    #[test]
+    fn random_configs_are_ff_invariant(
+        seed in 1u64..1_000_000,
+        mix_idx in 1usize..=14,
+        scale in prop::sample::select(vec![128u32, 256]),
+        qos_idx in 0usize..4,
+    ) {
+        let mix = mix_m(mix_idx);
+        let mut cfg = MachineConfig::table_one(scale, seed);
+        cfg.limits = tiny_limits();
+        cfg.qos = [
+            QosMode::Off,
+            QosMode::Observe,
+            QosMode::Throttle,
+            QosMode::ThrotCpuPrio,
+        ][qos_idx];
+        if cfg.qos == QosMode::ThrotCpuPrio {
+            cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+        }
+        assert_equivalent(cfg, &mix);
+    }
+}
