@@ -18,6 +18,38 @@ echo "== fast-forward equivalence (10 min cap) =="
 # and event streams (includes randomized ATU-throttled configs).
 timeout 600 cargo test -q --release --test ff_equivalence
 
+echo "== chaos suite (10 min cap) =="
+# Deterministic fault injection: zero-fault transparency vs the goldens,
+# byte-identical faulted runs across FF on/off and reruns, the seeded
+# wedge fixture, and graceful QoS degradation under FRPU noise.
+timeout 600 cargo test -q --release --test chaos
+
+echo "== watchdog smoke: a wedged run must fail fast with a diagnostic =="
+# Not a `timeout`-cap kill: the liveness watchdog itself converts the
+# injected wedge into exit code 3 plus a structured JSONL diagnostic.
+set +e
+wd_out=$(cargo run --release -p gat-bench --bin runsim -- \
+    --cpus "" --game DOOM3 --frames 50 --instr 0 --warmup 0 \
+    --faults wedge=100000 --watchdog 50000 2>&1)
+wd_code=$?
+set -e
+if [[ $wd_code -ne 3 ]]; then
+    echo "watchdog smoke: expected exit code 3, got $wd_code" >&2
+    echo "$wd_out" | tail -5 >&2
+    exit 1
+fi
+if ! grep -q '"type":"watchdog_dump"' <<<"$wd_out"; then
+    echo "watchdog smoke: no structured diagnostic in output" >&2
+    echo "$wd_out" | tail -5 >&2
+    exit 1
+fi
+echo "watchdog smoke: wedge caught with exit 3 + watchdog_dump diagnostic"
+
+echo "== paranoia invariant sweep (10 min cap) =="
+# Run the golden snapshot under GAT_PARANOIA=1: every tick re-checks the
+# MSHR/ATU/queue/epoch invariants and the bytes must not change.
+timeout 600 env GAT_PARANOIA=1 cargo test -q --release --test golden_snapshot
+
 echo "== hotbench smoke (10 min cap) =="
 # Quick perf-trajectory pass: also asserts FF-on tables match the
 # cycle-by-cycle loop on a real figure driver.

@@ -29,6 +29,7 @@ fn bench_cfg(num_cpus: u8, seed: u64) -> MachineConfig {
         gpu_frames: 3,
         warmup_cycles: 60_000,
         max_cycles: 400_000_000,
+        watchdog: 50_000_000,
     };
     cfg
 }

@@ -19,6 +19,7 @@
 
 use std::io::Write;
 
+use gat_bench::{fail, parse_num, CliError};
 use gat_cache::ReplacementPolicy;
 use gat_dram::SchedulerKind;
 use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunLimits, RunResult};
@@ -26,25 +27,39 @@ use gat_sim::json::Obj;
 use gat_workloads::mix_m;
 
 fn main() {
+    if let Err(e) = real_main() {
+        fail("ablate", e);
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let k: usize = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
-    let scale: u32 = args
+    let k: usize = match args.first() {
+        Some(s) if !s.starts_with("--") => parse_num("mix-number", s)?,
+        _ => 7,
+    };
+    if !(1..=14).contains(&k) {
+        return Err(CliError::Usage(format!("mix-number must be 1..=14, got {k}")));
+    }
+    let scale: u32 = match args
         .iter()
         .position(|a| a == "--scale")
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(128);
+    {
+        Some(v) => parse_num("--scale", v)?,
+        None => 128,
+    };
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let mut json = json_path.as_ref().map(|p| {
-        std::io::BufWriter::new(std::fs::File::create(p).expect("--json PATH not writable"))
-    });
+    let mut json = match json_path.as_ref() {
+        Some(p) => Some(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?,
+        )),
+        None => None,
+    };
     let mix = mix_m(k);
     println!(
         "ablation on M{k}: {} + CPUs {} (scale {scale})",
@@ -57,6 +72,7 @@ fn main() {
         gpu_frames: 4,
         warmup_cycles: 200_000,
         max_cycles: 4_000_000_000,
+        watchdog: 50_000_000,
     };
 
     let base_cfg = || {
@@ -64,6 +80,9 @@ fn main() {
         c.limits = limits;
         c
     };
+    base_cfg()
+        .validate()
+        .map_err(|e| CliError::Config(e.to_string()))?;
     let variants: Vec<(&str, MachineConfig)> = vec![
         ("baseline", base_cfg()),
         ("throttle-only", {
@@ -135,7 +154,7 @@ fn main() {
     );
     let mut base_ipc = 0.0;
     for (label, cfg) in variants {
-        let r: RunResult = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+        let r: RunResult = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).try_run()?;
         let g = r.gpu.as_ref().unwrap();
         let sum_ipc: f64 = r.cores.iter().map(|c| c.ipc).sum();
         if label == "baseline" {
@@ -157,11 +176,12 @@ fn main() {
                 .str("variant", label)
                 .raw("result", &r.to_json())
                 .finish();
-            writeln!(f, "{line}").expect("write --json");
+            writeln!(f, "{line}").map_err(|e| CliError::Io(format!("--json: {e}")))?;
         }
     }
     if let Some(mut f) = json {
-        f.flush().expect("flush --json");
+        f.flush().map_err(|e| CliError::Io(format!("--json: {e}")))?;
         eprintln!("# wrote JSONL results to {}", json_path.unwrap());
     }
+    Ok(())
 }

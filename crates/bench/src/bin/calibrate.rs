@@ -5,6 +5,7 @@
 //! cargo run --release -p gat-bench --bin calibrate -- [cpus|games|mix M7] [--scale N]
 //! ```
 
+use gat_bench::{fail, parse_num, CliError};
 use gat_dram::SchedulerKind;
 use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunLimits};
 use gat_workloads::{all_games, all_spec, mixes_m};
@@ -15,18 +16,32 @@ fn limits() -> RunLimits {
         gpu_frames: 4,
         warmup_cycles: 200_000,
         max_cycles: 4_000_000_000,
+        watchdog: 50_000_000,
     }
 }
 
 fn main() {
+    if let Err(e) = real_main() {
+        fail("calibrate", e);
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(|s| s.as_str()).unwrap_or("cpus");
-    let scale: u32 = args
+    let scale: u32 = match args
         .iter()
         .position(|a| a == "--scale")
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(128);
+    {
+        Some(v) => parse_num("--scale", v)?,
+        None => 128,
+    };
+    {
+        let mut probe = MachineConfig::table_one(scale, 3);
+        probe.limits = limits();
+        probe.validate().map_err(|e| CliError::Config(e.to_string()))?;
+    }
 
     match what {
         "cpus" => {
@@ -34,7 +49,7 @@ fn main() {
             for p in all_spec() {
                 let mut cfg = MachineConfig::table_one(scale, 3);
                 cfg.limits = limits();
-                let r = HeteroSystem::new(cfg, &[p], None).run();
+                let r = HeteroSystem::new(cfg, &[p], None).try_run()?;
                 println!(
                     "{:<12} {:>8.2} {:>9.3} {:>5.0}% {:>8.0} {:>8.2} {:>8.2} {:>8}",
                     p.name, p.base_ipc, r.cores[0].ipc, 100.0 * r.cores[0].ipc / p.base_ipc,
@@ -48,7 +63,7 @@ fn main() {
             for g in all_games() {
                 let mut cfg = MachineConfig::table_one(scale, 3);
                 cfg.limits = limits();
-                let r = HeteroSystem::new(cfg, &[], Some(g.clone())).run();
+                let r = HeteroSystem::new(cfg, &[], Some(g.clone())).try_run()?;
                 let fps = r.gpu.as_ref().unwrap().fps;
                 println!(
                     "{:<14} {:>9.1} {:>9.1} {:>7.2}",
@@ -58,7 +73,10 @@ fn main() {
         }
         "mix" => {
             let name = args.get(1).map(|s| s.as_str()).unwrap_or("M7");
-            let mix = mixes_m().into_iter().find(|m| m.name == name).expect("mix");
+            let mix = mixes_m()
+                .into_iter()
+                .find(|m| m.name == name)
+                .ok_or_else(|| CliError::Usage(format!("unknown mix {name:?} (M1..M14)")))?;
             println!("== {} ({} + {}) scale {scale}", mix.name, mix.game.name, mix.cpu_label());
             let mut rows = Vec::new();
             for (label, qos, sched) in [
@@ -70,7 +88,7 @@ fn main() {
                 cfg.limits = limits();
                 cfg.qos = qos;
                 cfg.sched = sched;
-                let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
+                let r = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).try_run()?;
                 rows.push((label, r));
             }
             println!(
@@ -108,6 +126,11 @@ fn main() {
                 );
             }
         }
-        other => eprintln!("unknown mode {other}"),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown mode {other:?} (expected cpus|games|mix)"
+            )))
+        }
     }
+    Ok(())
 }

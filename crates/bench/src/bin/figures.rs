@@ -3,78 +3,104 @@
 //! ```text
 //! figures <fig1|fig2|fig3|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all>
 //!         [--scale N] [--frames N] [--instr N] [--seed N] [--threads N] [--json PATH]
+//!         [--faults SPEC]
 //! ```
 //!
 //! `all` shares runs between figures that use the same experiments
 //! (Fig. 1+2, Fig. 9+10+11, Fig. 13+14), which roughly halves the wall
 //! time of a full regeneration. `--json PATH` additionally writes every
 //! table as one JSONL `{"type":"table",...}` object per line, from the
-//! same simulation runs as the text output.
+//! same simulation runs as the text output. `--faults SPEC` (or
+//! `GAT_FAULTS`) injects deterministic faults into every run.
+//!
+//! Exit codes: 0 success, 1 I/O failure, 2 bad usage or configuration.
 
 use std::io::Write;
 
-use gat_bench::{figure_tables, render_tables, tables_jsonl};
+use gat_bench::{
+    fail, fault_plan_from, figure_tables, is_known_figure, parse_num, render_tables, tables_jsonl,
+    CliError, FIGURES,
+};
 use gat_hetero::experiments::ExpConfig;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: figures <figN|all> [--scale N] [--frames N] [--instr N] [--seed N] [--threads N] [--json PATH]"
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "figures <figN|all> [--scale N] [--frames N] [--instr N] [--seed N] \
+     [--threads N] [--json PATH] [--faults SPEC]";
 
 fn main() {
+    if let Err(e) = real_main() {
+        fail("figures", e);
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        usage();
+        return Err(CliError::Usage(USAGE.into()));
     }
     let which = args[0].clone();
+    if which != "all" && !is_known_figure(&which) {
+        return Err(CliError::Usage(format!(
+            "unknown figure id {which:?}; known: {FIGURES:?} (or 'all')"
+        )));
+    }
     let mut cfg = ExpConfig::default();
     let mut json_path: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let key = args[i].as_str();
-        let val = args.get(i + 1).unwrap_or_else(|| usage());
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{key} needs a value\n{USAGE}")))?;
         match key {
-            "--scale" => cfg.scale = val.parse().expect("--scale N"),
-            "--frames" => cfg.limits.gpu_frames = val.parse().expect("--frames N"),
-            "--instr" => cfg.limits.cpu_instructions = val.parse().expect("--instr N"),
-            "--seed" => cfg.seed = val.parse().expect("--seed N"),
-            "--warmup" => cfg.limits.warmup_cycles = val.parse().expect("--warmup N"),
-            "--threads" => cfg.threads = val.parse().expect("--threads N"),
+            "--scale" => cfg.scale = parse_num(key, val)?,
+            "--frames" => cfg.limits.gpu_frames = parse_num(key, val)?,
+            "--instr" => cfg.limits.cpu_instructions = parse_num(key, val)?,
+            "--seed" => cfg.seed = parse_num(key, val)?,
+            "--warmup" => cfg.limits.warmup_cycles = parse_num(key, val)?,
+            "--threads" => cfg.threads = parse_num(key, val)?,
             "--json" => json_path = Some(val.clone()),
-            _ => usage(),
+            "--faults" => faults_spec = Some(val.clone()),
+            _ => return Err(CliError::Usage(format!("unknown flag {key:?}\n{USAGE}"))),
         }
         i += 2;
     }
-    let mut json = json_path.as_ref().map(|p| {
-        std::io::BufWriter::new(std::fs::File::create(p).expect("--json PATH not writable"))
-    });
+    cfg.faults = fault_plan_from(faults_spec)?;
+    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
+    let mut json = match json_path.as_ref() {
+        Some(p) => Some(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?,
+        )),
+        None => None,
+    };
     eprintln!(
         "# scale={} frames={} instr={} seed={} threads={}",
         cfg.scale, cfg.limits.gpu_frames, cfg.limits.cpu_instructions, cfg.seed, cfg.threads
     );
     let start = std::time::Instant::now();
-    let mut emit = |id: &str| {
+    let mut emit = |id: &str| -> Result<(), CliError> {
         let tables = figure_tables(id, &cfg);
         println!("{}", render_tables(&tables));
         if let Some(f) = json.as_mut() {
-            write!(f, "{}", tables_jsonl(&tables)).expect("write --json");
+            write!(f, "{}", tables_jsonl(&tables))
+                .map_err(|e| CliError::Io(format!("--json: {e}")))?;
         }
+        Ok(())
     };
     match which.as_str() {
         "all" => {
             for id in ["fig1+2", "fig3", "fig8", "fig9+10+11", "fig12", "fig13+14"] {
                 let t = std::time::Instant::now();
-                emit(id);
+                emit(id)?;
                 eprintln!("# {id} took {:.1}s", t.elapsed().as_secs_f64());
             }
         }
-        id => emit(id),
+        id => emit(id)?,
     }
     if let Some(mut f) = json {
-        f.flush().expect("flush --json");
+        f.flush().map_err(|e| CliError::Io(format!("--json: {e}")))?;
         eprintln!("# wrote JSONL tables to {}", json_path.unwrap());
     }
     eprintln!("# total {:.1}s", start.elapsed().as_secs_f64());
+    Ok(())
 }

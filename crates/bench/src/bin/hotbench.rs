@@ -16,18 +16,13 @@
 
 use std::time::Instant;
 
-use gat_bench::{figure_tables, render_tables};
+use gat_bench::{fail, figure_tables, is_known_figure, parse_num, render_tables, CliError};
 use gat_hetero::experiments::ExpConfig;
 use gat_hetero::ffstats;
 use gat_sim::json::{validate_json_line, Obj};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: hotbench [--quick] [--out PATH] [--drivers a,b,c] \
-         [--scale N] [--frames N] [--instr N] [--seed N]"
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "hotbench [--quick] [--out PATH] [--drivers a,b,c] \
+     [--scale N] [--frames N] [--instr N] [--seed N]";
 
 /// Pre-optimization wall-clock seconds for each figure driver, recorded
 /// with the strict cycle-by-cycle loop at the default hotbench config
@@ -68,6 +63,12 @@ fn run_once(id: &str, cfg: &ExpConfig) -> Sample {
 }
 
 fn main() {
+    if let Err(e) = real_main() {
+        fail("hotbench", e);
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig {
         // Fixed measurement config: single worker so wall-clock ratios are
@@ -94,24 +95,30 @@ fn main() {
                 continue;
             }
             key => {
-                let val = args.get(i + 1).unwrap_or_else(|| usage());
+                let val = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{key} needs a value\n{USAGE}")))?;
                 match key {
                     "--out" => out_path = val.clone(),
                     "--drivers" => {
                         drivers = val.split(',').map(|s| s.trim().to_string()).collect()
                     }
-                    "--scale" => cfg.scale = val.parse().expect("--scale N"),
-                    "--frames" => cfg.limits.gpu_frames = val.parse().expect("--frames N"),
-                    "--instr" => {
-                        cfg.limits.cpu_instructions = val.parse().expect("--instr N")
-                    }
-                    "--seed" => cfg.seed = val.parse().expect("--seed N"),
-                    _ => usage(),
+                    "--scale" => cfg.scale = parse_num(key, val)?,
+                    "--frames" => cfg.limits.gpu_frames = parse_num(key, val)?,
+                    "--instr" => cfg.limits.cpu_instructions = parse_num(key, val)?,
+                    "--seed" => cfg.seed = parse_num(key, val)?,
+                    _ => return Err(CliError::Usage(format!("unknown flag {key:?}\n{USAGE}"))),
                 }
                 i += 2;
             }
         }
     }
+    for id in &drivers {
+        if !is_known_figure(id) {
+            return Err(CliError::Usage(format!("unknown driver {id:?}")));
+        }
+    }
+    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
     if quick {
         // CI smoke: one small driver pair, seconds not minutes.
         cfg.scale = 256;
@@ -188,6 +195,7 @@ fn main() {
         out.push_str(line);
         out.push('\n');
     }
-    std::fs::write(&out_path, &out).expect("cannot write bench output");
+    std::fs::write(&out_path, &out).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
     eprintln!("# wrote {out_path}");
+    Ok(())
 }

@@ -5,23 +5,38 @@
 //!        [--qos off|observe|throttle|full|prioonly] [--fill base|bypass|helm]
 //!        [--scale N] [--instr N] [--frames N] [--warmup N] [--seed N]
 //!        [--gpu-ways K] [--partition-channels] [--llc-lru] [--json PATH]
+//!        [--faults SPEC] [--watchdog N]
 //!
 //! `--json PATH` additionally writes the machine-readable result as two
 //! JSONL lines: the full `RunResult` and a final metrics-registry snapshot.
+//! `--faults SPEC` (or the `GAT_FAULTS` environment variable) installs a
+//! deterministic fault-injection plan (see `gat_sim::faults`); `--watchdog N`
+//! tunes the liveness watchdog window in CPU cycles (0 disables it).
 //! ```
+//!
+//! Exit codes: 0 success, 1 I/O failure, 2 bad usage or configuration,
+//! 3 simulation abort (watchdog / invariant violation).
 //!
 //! Examples:
 //! * the paper's proposal on a custom mix:
 //!   `runsim --game HL2 --cpus 429,470,462,401 --qos full --sched cpuprio`
 //! * a CPU-only run: `runsim --cpus 429`
 //! * a GPU-only run: `runsim --game CRYSIS --cpus ""`
+//! * chaos smoke: `runsim --faults "dram.bounce=0.2,ring.drop=0.05"`
 
+use gat_bench::{fail, fault_plan_from, parse_num, CliError};
 use gat_cache::ReplacementPolicy;
 use gat_dram::SchedulerKind;
 use gat_hetero::{FillPolicyKind, HeteroSystem, MachineConfig, QosMode};
-use gat_workloads::{game, spec};
+use gat_workloads::{all_games, all_spec};
 
 fn main() {
+    if let Err(e) = real_main() {
+        fail("runsim", e);
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
         args.iter()
@@ -31,22 +46,30 @@ fn main() {
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
 
-    let scale: u32 = get("--scale").and_then(|v| v.parse().ok()).unwrap_or(128);
-    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let scale: u32 = match get("--scale") {
+        Some(v) => parse_num("--scale", &v)?,
+        None => 128,
+    };
+    let seed: u64 = match get("--seed") {
+        Some(v) => parse_num("--seed", &v)?,
+        None => 1,
+    };
     let mut cfg = MachineConfig::table_one(scale, seed);
-    if let Some(v) = get("--instr") {
-        cfg.limits.cpu_instructions = v.parse().expect("--instr N");
-    } else {
-        cfg.limits.cpu_instructions = 400_000;
+    cfg.limits.cpu_instructions = match get("--instr") {
+        Some(v) => parse_num("--instr", &v)?,
+        None => 400_000,
+    };
+    cfg.limits.gpu_frames = match get("--frames") {
+        Some(v) => parse_num("--frames", &v)?,
+        None => 4,
+    };
+    cfg.limits.warmup_cycles = match get("--warmup") {
+        Some(v) => parse_num("--warmup", &v)?,
+        None => 200_000,
+    };
+    if let Some(v) = get("--watchdog") {
+        cfg.limits.watchdog = parse_num("--watchdog", &v)?;
     }
-    if let Some(v) = get("--frames") {
-        cfg.limits.gpu_frames = v.parse().expect("--frames N");
-    } else {
-        cfg.limits.gpu_frames = 4;
-    }
-    cfg.limits.warmup_cycles = get("--warmup")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000);
 
     cfg.sched = match get("--sched").as_deref() {
         None | Some("frfcfs") => SchedulerKind::FrFcfs,
@@ -55,7 +78,7 @@ fn main() {
         Some("sms0") => SchedulerKind::Sms(0.0),
         Some("dynprio") => SchedulerKind::DynPrio,
         Some("static") => SchedulerKind::StaticCpuPrio,
-        Some(o) => panic!("unknown scheduler {o}"),
+        Some(o) => return Err(CliError::Usage(format!("unknown scheduler {o:?}"))),
     };
     cfg.qos = match get("--qos").as_deref() {
         None | Some("off") => QosMode::Off,
@@ -63,43 +86,60 @@ fn main() {
         Some("throttle") => QosMode::Throttle,
         Some("full") => QosMode::ThrotCpuPrio,
         Some("prioonly") => QosMode::CpuPrioOnly,
-        Some(o) => panic!("unknown qos mode {o}"),
+        Some(o) => return Err(CliError::Usage(format!("unknown qos mode {o:?}"))),
     };
     cfg.fill_policy = match get("--fill").as_deref() {
         None | Some("base") => FillPolicyKind::Baseline,
         Some("bypass") => FillPolicyKind::BypassAll,
         Some("helm") => FillPolicyKind::Helm,
-        Some(o) => panic!("unknown fill policy {o}"),
+        Some(o) => return Err(CliError::Usage(format!("unknown fill policy {o:?}"))),
     };
     if let Some(v) = get("--gpu-ways") {
-        cfg.gpu_llc_ways = Some(v.parse().expect("--gpu-ways K"));
+        cfg.gpu_llc_ways = Some(parse_num("--gpu-ways", &v)?);
     }
     cfg.partition_channels = has("--partition-channels");
     if has("--llc-lru") {
         cfg.llc_policy = ReplacementPolicy::Lru;
     }
+    cfg.faults = fault_plan_from(get("--faults"))?;
+    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
 
-    let apps: Vec<_> = get("--cpus")
+    let mut apps = Vec::new();
+    for id in get("--cpus")
         .unwrap_or_else(|| "470,410,433,462".into())
         .split(',')
         .filter(|s| !s.is_empty())
-        .map(|id| spec(id.trim().parse().expect("SPEC id")))
-        .collect();
-    let g = get("--game").map(|n| game(&n));
-    assert!(
-        g.is_some() || !apps.is_empty(),
-        "need at least one of --game/--cpus"
-    );
+    {
+        let id: u16 = parse_num("--cpus", id.trim())?;
+        let p = all_spec()
+            .into_iter()
+            .find(|p| p.spec_id == id)
+            .ok_or_else(|| CliError::Usage(format!("unknown SPEC id {id}")))?;
+        apps.push(p);
+    }
+    let g = match get("--game") {
+        Some(n) => Some(
+            all_games()
+                .into_iter()
+                .find(|g| g.name == n)
+                .ok_or_else(|| CliError::Usage(format!("unknown game {n:?}")))?,
+        ),
+        None => None,
+    };
+    if g.is_none() && apps.is_empty() {
+        return Err(CliError::Usage("need at least one of --game/--cpus".into()));
+    }
 
     let mut sys = HeteroSystem::new(cfg, &apps, g);
-    let result = sys.run();
+    let result = sys.try_run()?;
     print!("{}", result.render_report());
     if let Some(path) = get("--json") {
         let mut out = result.to_json();
         out.push('\n');
         out.push_str(&sys.registry_snapshot().to_json());
         out.push('\n');
-        std::fs::write(&path, out).expect("--json PATH not writable");
+        std::fs::write(&path, out).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         eprintln!("# wrote JSONL result to {path}");
     }
+    Ok(())
 }

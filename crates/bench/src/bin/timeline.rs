@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p gat-bench --bin timeline -- [mix-number] [--scale N] [--frames N]
-//!         [--epoch N] [--json PATH]
+//!         [--epoch N] [--json PATH] [--faults SPEC]
 //! ```
 //!
 //! The text table is driven by the structured run-event stream
@@ -12,31 +12,51 @@
 //! — frame boundaries, QoS transitions, DRAM priority flips, and one
 //! registry snapshot every `--epoch` CPU cycles — is also written to
 //! PATH as JSONL, followed by a final full registry snapshot.
+//! `--faults SPEC` (or `GAT_FAULTS`) installs a deterministic
+//! fault-injection plan; a run that stops making progress exits with
+//! code 3 and a structured diagnostic instead of spinning.
 
 use std::io::Write;
 
+use gat_bench::{fail, fault_plan_from, parse_num, CliError};
 use gat_dram::SchedulerKind;
-use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunEvent, RunLimits};
+use gat_hetero::{HeteroSystem, MachineConfig, QosMode, RunEvent, RunLimits, SimError};
 use gat_workloads::mix_m;
 
 fn main() {
+    if let Err(e) = real_main() {
+        fail("timeline", e);
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let k: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(7);
-    let get = |flag: &str, default: u64| -> u64 {
+    let k: usize = match args.first() {
+        Some(s) if !s.starts_with("--") => parse_num("mix-number", s)?,
+        _ => 7,
+    };
+    if !(1..=14).contains(&k) {
+        return Err(CliError::Usage(format!("mix-number must be 1..=14, got {k}")));
+    }
+    let get = |flag: &str| -> Option<String> {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+            .cloned()
     };
-    let scale = get("--scale", 128) as u32;
-    let frames = get("--frames", 12) as u32;
-    let epoch = get("--epoch", 1_000_000);
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let scale: u32 = match get("--scale") {
+        Some(v) => parse_num("--scale", &v)?,
+        None => 128,
+    };
+    let frames: u32 = match get("--frames") {
+        Some(v) => parse_num("--frames", &v)?,
+        None => 12,
+    };
+    let epoch: u64 = match get("--epoch") {
+        Some(v) => parse_num("--epoch", &v)?,
+        None => 1_000_000,
+    };
+    let json_path = get("--json");
     let mix = mix_m(k);
     println!(
         "timeline of M{k}: {} + CPUs {} (scale {scale}, {frames} frames, target 40 FPS)",
@@ -44,6 +64,7 @@ fn main() {
         mix.cpu_label()
     );
 
+    const MAX_CYCLES: u64 = 40_000_000_000;
     let mut cfg = MachineConfig::table_one(scale, 5);
     cfg.qos = QosMode::ThrotCpuPrio;
     cfg.sched = SchedulerKind::FrFcfsCpuPrio;
@@ -51,15 +72,22 @@ fn main() {
         cpu_instructions: u64::MAX, // run until the GPU finishes
         gpu_frames: frames,
         warmup_cycles: 0,
-        max_cycles: 40_000_000_000,
+        max_cycles: MAX_CYCLES,
+        watchdog: 50_000_000,
     };
+    cfg.faults = fault_plan_from(get("--faults"))?;
+    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
 
     let mut sys = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone()));
     let sub = sys.subscribe_run_events();
     sys.set_epoch_sampling(if epoch > 0 { Some(epoch) } else { None });
-    let mut json = json_path.as_ref().map(|p| {
-        std::io::BufWriter::new(std::fs::File::create(p).expect("--json PATH not writable"))
-    });
+    let mut json = match json_path.as_ref() {
+        Some(p) => Some(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?,
+        )),
+        None => None,
+    };
+    let io_err = |e: std::io::Error| CliError::Io(format!("--json: {e}"));
     println!(
         "{:>5} {:>9} {:>7} {:>6} {:>5} {:>10} {:>10}",
         "frame", "cycles", "FPS", "WG", "boost", "gpu-sends", "retired"
@@ -69,7 +97,7 @@ fn main() {
         sys.tick();
         for e in sys.poll_run_events(sub).events {
             if let Some(f) = json.as_mut() {
-                writeln!(f, "{}", e.to_json()).expect("write --json");
+                writeln!(f, "{}", e.to_json()).map_err(io_err)?;
             }
             if let RunEvent::FrameBoundary {
                 frame,
@@ -95,11 +123,17 @@ fn main() {
                 );
             }
         }
-        assert!(sys.now() < 40_000_000_000, "wedged");
+        if sys.now() >= MAX_CYCLES {
+            return Err(CliError::Sim(SimError::MaxCycles {
+                cycle: sys.now(),
+                limit: MAX_CYCLES,
+            }));
+        }
     }
     if let Some(mut f) = json {
-        writeln!(f, "{}", sys.registry_snapshot().to_json()).expect("write --json");
-        f.flush().expect("flush --json");
+        writeln!(f, "{}", sys.registry_snapshot().to_json()).map_err(io_err)?;
+        f.flush().map_err(io_err)?;
         eprintln!("# wrote JSONL timeline to {}", json_path.unwrap());
     }
+    Ok(())
 }

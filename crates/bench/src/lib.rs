@@ -14,11 +14,92 @@
 
 use gat_hetero::experiments::{self, ExpConfig};
 use gat_hetero::report::Table;
+use gat_hetero::SimError;
+use gat_sim::faults::FaultPlan;
 
 /// All known figure ids, in paper order.
 pub const FIGURES: [&str; 10] = [
     "fig1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 ];
+
+/// Combined ids accepted by [`figure_tables`] that share runs between
+/// figures built from the same experiment.
+pub const FIGURE_COMBOS: [&str; 5] = ["fig1+2", "motivation", "fig9+10+11", "throttle", "fig13+14"];
+
+/// Is `id` something [`figure_tables`] accepts?
+pub fn is_known_figure(id: &str) -> bool {
+    FIGURES.contains(&id) || FIGURE_COMBOS.contains(&id)
+}
+
+/// Typed failure for the CLI binaries. Every user-reachable error path
+/// maps to a stable nonzero exit code (see [`CliError::exit_code`])
+/// instead of a panic backtrace.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown flag or value, malformed number): exit 2.
+    Usage(String),
+    /// The assembled configuration or fault spec is invalid: exit 2.
+    Config(String),
+    /// An output artifact could not be written: exit 1.
+    Io(String),
+    /// The simulation itself aborted (liveness watchdog, paranoia
+    /// invariant check, cycle-limit overrun): exit 3.
+    Sim(SimError),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) | CliError::Config(_) => 2,
+            CliError::Io(_) => 1,
+            CliError::Sim(_) => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage: {msg}"),
+            CliError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            CliError::Io(msg) => write!(f, "io: {msg}"),
+            CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+/// Print a binary's error to stderr and exit with its code.
+pub fn fail(bin: &str, e: CliError) -> ! {
+    eprintln!("{bin}: error: {e}");
+    std::process::exit(e.exit_code());
+}
+
+/// Parse a flag value, mapping failure to a usage error naming the flag.
+pub fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} expects a number, got {value:?}")))
+}
+
+/// Resolve the run's fault plan: an explicit `--faults SPEC` wins,
+/// otherwise the `GAT_FAULTS` environment variable, otherwise fault-free.
+pub fn fault_plan_from(cli_spec: Option<String>) -> Result<FaultPlan, CliError> {
+    if let Some(spec) = cli_spec {
+        return FaultPlan::parse(&spec).map_err(|e| CliError::Config(format!("--faults: {e}")));
+    }
+    FaultPlan::from_env()
+        .map(|opt| opt.unwrap_or_default())
+        .map_err(|e| CliError::Config(format!("GAT_FAULTS: {e}")))
+}
 
 /// Regenerate one figure as structured [`Table`]s. Both the text and the
 /// JSONL output of the `figures` binary derive from this single run.
@@ -110,6 +191,31 @@ mod tests {
     fn figure_list_is_complete() {
         assert_eq!(FIGURES.len(), 10);
         assert!(FIGURES.contains(&"fig14"));
+        assert!(is_known_figure("fig9+10+11"));
+        assert!(!is_known_figure("fig99"));
+    }
+
+    #[test]
+    fn cli_errors_map_to_stable_exit_codes() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Config("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 1);
+        let sim = CliError::from(SimError::MaxCycles { cycle: 10, limit: 10 });
+        assert_eq!(sim.exit_code(), 3);
+        assert!(sim.to_string().contains("simulation failed"));
+    }
+
+    #[test]
+    fn fault_plan_resolution_prefers_the_cli_spec() {
+        let p = fault_plan_from(Some("dram.bounce=0.5".into())).unwrap();
+        assert_eq!(p.dram.bounce, 0.5);
+        assert!(matches!(
+            fault_plan_from(Some("bogus=1".into())),
+            Err(CliError::Config(_))
+        ));
+        // No spec anywhere: fault-free.
+        assert!(fault_plan_from(None).map(|p| p.is_none()).unwrap_or(false)
+            || std::env::var("GAT_FAULTS").is_ok());
     }
 
     #[test]

@@ -142,6 +142,32 @@ impl MshrFile {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Paranoia-mode invariant check: structural bounds that the
+    /// allocate/complete protocol guarantees. A violation means an MSHR
+    /// leak or corrupted waiter bookkeeping.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "MSHR overflow: {} entries live with capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        for (block, waiters) in &self.entries {
+            if waiters.is_empty() {
+                return Err(format!("MSHR entry for block {block:#x} has no waiters"));
+            }
+            if waiters.len() > self.max_waiters {
+                return Err(format!(
+                    "MSHR entry for block {block:#x} holds {} waiters (bound {})",
+                    waiters.len(),
+                    self.max_waiters
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +226,21 @@ mod tests {
         }
         assert_eq!(m.occupancy(), 0);
         assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn invariants_hold_through_the_protocol() {
+        let mut m = MshrFile::new(2, 2);
+        m.check_invariants().unwrap();
+        m.allocate(1, 10);
+        m.allocate(1, 11);
+        m.allocate(2, 12);
+        m.allocate(3, 13); // Full: rejected, nothing recorded
+        m.check_invariants().unwrap();
+        m.complete(1);
+        m.cancel(2);
+        m.check_invariants().unwrap();
+        assert_eq!(m.occupancy(), 0);
     }
 
     #[test]

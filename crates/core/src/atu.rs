@@ -156,6 +156,31 @@ impl AccessThrottler {
         }
     }
 
+    /// Paranoia-mode invariant check: token conservation and policy
+    /// bounds. A violation means the gate state machine itself broke —
+    /// callers should surface it as a typed `SimError`, not continue.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.w_g > W_G_MAX {
+            return Err(format!("ATU W_G {} exceeds cap {W_G_MAX}", self.w_g));
+        }
+        if self.n_g == 0 {
+            return Err("ATU N_G is zero".to_string());
+        }
+        if self.tokens > self.n_g {
+            return Err(format!(
+                "ATU token leak: {} tokens held with N_G {}",
+                self.tokens, self.n_g
+            ));
+        }
+        if self.w_g == 0 && self.closed_until != 0 {
+            return Err(format!(
+                "ATU gate closed until {} with W_G 0",
+                self.closed_until
+            ));
+        }
+        Ok(())
+    }
+
     /// Report `sends` accesses made at GPU cycle `now`.
     pub fn note_sends(&mut self, now: Cycle, sends: u32) {
         if self.w_g == 0 || sends == 0 {
@@ -285,6 +310,20 @@ mod tests {
         atu.note_sends(5, 1);
         atu.disable();
         assert_eq!(atu.quota(6), u32::MAX);
+    }
+
+    #[test]
+    fn invariants_hold_through_a_throttle_cycle() {
+        let mut atu = AccessThrottler::new();
+        atu.check_invariants().unwrap();
+        atu.update(2000.0, 1000.0, 100.0);
+        atu.note_sends(10, 1);
+        atu.check_invariants().unwrap();
+        atu.update(2000.0, 2100.0, 100.0);
+        atu.update(2000.0, 2100.0, 100.0); // released
+        atu.check_invariants().unwrap();
+        atu.disable();
+        atu.check_invariants().unwrap();
     }
 
     #[test]

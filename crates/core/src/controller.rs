@@ -13,6 +13,37 @@ use crate::frpu::{FrameRateEstimator, FrpuConfig, Phase};
 use gat_gpu::GpuEvent;
 use gat_sim::events::{EventBus, Poll, SubscriberId};
 use gat_sim::{Cycle, GPU_FREQ_HZ};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A configuration value that would make the simulated machine degenerate
+/// (division by zero, empty structures, dead control loops). Returned by
+/// the `validate()` methods on the config structs so binaries can reject
+/// bad inputs before constructing a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, dotted-path style (e.g. `qos.target_fps`).
+    pub field: &'static str,
+    /// Human-readable explanation of why the value is rejected.
+    pub reason: String,
+}
+
+impl ConfigError {
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        Self {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Structured QoS transitions published by the controller on a bounded
 /// ring ([`gat_sim::events::EventBus`]); consumers subscribe via
@@ -30,6 +61,12 @@ pub enum QosEvent {
     ThrottleAdjust { cycle: Cycle, from_w_g: u64, w_g: u64 },
     /// The gate fully opened (`W_G` → 0).
     ThrottleRelease { cycle: Cycle },
+    /// The controller entered the safe throttle-off fallback: the FRPU
+    /// signal became implausible (relearn storm or non-finite prediction),
+    /// so actuating on it would throttle on garbage. `relearns` is the
+    /// cumulative re-learn count at the time of degradation. Latched for
+    /// the rest of the run.
+    Degraded { cycle: Cycle, relearns: u64 },
 }
 
 /// Capacity of the controller's event ring. Evaluations run ~64× per
@@ -53,6 +90,13 @@ pub struct QosControllerConfig {
     /// Use Fig. 6's strict W_G reset on overshoot instead of the default
     /// gentle release (ablation knob; DESIGN.md §5).
     pub strict_release: bool,
+    /// Degrade (latch throttle-off) once this many FRPU re-learns land
+    /// within [`Self::degrade_window_frames`] frames — a relearn storm
+    /// means the estimator never holds a model long enough to trust.
+    pub degrade_relearn_limit: u64,
+    /// Sliding window, in completed frames, over which the relearn storm
+    /// threshold is measured.
+    pub degrade_window_frames: usize,
     pub frpu: FrpuConfig,
 }
 
@@ -65,6 +109,12 @@ impl QosControllerConfig {
             enable_throttle: true,
             enable_cpu_prio: true,
             strict_release: false,
+            // The Fig. 4 FSM relearns at most once per two frames
+            // (discard → skip partial → learn a full frame), so 3-in-8 is
+            // already ~75% of the maximum churn rate: the model is being
+            // discarded nearly as fast as it can be rebuilt.
+            degrade_relearn_limit: 3,
+            degrade_window_frames: 8,
             frpu: FrpuConfig::default(),
         }
     }
@@ -95,6 +145,33 @@ impl QosControllerConfig {
             enable_cpu_prio: false,
             ..Self::proposal(scale)
         }
+    }
+
+    /// Reject degenerate controller parameters (satellite of the chaos
+    /// harness: every binary validates before running).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.target_fps.is_finite() || self.target_fps <= 0.0 {
+            return Err(ConfigError::new(
+                "qos.target_fps",
+                format!("must be finite and positive, got {}", self.target_fps),
+            ));
+        }
+        if self.scale == 0 {
+            return Err(ConfigError::new("qos.scale", "must be nonzero"));
+        }
+        if self.degrade_relearn_limit == 0 {
+            return Err(ConfigError::new(
+                "qos.degrade_relearn_limit",
+                "must be at least 1 (0 would degrade on the first relearn window)",
+            ));
+        }
+        if self.degrade_window_frames < 2 {
+            return Err(ConfigError::new(
+                "qos.degrade_window_frames",
+                "needs at least 2 frames to measure a relearn rate",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -127,6 +204,12 @@ pub struct QosController {
     next_eval: Cycle,
     /// Evaluation interval in GPU cycles (C_T / 64).
     eval_interval: Cycle,
+    /// Latched safe fallback: the FRPU signal went implausible, so the
+    /// ATU is held open and CPU-prio actuation is suppressed.
+    degraded: bool,
+    /// Cumulative relearn count sampled at each frame boundary; the
+    /// newest-minus-oldest delta over the window is the storm detector.
+    relearn_history: VecDeque<u64>,
     /// Structured transition stream; see [`QosEvent`].
     events: EventBus<QosEvent>,
 }
@@ -148,6 +231,8 @@ impl QosController {
             above_target: false,
             next_eval: 0,
             eval_interval,
+            degraded: false,
+            relearn_history: VecDeque::new(),
             events: EventBus::new(QOS_EVENT_RING),
         }
     }
@@ -203,6 +288,7 @@ impl QosController {
                     self.frpu.on_frame_complete(cycles);
                     self.publish_frpu_transitions(now, prev_phase, prev_relearns);
                     self.frame_start = now;
+                    self.note_frame_relearns(now);
                     self.evaluate(now);
                 }
             }
@@ -226,6 +312,42 @@ impl QosController {
         }
     }
 
+    /// Sample the cumulative relearn count at a frame boundary and trip
+    /// the degradation latch if the windowed rate crosses the limit — an
+    /// estimator that keeps discarding its model (e.g. under injected
+    /// sensor noise) is not a signal worth actuating on.
+    fn note_frame_relearns(&mut self, now: Cycle) {
+        self.relearn_history.push_back(self.frpu.relearn_events);
+        if self.relearn_history.len() > self.cfg.degrade_window_frames {
+            self.relearn_history.pop_front();
+        }
+        if let (Some(&oldest), Some(&newest)) =
+            (self.relearn_history.front(), self.relearn_history.back())
+        {
+            if newest - oldest >= self.cfg.degrade_relearn_limit {
+                self.enter_degraded(now);
+            }
+        }
+    }
+
+    /// Latch the safe throttle-off fallback and publish [`QosEvent::Degraded`]
+    /// (once). The ATU is forced open here and held open by every later
+    /// evaluation.
+    fn enter_degraded(&mut self, now: Cycle) {
+        if !self.degraded {
+            self.degraded = true;
+            self.events.publish(QosEvent::Degraded {
+                cycle: now,
+                relearns: self.frpu.relearn_events,
+            });
+        }
+    }
+
+    /// The controller has latched its safe fallback (see [`QosEvent::Degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Run one Fig. 6 evaluation from the current FRPU state, using the
     /// live (elapsed-floored) projection so fast periodic ramping cannot
     /// outrun stale per-RTP feedback.
@@ -233,16 +355,26 @@ impl QosController {
         let prev_w_g = self.atu.decision().w_g;
         let elapsed = now.saturating_sub(self.frame_start);
         let live = self.frpu.live_prediction(elapsed);
-        self.above_target = live.is_some_and(|c_p| c_p < self.c_t);
-        if self.cfg.enable_throttle {
-            match (live, self.frpu.accesses_per_frame()) {
-                (Some(c_p), Some(a)) => {
-                    self.atu.update(self.c_t, c_p, a);
-                }
-                _ => self.atu.disable(), // learning phase: run unthrottled
-            }
-        } else {
+        if live.is_some_and(|c_p| !c_p.is_finite() || c_p <= 0.0) {
+            // Non-finite or non-positive frame projection: garbage in, no
+            // actuation out.
+            self.enter_degraded(now);
+        }
+        if self.degraded {
+            self.above_target = false;
             self.atu.disable();
+        } else {
+            self.above_target = live.is_some_and(|c_p| c_p < self.c_t);
+            if self.cfg.enable_throttle {
+                match (live, self.frpu.accesses_per_frame()) {
+                    (Some(c_p), Some(a)) => {
+                        self.atu.update(self.c_t, c_p, a);
+                    }
+                    _ => self.atu.disable(), // learning phase: run unthrottled
+                }
+            } else {
+                self.atu.disable();
+            }
         }
         let w_g = self.atu.decision().w_g;
         if w_g != prev_w_g {
@@ -438,6 +570,86 @@ mod tests {
             .iter()
             .any(|e| matches!(e, QosEvent::ThrottleRelease { .. })));
         assert_eq!(c.event_bus().dropped(), 0);
+    }
+
+    #[test]
+    fn relearn_storm_latches_degraded_and_holds_throttle_off() {
+        let mut cfg = QosControllerConfig::proposal(16);
+        cfg.degrade_relearn_limit = 2;
+        cfg.degrade_window_frames = 4;
+        let mut c = QosController::new(cfg);
+        let sub = c.subscribe_events();
+        learn(&mut c, 2000);
+        c.on_gpu_events(10_000, &[rtp(1000, 2000, 250)]);
+        assert!(c.atu.is_throttling(), "healthy signal throttles first");
+        // Alternate the per-RTP work wildly: every frame relearns.
+        let mut now = 10_000;
+        for i in 0..6u64 {
+            let updates = if i % 2 == 0 { 100_000 } else { 500 };
+            now += 8000;
+            c.on_gpu_events(now, &[rtp(updates, 2000, 250), frame(8000)]);
+        }
+        assert!(c.is_degraded(), "storm of relearns must trip the latch");
+        assert!(!c.atu.is_throttling(), "fallback is throttle-off");
+        assert_eq!(c.quota(now), u32::MAX);
+        let s = c.signals(now);
+        assert!(!s.cpu_prio_boost && !s.gpu_above_target);
+        let p = c.poll_events(sub);
+        assert_eq!(
+            p.events
+                .iter()
+                .filter(|e| matches!(e, QosEvent::Degraded { .. }))
+                .count(),
+            1,
+            "Degraded is published exactly once"
+        );
+        // Later healthy frames do not re-arm the throttle: latched.
+        for _ in 0..4 {
+            now += 8000;
+            let evs: Vec<GpuEvent> = (0..4)
+                .map(|_| rtp(1000, 2000, 250))
+                .chain(std::iter::once(frame(8000)))
+                .collect();
+            c.on_gpu_events(now, &evs);
+        }
+        assert!(c.is_degraded() && !c.atu.is_throttling());
+    }
+
+    #[test]
+    fn stable_workload_never_degrades() {
+        let mut c = QosController::new(QosControllerConfig::proposal(16));
+        learn(&mut c, 2000);
+        let mut now = 8000;
+        for _ in 0..32 {
+            now += 8000;
+            let evs: Vec<GpuEvent> = (0..4)
+                .map(|_| rtp(1000, 2000, 250))
+                .chain(std::iter::once(frame(8000)))
+                .collect();
+            c.on_gpu_events(now, &evs);
+        }
+        assert!(!c.is_degraded());
+        assert!(c.atu.is_throttling(), "fast stable GPU stays throttled");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs() {
+        assert!(QosControllerConfig::proposal(16).validate().is_ok());
+        let mut bad = QosControllerConfig::proposal(16);
+        bad.target_fps = 0.0;
+        assert_eq!(bad.validate().unwrap_err().field, "qos.target_fps");
+        let mut bad = QosControllerConfig::proposal(16);
+        bad.target_fps = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = QosControllerConfig::proposal(0);
+        bad.scale = 0;
+        assert_eq!(bad.validate().unwrap_err().field, "qos.scale");
+        let mut bad = QosControllerConfig::proposal(16);
+        bad.degrade_relearn_limit = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = QosControllerConfig::proposal(16);
+        bad.degrade_window_frames = 1;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

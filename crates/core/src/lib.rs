@@ -30,5 +30,5 @@ pub mod frpu;
 pub mod overhead;
 
 pub use atu::{AccessThrottler, ThrottleDecision};
-pub use controller::{QosController, QosControllerConfig, QosEvent, QosSignals};
+pub use controller::{ConfigError, QosController, QosControllerConfig, QosEvent, QosSignals};
 pub use frpu::{FrameRateEstimator, FrpuConfig, Phase};

@@ -14,6 +14,7 @@ use crate::mapping::DramCoord;
 use crate::sched::{ReqInfo, SchedCtx, Scheduler};
 use crate::timing::DramTiming;
 use gat_cache::Source;
+use gat_sim::faults::DelayInjector;
 use gat_sim::stats::{Counter, Log2Histogram, RunningStat};
 
 /// A block-granular memory request entering the controller.
@@ -146,6 +147,11 @@ pub struct DramChannel {
     pub stats: DramStats,
     /// Last observed state of the CPU-priority line (flip detection).
     last_prio_boost: bool,
+    /// Seeded response-delay/retry fault injector (chaos harness). When
+    /// armed, a completion may be bounced: its visible `done_at` is pushed
+    /// out by an exponential-backoff delay while bank/bus timing is
+    /// unaffected (the data moved; the response got lost and replayed).
+    fault: Option<DelayInjector>,
 }
 
 impl DramChannel {
@@ -172,7 +178,26 @@ impl DramChannel {
             energy: DramEnergy::default(),
             stats: DramStats::default(),
             last_prio_boost: false,
+            fault: None,
         }
+    }
+
+    /// Arm the response-delay fault injector (chaos harness; see
+    /// `gat_sim::faults`). Draws happen only at issue time, which runs
+    /// identically with fast-forward on or off, so faulted runs stay
+    /// byte-deterministic.
+    pub fn set_fault_injector(&mut self, inj: DelayInjector) {
+        self.fault = Some(inj);
+    }
+
+    /// Completions bounced by the fault injector so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.as_ref().map(|f| f.injected).unwrap_or(0)
+    }
+
+    /// Request-queue capacity (paranoia invariant checks).
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Room for another request?
@@ -390,14 +415,21 @@ impl DramChannel {
         // The data burst may have to wait for the shared bus; model the
         // wait by pushing the burst start out (equivalent to delaying CAS).
         let data_start = (cas_at + cas_delay).max(self.bus_free_at);
-        let done_at = data_start + t.t_burst;
-        self.bus_free_at = done_at;
+        let burst_done = data_start + t.t_burst;
+        self.bus_free_at = burst_done;
+        // A bounced completion is re-queued with exponential backoff: the
+        // data moved (bank/bus timing above is final), but the response is
+        // observed late. Bank ready-times stay on the physical burst end.
+        let done_at = match self.fault.as_mut() {
+            Some(inj) => burst_done + inj.delay(),
+            None => burst_done,
+        };
 
         bank.open_row = Some(p.coord.row);
         bank.cmd_ready = cas_at + t.t_ccd;
         if p.req.write {
-            bank.read_after_write_ready = done_at + t.t_wtr;
-            bank.pre_after_write_ready = done_at + t.t_wr;
+            bank.read_after_write_ready = burst_done + t.t_wtr;
+            bank.pre_after_write_ready = burst_done + t.t_wr;
             self.stats.writes.inc();
             self.energy.write_pj += self.energy_model.write_pj;
             match p.req.source {
@@ -833,6 +865,28 @@ mod tests {
         ch.tick(4, boosted);
         assert_eq!(ch.stats.prio_boost_flips.get(), 3);
         assert_eq!(ch.stats.prio_boost_ticks.get(), 3);
+    }
+
+    #[test]
+    fn fault_injector_delays_only_the_visible_completion() {
+        use gat_sim::rng::SimRng;
+        let run = |fault: bool| {
+            let mut ch = channel();
+            if fault {
+                // p=1, retries=1: every completion bounced exactly once,
+                // +backoff*(2^1-1) = +8 DRAM cycles.
+                ch.set_fault_injector(DelayInjector::new(1.0, 8, 1, SimRng::new(3)));
+            }
+            ch.enqueue(read(1, 0), MAP.decompose(0), 0);
+            (run_until_idle(&mut ch, 0), ch.faults_injected())
+        };
+        let (clean, n0) = run(false);
+        let (faulted, n1) = run(true);
+        assert_eq!(n0, 0);
+        assert_eq!(n1, 1);
+        assert_eq!(faulted[0].done_at, clean[0].done_at + 8);
+        // Deterministic: the same seed bounces identically.
+        assert_eq!(run(true).0[0].done_at, faulted[0].done_at);
     }
 
     #[test]

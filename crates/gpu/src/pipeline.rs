@@ -306,6 +306,42 @@ impl GpuPipeline {
         self.iface.len()
     }
 
+    /// Paranoia-mode invariant check: fragment-group slot conservation
+    /// and interface-queue bounds. A violation means groups leaked (the
+    /// pipeline would eventually wedge) or the request buffer overran its
+    /// modeled capacity.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let live = self
+            .groups
+            .iter()
+            .filter(|g| g.state != GState::Free)
+            .count();
+        if live != self.inflight {
+            return Err(format!(
+                "GPU group leak: {live} live groups but inflight counter {}",
+                self.inflight
+            ));
+        }
+        if self.inflight + self.free.len() != self.groups.len() {
+            return Err(format!(
+                "GPU group slots unbalanced: {} in flight + {} free != {} contexts",
+                self.inflight,
+                self.free.len(),
+                self.groups.len()
+            ));
+        }
+        // drain_iface may overfill by one emit burst beyond the modeled
+        // queue; anything past that slack is a bookkeeping bug.
+        let bound = self.cfg.iface_queue + 16;
+        if self.iface.len() > bound {
+            return Err(format!(
+                "GPU interface queue holds {} requests (bound {bound})",
+                self.iface.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Per-unit internal-cache statistics: (texL1 h/m, texL2 h/m,
     /// depth h/m, color h/m, vertex h/m) — misses are what reaches the
     /// LLC. For calibration reports.
@@ -941,6 +977,19 @@ mod tests {
                 assert!(*llc_accesses > 0, "rendering must touch the LLC");
             }
         }
+    }
+
+    #[test]
+    fn invariants_hold_while_rendering() {
+        let mut pl = pipeline(1);
+        pl.check_invariants().unwrap();
+        run_frames(&mut pl, 2, 50, u32::MAX);
+        pl.check_invariants().unwrap();
+        // A throttled run leaves work parked in the interface mid-frame;
+        // the bounds must hold there too.
+        let mut gated = pipeline(1);
+        run_frames(&mut gated, 1, 50, 1);
+        gated.check_invariants().unwrap();
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Machine and run configuration (Table I).
 
+use gat_core::{ConfigError, QosControllerConfig};
 use gat_cpu::{CoreConfig, HierarchyConfig};
 use gat_dram::{DramAddressMap, DramTiming, SchedulerKind};
 use gat_gpu::GpuConfig;
+use gat_sim::faults::FaultPlan;
 use gat_sim::Cycle;
 
 /// Which LLC fill policy governs GPU read fills.
@@ -47,6 +49,12 @@ pub struct RunLimits {
     pub warmup_cycles: Cycle,
     /// Hard wall: abort the run after this many CPU cycles.
     pub max_cycles: Cycle,
+    /// Liveness watchdog window: if the machine makes no goal-directed
+    /// forward progress for this many cycles while claiming to be active
+    /// (no quiescent wait the fast-forward engine could certify), the run
+    /// aborts with `SimError::Wedged` instead of spinning to `max_cycles`.
+    /// `0` disables the watchdog.
+    pub watchdog: Cycle,
 }
 
 impl Default for RunLimits {
@@ -56,6 +64,7 @@ impl Default for RunLimits {
             gpu_frames: 6,
             warmup_cycles: 1_000_000,
             max_cycles: 2_000_000_000,
+            watchdog: 50_000_000,
         }
     }
 }
@@ -68,6 +77,7 @@ impl RunLimits {
             gpu_frames: 3,
             warmup_cycles: 60_000,
             max_cycles: 300_000_000,
+            watchdog: 50_000_000,
         }
     }
 }
@@ -119,6 +129,10 @@ pub struct MachineConfig {
     /// the `GAT_NO_FASTFORWARD=1` environment variable forces it off for
     /// bisection against the reference cycle-by-cycle loop.
     pub fast_forward: bool,
+    /// Deterministic fault-injection plan (chaos testing; see
+    /// `gat_sim::faults`). `FaultPlan::none()` — the default — is
+    /// byte-identical to a build without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -156,6 +170,7 @@ impl MachineConfig {
             partition_channels: false,
             target_fps: 40.0,
             fast_forward: true,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -165,6 +180,78 @@ impl MachineConfig {
             num_cpus: 1,
             ..Self::table_one(scale, seed)
         }
+    }
+
+    /// Reject degenerate configurations before they turn into mysterious
+    /// hangs or divide-by-zero panics deep inside a run. Every binary
+    /// calls this before constructing a [`crate::HeteroSystem`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.scale == 0 {
+            return Err(ConfigError::new("machine.scale", "must be nonzero"));
+        }
+        if self.llc_ways == 0 {
+            return Err(ConfigError::new("machine.llc_ways", "must be nonzero"));
+        }
+        if self.llc_bytes / (u64::from(self.llc_ways) * 64) == 0 {
+            return Err(ConfigError::new(
+                "machine.llc_bytes",
+                format!(
+                    "{} bytes with {} ways yields zero sets",
+                    self.llc_bytes, self.llc_ways
+                ),
+            ));
+        }
+        if let Some(k) = self.gpu_llc_ways {
+            if k == 0 || k >= self.llc_ways {
+                return Err(ConfigError::new(
+                    "machine.gpu_llc_ways",
+                    format!("partition of {k} ways out of {} is degenerate", self.llc_ways),
+                ));
+            }
+        }
+        if self.llc_mshrs == 0 {
+            return Err(ConfigError::new("machine.llc_mshrs", "must be nonzero"));
+        }
+        if self.llc_queue == 0 {
+            return Err(ConfigError::new("machine.llc_queue", "must be nonzero"));
+        }
+        if self.mc_queue == 0 {
+            return Err(ConfigError::new("machine.mc_queue", "must be nonzero"));
+        }
+        if self.dram_map.channels == 0 {
+            return Err(ConfigError::new(
+                "machine.dram_map.channels",
+                "must be nonzero",
+            ));
+        }
+        if !self.target_fps.is_finite() || self.target_fps <= 0.0 {
+            return Err(ConfigError::new(
+                "machine.target_fps",
+                format!("{} is not a positive finite rate", self.target_fps),
+            ));
+        }
+        if self.limits.max_cycles == 0 {
+            return Err(ConfigError::new(
+                "limits.max_cycles",
+                "zero-cycle run",
+            ));
+        }
+        if self.limits.warmup_cycles >= self.limits.max_cycles {
+            return Err(ConfigError::new(
+                "limits.warmup_cycles",
+                format!(
+                    "warm-up of {} cycles leaves no budget under max_cycles {}",
+                    self.limits.warmup_cycles, self.limits.max_cycles
+                ),
+            ));
+        }
+        // The derived QoS controller knobs must themselves be sane.
+        QosControllerConfig::proposal(self.scale).validate()?;
+        // A hand-built FaultPlan may bypass the parser's checks.
+        self.faults.validate().map_err(|e| {
+            ConfigError::new("machine.faults", e.to_string())
+        })?;
+        Ok(())
     }
 
     /// Ring stop index for CPU core `i` (cores, GPU, LLC, MC0, MC1).
@@ -224,5 +311,52 @@ mod tests {
     #[test]
     fn motivation_machine_has_one_core() {
         assert_eq!(MachineConfig::motivation(16, 2).num_cpus, 1);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        MachineConfig::table_one(256, 9).validate().unwrap();
+        MachineConfig::motivation(64, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let base = || MachineConfig::table_one(64, 1);
+
+        let mut c = base();
+        c.scale = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("scale"));
+
+        let mut c = base();
+        c.llc_ways = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.llc_bytes = 64; // one block, 16 ways: zero sets
+        assert!(c.validate().unwrap_err().to_string().contains("zero sets"));
+
+        let mut c = base();
+        c.gpu_llc_ways = Some(16);
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.llc_mshrs = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.mc_queue = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.target_fps = f64::NAN;
+        assert!(c.validate().unwrap_err().to_string().contains("target_fps"));
+
+        let mut c = base();
+        c.limits.warmup_cycles = c.limits.max_cycles;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.faults.frpu_jitter = -1.0;
+        assert!(c.validate().unwrap_err().to_string().contains("faults"));
     }
 }

@@ -118,6 +118,14 @@ impl RunEvent {
                         .str("kind", "throttle_release")
                         .u64("gpu_cycle", gpu_cycle)
                         .finish(),
+                    QosEvent::Degraded {
+                        cycle: gpu_cycle,
+                        relearns,
+                    } => o
+                        .str("kind", "degraded")
+                        .u64("gpu_cycle", gpu_cycle)
+                        .u64("relearns", relearns)
+                        .finish(),
                 }
             }
             RunEvent::DramPrioFlip { cycle, boost } => Obj::new()
@@ -167,6 +175,13 @@ mod tests {
             RunEvent::DramPrioFlip {
                 cycle: 112,
                 boost: false,
+            },
+            RunEvent::Qos {
+                cycle: 116,
+                event: QosEvent::Degraded {
+                    cycle: 29,
+                    relearns: 5,
+                },
             },
         ];
         for e in &events {

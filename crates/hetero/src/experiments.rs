@@ -20,7 +20,9 @@ use crate::config::{FillPolicyKind, MachineConfig, QosMode, RunLimits};
 use crate::metrics::RunResult;
 use crate::report::Table;
 use crate::system::HeteroSystem;
+use gat_core::ConfigError;
 use gat_dram::SchedulerKind;
+use gat_sim::faults::FaultPlan;
 use gat_workloads::{mixes_m, mixes_w, Mix, AMENABLE_NAMES};
 use std::collections::HashMap;
 
@@ -34,6 +36,9 @@ pub struct ExpConfig {
     pub threads: usize,
     /// Quiescence-aware fast-forward (see [`MachineConfig::fast_forward`]).
     pub fast_forward: bool,
+    /// Fault-injection plan applied to every machine the drivers build
+    /// (see [`FaultPlan`]); fault-free by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for ExpConfig {
@@ -46,11 +51,13 @@ impl Default for ExpConfig {
                 gpu_frames: 5,
                 warmup_cycles: 400_000,
                 max_cycles: 4_000_000_000,
+                watchdog: 50_000_000,
             },
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             fast_forward: true,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -65,6 +72,16 @@ impl ExpConfig {
         }
     }
 
+    /// Validate by assembling (and checking) both machine shapes the
+    /// drivers build; binaries call this before launching any runs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::new("exp.threads", "must be nonzero"));
+        }
+        self.machine(1).validate()?;
+        self.machine(4).validate()
+    }
+
     fn machine(&self, num_cpus: u8) -> MachineConfig {
         let mut m = if num_cpus == 1 {
             MachineConfig::motivation(self.scale, self.seed)
@@ -73,6 +90,7 @@ impl ExpConfig {
         };
         m.limits = self.limits;
         m.fast_forward = self.fast_forward;
+        m.faults = self.faults.clone();
         m
     }
 }
@@ -790,6 +808,21 @@ mod tests {
         Proposal::Helm.apply(&mut m2);
         assert_eq!(m2.fill_policy, FillPolicyKind::Helm);
         assert_eq!(Proposal::ALL.len(), 6);
+    }
+
+    #[test]
+    fn exp_config_validation_checks_both_machine_shapes() {
+        assert!(ExpConfig::default().validate().is_ok());
+        assert!(ExpConfig::smoke().validate().is_ok());
+        let mut bad = ExpConfig::smoke();
+        bad.threads = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ExpConfig::smoke();
+        bad.limits.max_cycles = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ExpConfig::smoke();
+        bad.faults.frpu_jitter = f64::NAN;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

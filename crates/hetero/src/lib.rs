@@ -12,6 +12,7 @@
 //! * [`report`] — plain-text table rendering for the `figures` binary.
 
 pub mod config;
+pub mod error;
 pub mod events;
 pub mod experiments;
 pub mod ffstats;
@@ -21,7 +22,10 @@ pub mod system;
 pub mod uncore;
 
 pub use config::{FillPolicyKind, MachineConfig, QosMode, RunLimits};
+pub use error::SimError;
 pub use events::RunEvent;
+pub use gat_core::ConfigError;
+pub use report::ReportError;
 pub use metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
 
 pub use system::HeteroSystem;

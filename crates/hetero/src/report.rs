@@ -8,6 +8,25 @@
 use gat_sim::json::{Arr, Obj};
 use gat_sim::stats::{arithmetic_mean, geometric_mean};
 
+/// Typed error for table assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportError {
+    /// A row's cell count disagrees with the header width.
+    WidthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WidthMismatch { expected, got } => {
+                write!(f, "row width mismatch: expected {expected} cells, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 /// A simple aligned table builder.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -26,9 +45,24 @@ impl Table {
     }
 
     /// Add a row; panics if the width disagrees with the header.
+    /// Programmatic callers that assemble rows from untrusted input
+    /// should prefer [`Table::try_row`].
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        if let Err(e) = self.try_row(cells) {
+            panic!("{e}");
+        }
+    }
+
+    /// Add a row, reporting a width disagreement as a typed error.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<(), ReportError> {
+        if cells.len() != self.headers.len() {
+            return Err(ReportError::WidthMismatch {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells);
+        Ok(())
     }
 
     /// Convenience: a label plus f64 cells rendered with 3 decimals
@@ -199,5 +233,15 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("t", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn try_row_reports_width_mismatch_without_panicking() {
+        let mut t = Table::new("t", &["a", "b"]);
+        let err = t.try_row(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(err, ReportError::WidthMismatch { expected: 2, got: 1 });
+        assert!(err.to_string().contains("row width mismatch"));
+        assert!(t.try_row(vec!["x".into(), "y".into()]).is_ok());
+        assert!(t.render().contains('x'));
     }
 }

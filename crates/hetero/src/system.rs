@@ -8,6 +8,7 @@
 //! contention stays realistic.
 
 use crate::config::{MachineConfig, QosMode};
+use crate::error::SimError;
 use crate::events::RunEvent;
 use crate::metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
 use crate::uncore::{BackInval, Uncore, UncoreCompletion, UncorePort};
@@ -19,6 +20,8 @@ use std::sync::Arc;
 use gat_dram::{SchedCtx, SchedulerKind};
 use gat_gpu::{GameProfile, GpuEvent, GpuPipeline, WorkloadGen};
 use gat_sim::events::{EventBus, Poll, SubscriberId};
+use gat_sim::faults::StallWindow;
+use gat_sim::json::{Arr, Obj};
 use gat_sim::metrics::{MetricsRegistry, RegistrySnapshot};
 use gat_sim::rng::SimRng;
 use gat_sim::{Cycle, GPU_CLOCK_DIVIDER};
@@ -81,6 +84,55 @@ pub struct HeteroSystem {
     /// Current backoff step (doubles on each failed probe, capped, and
     /// resets to 1 whenever a probe finds the machine quiescent).
     ff_backoff: u32,
+    // Chaos-plan pieces copied out of `cfg.faults` (borrow-friendly in
+    // `tick`). All `None`/zero for the fault-free plan.
+    /// Periodic GPU frame-stall bursts: quota forced to 0 while stalled.
+    stall: Option<StallWindow>,
+    /// Wedge the GPU scheduler from this CPU cycle on (watchdog fixture).
+    wedge: Option<Cycle>,
+    /// FRPU sensor noise: relative stddev on the event copies the QoS
+    /// controller observes (architectural state always sees the truth).
+    frpu_jitter: f64,
+    /// Dedicated noise stream; draws happen only on GPU ticks that
+    /// produced events, so fast-forward cannot perturb it.
+    frpu_rng: Option<SimRng>,
+    /// Scratch for the jittered event copies (restored empty).
+    jitter_buf: Vec<GpuEvent>,
+    /// Invariant checking each tick of `try_run` (`GAT_PARANOIA=1`).
+    paranoia: bool,
+    /// Liveness watchdog window (`limits.watchdog`; 0 disables) and the
+    /// next deadline. A certified-quiescent fast-forward jump pushes the
+    /// deadline (legitimate waiting is not a wedge).
+    wd_window: Cycle,
+    wd_next: Cycle,
+}
+
+/// Apply multiplicative noise to the sensor-visible fields of a GPU event
+/// (RTP retirement timestamps and work counters). The noise floor keeps
+/// the jittered values positive so Eq. 1–3 never observe zero work.
+fn jitter_gpu_event(e: &GpuEvent, stddev: f64, rng: &mut SimRng) -> GpuEvent {
+    let mut scale = |v: u64| ((v as f64) * rng.jitter(stddev, 0.05)).round().max(1.0) as u64;
+    match *e {
+        GpuEvent::RtpComplete {
+            frame,
+            rtp,
+            updates,
+            cycles,
+            tiles,
+            llc_accesses,
+        } => GpuEvent::RtpComplete {
+            frame,
+            rtp,
+            updates: scale(updates),
+            cycles: scale(cycles),
+            tiles,
+            llc_accesses: scale(llc_accesses),
+        },
+        GpuEvent::FrameComplete { frame, cycles } => GpuEvent::FrameComplete {
+            frame,
+            cycles: scale(cycles),
+        },
+    }
 }
 
 impl HeteroSystem {
@@ -160,6 +212,11 @@ impl HeteroSystem {
         let env_off = std::env::var_os("GAT_NO_FASTFORWARD")
             .is_some_and(|v| !v.is_empty() && v != "0");
         let fast_forward = cfg.fast_forward && !env_off;
+        let paranoia = std::env::var_os("GAT_PARANOIA")
+            .is_some_and(|v| !v.is_empty() && v != "0");
+        let frpu_jitter = cfg.faults.frpu_jitter;
+        let frpu_rng =
+            (frpu_jitter > 0.0).then(|| cfg.faults.rng_root(cfg.seed).fork("frpu"));
         let label = format!(
             "{}+{:?}+{:?}",
             cfg.sched.label(),
@@ -193,6 +250,14 @@ impl HeteroSystem {
             ff_spans: 0,
             ff_cooldown: 0,
             ff_backoff: 1,
+            stall: cfg.faults.gpu_stall,
+            wedge: cfg.faults.wedge,
+            frpu_jitter,
+            frpu_rng,
+            jitter_buf: Vec::new(),
+            paranoia,
+            wd_window: cfg.limits.watchdog,
+            wd_next: Cycle::MAX,
             cfg,
         }
     }
@@ -403,17 +468,40 @@ impl HeteroSystem {
         if let Some(gpu) = self.gpu.as_mut() {
             gpu_now = now / GPU_CLOCK_DIVIDER;
             if now.is_multiple_of(GPU_CLOCK_DIVIDER) {
-                let quota = self
+                let mut quota = self
                     .qos
                     .as_ref()
                     .map(|q| q.quota(gpu_now))
                     .unwrap_or(u32::MAX);
+                // Injected frame-stall bursts and the wedge fixture force
+                // the LLC port shut, exactly like an ATU-closed gate.
+                if self.stall.is_some_and(|s| s.stalled(gpu_now))
+                    || self.wedge.is_some_and(|w| now >= w)
+                {
+                    quota = 0;
+                }
                 port.source = Source::Gpu;
                 let sends = gpu.tick(gpu_now, quota, &mut port);
                 gpu.drain_events(&mut self.event_buf);
                 if let Some(q) = self.qos.as_mut() {
                     q.note_sends(gpu_now, sends);
-                    q.on_gpu_events(gpu_now, &self.event_buf);
+                    match self.frpu_rng.as_mut() {
+                        Some(rng) if !self.event_buf.is_empty() => {
+                            // FRPU sensor noise: the controller observes
+                            // jittered copies; frame-boundary run events
+                            // and collected stats keep the true values.
+                            // Draws happen only on event-bearing GPU
+                            // ticks, which are never fast-forwarded.
+                            let mut jbuf = std::mem::take(&mut self.jitter_buf);
+                            for e in &self.event_buf {
+                                jbuf.push(jitter_gpu_event(e, self.frpu_jitter, rng));
+                            }
+                            q.on_gpu_events(gpu_now, &jbuf);
+                            jbuf.clear();
+                            self.jitter_buf = jbuf;
+                        }
+                        _ => q.on_gpu_events(gpu_now, &self.event_buf),
+                    }
                     // Forward the controller's transitions onto the run
                     // stream, stamped with the global CPU cycle
                     // (allocation-free: the scratch buffer is reused).
@@ -500,7 +588,16 @@ impl HeteroSystem {
     /// fast-forwarded run is byte-identical to the cycle-by-cycle one.
     fn next_activity(&self) -> Option<Cycle> {
         let now = self.now;
+        // A wedged machine claims to be active forever: the watchdog, not
+        // the fast-forward engine, must be what ends the run.
+        if self.wedge.is_some_and(|w| now >= w) {
+            return None;
+        }
         let mut wake = Cycle::MAX;
+        // Never skip past the wedge onset (it changes GPU gating).
+        if let Some(w) = self.wedge {
+            wake = wake.min(w);
+        }
         for core in &self.cores {
             match core.next_activity(now) {
                 None => return None,
@@ -518,6 +615,22 @@ impl HeteroSystem {
                 .qos
                 .as_ref()
                 .and_then(|q| q.atu.gate_reopens_at(g_now));
+            // An injected stall burst closes the port like the ATU gate;
+            // the earlier of the two reopen cycles is a conservative wake
+            // (the probe simply re-runs there if the port is still shut).
+            let stall_reopen = self
+                .stall
+                .filter(|s| s.stalled(g_now))
+                .map(|s| s.next_boundary(g_now));
+            let gate_reopen = match (gate_reopen, stall_reopen) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if let Some(s) = self.stall {
+                // Never skip across a stall boundary: the per-cycle gating
+                // stats differ on the two sides.
+                wake = wake.min(s.next_boundary(g_now).saturating_mul(GPU_CLOCK_DIVIDER));
+            }
             match gpu.next_activity(g_now, gate_reopen) {
                 None => {
                     // Active at its next tick; only skippable if that tick
@@ -570,13 +683,14 @@ impl HeteroSystem {
             let g = target.div_ceil(GPU_CLOCK_DIVIDER) - g_from;
             if g > 0 {
                 // Gated for the whole span: the span never extends past the
-                // gate-reopen wake, so closed-at-start means closed
-                // throughout.
+                // gate-reopen wake (or a stall-burst boundary), so
+                // closed-at-start means closed throughout.
                 let gated = gpu.iface_occupancy() > 0
-                    && self
-                        .qos
-                        .as_ref()
-                        .is_some_and(|q| q.atu.gate_reopens_at(g_from).is_some());
+                    && (self.stall.is_some_and(|s| s.stalled(g_from))
+                        || self
+                            .qos
+                            .as_ref()
+                            .is_some_and(|q| q.atu.gate_reopens_at(g_from).is_some()));
                 gpu.fast_forward(g, gated);
             }
         }
@@ -591,6 +705,11 @@ impl HeteroSystem {
         self.ff_skipped += target - from;
         self.ff_spans += 1;
         self.now = target;
+        // A certified-quiescent jump is legitimate waiting, not a wedge:
+        // give the watchdog a fresh window from the wake cycle.
+        if self.wd_window > 0 {
+            self.wd_next = target.saturating_add(self.wd_window);
+        }
     }
 
     /// If every component is quiescent, jump to the earliest wake cycle
@@ -652,28 +771,146 @@ impl HeteroSystem {
     /// Run to completion and collect results.
     ///
     /// # Panics
-    /// Panics if the run exceeds `limits.max_cycles` (wedged machine).
+    /// Panics on any [`SimError`] — see [`Self::try_run`] for the
+    /// fallible form the binaries use.
     pub fn run(&mut self) -> RunResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Goal-directed progress digest for the liveness watchdog: retired
+    /// instructions clamped at each core's budget, frames clamped at the
+    /// frame goal, plus GPU LLC sends while the frame goal is unmet.
+    /// Work past a met goal deliberately does not count — early finishers
+    /// keep running, but the machine only "makes progress" while it moves
+    /// toward ending the run.
+    fn progress_fingerprint(&self) -> u64 {
+        let mut fp = 0xcbf2_9ce4_8422_2325u64;
+        let budget = self.cfg.limits.cpu_instructions;
+        for c in &self.cores {
+            fp ^= c.retired_since_mark().min(budget);
+            fp = fp.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Some(g) = self.gpu.as_ref() {
+            let goal = u64::from(self.cfg.limits.gpu_frames);
+            let frames = g.stats.frames.get();
+            fp ^= frames.min(goal);
+            fp = fp.wrapping_mul(0x1000_0000_01b3);
+            if frames < goal {
+                fp ^= g.stats.llc_reads_sent.get() + g.stats.llc_writes_sent.get();
+                fp = fp.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        fp
+    }
+
+    /// Build the structured watchdog diagnostic: publish a registry
+    /// snapshot on the run-event stream and return a `Wedged` error whose
+    /// dump is two JSONL lines (summary object + full snapshot).
+    fn wedged_error(&mut self) -> SimError {
+        let mut cores = Arr::new();
+        for c in &self.cores {
+            cores = cores.u64(c.retired_since_mark());
+        }
+        let snap = self.registry_snapshot();
+        let summary = Obj::new()
+            .str("type", "watchdog_dump")
+            .u64("cycle", self.now)
+            .u64("window", self.wd_window)
+            .raw("cores_retired", &cores.finish())
+            .u64(
+                "gpu_frames",
+                self.gpu.as_ref().map(|g| g.stats.frames.get()).unwrap_or(0),
+            )
+            .u64("uncore_in_flight", self.uncore.in_flight() as u64)
+            .u64("faults_injected", self.uncore.faults_injected())
+            .finish();
+        let diagnostic = format!("{summary}\n{}", snap.to_json());
+        self.run_events.publish(RunEvent::EpochSnapshot(snap));
+        SimError::Wedged {
+            cycle: self.now,
+            window: self.wd_window,
+            diagnostic,
+        }
+    }
+
+    /// Paranoia-mode invariant sweep (`GAT_PARANOIA=1`): structural
+    /// checks across the QoS hardware, GPU pipeline, uncore and the
+    /// epoch sampler, run after every tick of [`Self::try_run`].
+    fn check_invariants(&self) -> Result<(), SimError> {
+        let err = |component: &'static str, detail: String| SimError::Invariant {
+            cycle: self.now,
+            component,
+            detail,
+        };
+        if let Some(q) = self.qos.as_ref() {
+            q.atu.check_invariants().map_err(|d| err("atu", d))?;
+        }
+        if let Some(g) = self.gpu.as_ref() {
+            g.check_invariants().map_err(|d| err("gpu", d))?;
+        }
+        self.uncore.check_invariants().map_err(|d| err("uncore", d))?;
+        if let Some(i) = self.epoch_interval {
+            // Epoch monotonicity: the next sample is never scheduled more
+            // than one interval out (fast-forward wakes at `next_epoch`).
+            if self.next_epoch > self.now.saturating_add(i) {
+                return Err(err(
+                    "epoch",
+                    format!(
+                        "next epoch {} is more than one interval ({i}) past cycle {}",
+                        self.next_epoch, self.now
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Has the QoS controller latched its degraded fallback?
+    pub fn qos_degraded(&self) -> bool {
+        self.qos.as_ref().is_some_and(|q| q.is_degraded())
+    }
+
+    /// Run to completion, converting the failure modes into typed
+    /// [`SimError`]s: cycle-budget exhaustion, a liveness-watchdog trip
+    /// (with a JSONL diagnostic dump), or — under `GAT_PARANOIA=1` — an
+    /// invariant violation.
+    pub fn try_run(&mut self) -> Result<RunResult, SimError> {
         self.warm_up();
+        self.wd_next = self.now.saturating_add(self.wd_window.max(1));
+        let mut wd_print = self.progress_fingerprint();
         // One goal check per tick: the check after `tick` both ends the
         // loop and gates the skip, so a finished machine never ticks or
         // fast-forwards again (same exit cycle as checking up front).
         if !self.goals_met() {
             loop {
                 self.tick();
-                assert!(
-                    self.now < self.cfg.limits.max_cycles,
-                    "run exceeded max_cycles at {} (cores retired: {:?}, gpu frames: {:?}, uncore in-flight: {})",
-                    self.now,
-                    self.cores
-                        .iter()
-                        .map(|c| c.retired_since_mark())
-                        .collect::<Vec<_>>(),
-                    self.gpu.as_ref().map(|g| g.stats.frames.get()),
-                    self.uncore.in_flight(),
-                );
+                if self.paranoia {
+                    self.check_invariants()?;
+                }
+                if self.now >= self.cfg.limits.max_cycles {
+                    return Err(SimError::MaxCycles {
+                        cycle: self.now,
+                        limit: self.cfg.limits.max_cycles,
+                    });
+                }
                 if self.goals_met() {
                     break;
+                }
+                if self.wd_window > 0 && self.now >= self.wd_next {
+                    let fp = self.progress_fingerprint();
+                    if fp != wd_print {
+                        wd_print = fp;
+                        self.wd_next = self.now.saturating_add(self.wd_window);
+                    } else if self.next_activity().is_some() {
+                        // Quiescent wait on a known future event — the
+                        // fast-forward probe vouches for it; not a wedge.
+                        self.wd_next = self.now.saturating_add(self.wd_window);
+                    } else {
+                        return Err(self.wedged_error());
+                    }
                 }
                 // Only skip ahead while the goals are still unmet:
                 // quiescent spans retire nothing and render nothing, so
@@ -684,7 +921,7 @@ impl HeteroSystem {
             }
         }
         crate::ffstats::record(self.now, self.ff_skipped, self.ff_spans);
-        self.collect()
+        Ok(self.collect())
     }
 
     fn collect(&self) -> RunResult {
@@ -881,6 +1118,99 @@ mod tests {
             _ => None,
         });
         assert!(fb.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn watchdog_catches_a_wedged_scheduler() {
+        use gat_sim::faults::FaultPlan;
+        let mut cfg = smoke_cfg(4);
+        // Wedge the GPU scheduler from cycle 0: quota stays 0 and the
+        // machine reports non-quiescent forever.
+        cfg.faults = FaultPlan::parse("wedge=0").unwrap();
+        cfg.limits.watchdog = 50_000;
+        let mut sys = HeteroSystem::new(cfg, &[], Some(game("NFS")));
+        let err = sys.try_run().unwrap_err();
+        match err {
+            SimError::Wedged {
+                cycle,
+                window,
+                diagnostic,
+            } => {
+                assert_eq!(window, 50_000);
+                // Warm-up ends at 60_000; the first deadline after it must
+                // fire, so the trip lands within two windows of the mark.
+                assert!(
+                    cycle >= 60_000 && cycle <= 60_000 + 2 * 50_000,
+                    "tripped at {cycle}"
+                );
+                assert!(diagnostic.contains("watchdog_dump"), "{diagnostic}");
+                for line in diagnostic.lines() {
+                    gat_sim::json::validate_json_line(line).unwrap();
+                }
+            }
+            other => panic!("expected Wedged, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stall_bursts_slow_the_gpu_deterministically() {
+        use gat_sim::faults::FaultPlan;
+        let run = |plan: FaultPlan| {
+            let mut cfg = smoke_cfg(4);
+            cfg.faults = plan;
+            HeteroSystem::new(cfg, &[], Some(game("NFS"))).run()
+        };
+        let clean = run(FaultPlan::none());
+        let plan = FaultPlan::parse("gpu.stall.period=2000,gpu.stall.len=1000").unwrap();
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a.cycles, b.cycles, "same plan, same seed");
+        assert_eq!(
+            a.gpu.as_ref().unwrap().gated_cycles,
+            b.gpu.as_ref().unwrap().gated_cycles
+        );
+        assert!(
+            a.cycles > clean.cycles,
+            "stalled {} vs clean {}",
+            a.cycles,
+            clean.cycles
+        );
+        assert!(a.gpu.unwrap().gated_cycles > clean.gpu.unwrap().gated_cycles);
+    }
+
+    #[test]
+    fn frpu_sensor_noise_degrades_the_controller_gracefully() {
+        use gat_sim::faults::FaultPlan;
+        let mut cfg = MachineConfig::table_one(64, 11);
+        cfg.qos = QosMode::ThrotCpuPrio;
+        cfg.limits = RunLimits {
+            cpu_instructions: 0,
+            gpu_frames: 24,
+            warmup_cycles: 20_000,
+            max_cycles: 300_000_000,
+            watchdog: 50_000_000,
+        };
+        cfg.faults = FaultPlan::parse("frpu.jitter=0.8").unwrap();
+        let mut sys = HeteroSystem::new(cfg, &[], Some(game("NFS")));
+        let sub = sys.subscribe_run_events();
+        let r = sys.try_run().expect("degraded run still completes");
+        assert!(r.gpu.unwrap().frames >= 24, "frames still render");
+        assert!(sys.qos_degraded(), "relearn storm must latch the fallback");
+        // Degraded holds the throttle off: gate open, no boost.
+        let (w_g, boost) = sys.qos_snapshot();
+        assert_eq!(w_g, 0, "throttle released");
+        assert!(!boost, "no CPU priority boost while degraded");
+        let p = sys.poll_run_events(sub);
+        assert!(
+            p.events.iter().any(|e| matches!(
+                e,
+                RunEvent::Qos {
+                    event: QosEvent::Degraded { .. },
+                    ..
+                }
+            )),
+            "Degraded event published"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use gat_dram::{Completion, DramChannel, DramRequest, SchedCtx};
 use gat_policies::{BypassAllGpuReads, FillDecision, Helm, InsertAll, LlcFillPolicy};
 use gat_ring::{Ring, RingTopology, StopId};
 use gat_sim::addr::line_of;
+use gat_sim::faults::DelayInjector;
 use gat_sim::stats::Counter;
 use gat_sim::{Cycle, DRAM_CLOCK_DIVIDER};
 use gat_sim::hashing::FastMap;
@@ -119,7 +120,7 @@ impl Uncore {
         llc_cfg.hashed_index = true;
         let llc = SetAssocCache::new(llc_cfg);
         let llc_mshr = MshrFile::new(cfg.llc_mshrs, 16);
-        let channels: Vec<DramChannel> = (0..cfg.dram_map.channels)
+        let mut channels: Vec<DramChannel> = (0..cfg.dram_map.channels)
             .map(|ch| {
                 DramChannel::new(
                     cfg.dram_timing,
@@ -142,6 +143,29 @@ impl Uncore {
         // give its ring stop matching injection width so responses,
         // MC-forwards and write-backs do not serialize behind one port.
         ring.set_stop_width(StopId(cfg.llc_stop()), cfg.llc_lookups_per_cycle.max(1));
+        // Install chaos injectors (DESIGN.md §9). The fault-free plan
+        // installs nothing, so a clean run draws no extra random numbers.
+        if !cfg.faults.is_none() {
+            let froot = cfg.faults.rng_root(cfg.seed);
+            if cfg.faults.dram.bounce > 0.0 {
+                for (i, ch) in channels.iter_mut().enumerate() {
+                    ch.set_fault_injector(DelayInjector::new(
+                        cfg.faults.dram.bounce,
+                        cfg.faults.dram.backoff,
+                        cfg.faults.dram.retries,
+                        froot.fork(&format!("dram.ch{i}")),
+                    ));
+                }
+            }
+            if cfg.faults.ring.drop > 0.0 {
+                ring.set_fault_injector(DelayInjector::new(
+                    cfg.faults.ring.drop,
+                    cfg.faults.ring.replay,
+                    1,
+                    froot.fork("ring"),
+                ));
+            }
+        }
         Self {
             ring,
             llc,
@@ -623,6 +647,50 @@ impl Uncore {
         self.txns.len()
     }
 
+    /// Total faulted events across the DRAM and ring injectors
+    /// (diagnostics; 0 without a fault plan).
+    pub fn faults_injected(&self) -> u64 {
+        self.channels.iter().map(|c| c.faults_injected()).sum::<u64>()
+            + self.ring.faults_injected()
+    }
+
+    /// Paranoia-mode structural checks (`GAT_PARANOIA=1`): bounds the
+    /// allocate/complete protocol guarantees. A violation means a
+    /// transaction or MSHR leak rather than a modelling inaccuracy.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.llc_mshr.check_invariants()?;
+        if self.txns.is_empty() && self.llc_mshr.occupancy() != 0 {
+            return Err(format!(
+                "MSHR leak: {} entries live with no transactions in flight",
+                self.llc_mshr.occupancy()
+            ));
+        }
+        if self.to_llc_count > self.cfg.llc_queue {
+            return Err(format!(
+                "LLC input accounting leak: {} accepted vs queue bound {}",
+                self.to_llc_count, self.cfg.llc_queue
+            ));
+        }
+        if self.llc_queue.len() + self.llc_retry.len() > self.to_llc_count {
+            return Err(format!(
+                "LLC queue underflow: {} queued + {} retrying vs {} accounted",
+                self.llc_queue.len(),
+                self.llc_retry.len(),
+                self.to_llc_count
+            ));
+        }
+        for (i, ch) in self.channels.iter().enumerate() {
+            if ch.queue_len() > ch.queue_capacity() {
+                return Err(format!(
+                    "DRAM ch{i} queue overflow: {} of {}",
+                    ch.queue_len(),
+                    ch.queue_capacity()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Reset statistics at the warm-up boundary (state is kept).
     pub fn reset_stats(&mut self) {
         self.llc.stats.reset();
@@ -876,6 +944,78 @@ mod tests {
         assert_eq!(u.channels[1].stats.cpu_read_bytes.get(), 0, "channel 1 is GPU-only");
         assert!(u.channels[0].stats.cpu_read_bytes.get() > 0);
         assert!(u.channels[1].stats.gpu_read_bytes.get() > 0);
+    }
+
+    #[test]
+    fn fault_plan_delays_completions_deterministically() {
+        use gat_sim::faults::FaultPlan;
+        let run = |faults: FaultPlan| {
+            let mut cfg = MachineConfig::table_one(16, 7);
+            cfg.faults = faults;
+            let mut u = Uncore::new(&cfg);
+            u.try_request(
+                0,
+                Source::Cpu(0),
+                BlockReq {
+                    token: 1,
+                    addr: 0x1000,
+                    write: false,
+                },
+            );
+            let mut out = Vec::new();
+            for now in 0..20_000 {
+                u.tick(now, SchedCtx::default());
+                u.drain_completions(&mut out);
+                if !out.is_empty() {
+                    return (now, u.faults_injected());
+                }
+            }
+            panic!("request never completed");
+        };
+        let (clean, f0) = run(FaultPlan::none());
+        assert_eq!(f0, 0, "fault-free plan must not install injectors");
+        let plan = FaultPlan::parse(
+            "dram.bounce=1.0,dram.backoff=64,dram.retries=1,ring.drop=1.0,ring.replay=32",
+        )
+        .unwrap();
+        let (faulted, finj) = run(plan.clone());
+        let (faulted2, finj2) = run(plan);
+        assert!(finj > 0, "injectors must fire at p=1");
+        assert_eq!((faulted, finj), (faulted2, finj2), "same seed, same plan");
+        assert!(faulted > clean, "faulted {faulted} vs clean {clean}");
+    }
+
+    #[test]
+    fn invariants_hold_through_a_busy_run() {
+        let mut u = uncore();
+        u.check_invariants().unwrap();
+        let mut now = 0;
+        for i in 0..32u64 {
+            while !u.try_request(
+                now,
+                Source::Cpu((i % 4) as u8),
+                BlockReq {
+                    token: i,
+                    addr: i * 4096,
+                    write: false,
+                },
+            ) {
+                u.tick(now, SchedCtx::default());
+                now += 1;
+            }
+            u.tick(now, SchedCtx::default());
+            u.check_invariants().unwrap();
+            now += 1;
+        }
+        for _ in 0..3000 {
+            u.tick(now, SchedCtx::default());
+            now += 1;
+            u.check_invariants().unwrap();
+        }
+        let mut out = Vec::new();
+        u.drain_completions(&mut out);
+        assert_eq!(out.len(), 32);
+        assert_eq!(u.in_flight(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! (so heavy GPU fill traffic does add cycles), but not flit-level
 //! wormhole detail.
 
-use gat_sim::{Cycle, stats::Counter};
+use gat_sim::{Cycle, faults::DelayInjector, stats::Counter};
 
 /// A stop (agent attachment point) on the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +106,9 @@ pub struct Ring {
     /// Scratch for `drain_delivered` (kept empty between calls).
     due_buf: Vec<Flight>,
     seq: u64,
+    /// Optional chaos injector: a dropped message is replayed after a NACK
+    /// round-trip, which we model as an added delivery delay.
+    fault: Option<DelayInjector>,
     pub sent: Counter,
     pub delivered: Counter,
     /// Total queueing cycles spent waiting for injection slots.
@@ -122,6 +125,7 @@ impl Ring {
             next_due: Cycle::MAX,
             due_buf: Vec::new(),
             seq: 0,
+            fault: None,
             sent: Counter::new(),
             delivered: Counter::new(),
             inject_wait: Counter::new(),
@@ -139,6 +143,17 @@ impl Ring {
         self.topo
     }
 
+    /// Install a chaos injector: each send is dropped with the injector's
+    /// probability and replayed after its delay (NACK + retransmit).
+    pub fn set_fault_injector(&mut self, inj: DelayInjector) {
+        self.fault = Some(inj);
+    }
+
+    /// Messages dropped-and-replayed by the chaos injector so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.injected)
+    }
+
     /// Send `token` from `src` to `dst` at time `now`; returns the delivery
     /// time. Up to the stop's width messages per cycle may inject at each
     /// (stop, direction); later messages queue.
@@ -152,7 +167,12 @@ impl Ring {
         *slot = start_fp + 1;
         let start = start_fp / width;
         self.inject_wait.add(start - now);
-        let deliver_at = start + self.topo.latency(src, dst);
+        let mut deliver_at = start + self.topo.latency(src, dst);
+        if let Some(inj) = self.fault.as_mut() {
+            // A drop surfaces as a NACK + replay: the message still arrives,
+            // just later. Link/injection bookkeeping stays physical.
+            deliver_at += inj.delay();
+        }
         self.seq += 1;
         self.in_flight.push(Flight {
             deliver_at,
@@ -312,5 +332,40 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_stop_panics() {
         let _ = TOPO.hops(StopId(8), StopId(0));
+    }
+
+    #[test]
+    fn fault_injector_replays_deterministically() {
+        use gat_sim::rng::SimRng;
+        let run = || {
+            let mut r = Ring::new(TOPO);
+            // p=1, base=16, retries=1 → every message is delayed exactly 16.
+            r.set_fault_injector(DelayInjector::new(1.0, 16, 1, SimRng::new(3).fork("ring")));
+            (0..8)
+                .map(|i| r.send(i, StopId(0), StopId(3), i))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same replays");
+        let mut clean = Ring::new(TOPO);
+        for (i, &t) in a.iter().enumerate() {
+            let base = clean.send(i as Cycle, StopId(0), StopId(3), i as u64);
+            assert_eq!(t, base + 16, "replay adds exactly the NACK delay");
+        }
+    }
+
+    #[test]
+    fn fault_delay_is_visible_to_next_delivery() {
+        use gat_sim::rng::SimRng;
+        let mut r = Ring::new(TOPO);
+        r.set_fault_injector(DelayInjector::new(1.0, 50, 1, SimRng::new(3).fork("ring")));
+        let t = r.send(0, StopId(0), StopId(1), 7);
+        assert_eq!(r.next_delivery(), Some(t), "probe horizon covers the replay");
+        assert_eq!(r.faults_injected(), 1);
+        let mut out = Vec::new();
+        r.drain_delivered(t - 1, &mut out);
+        assert!(out.is_empty(), "not delivered before the replayed time");
+        r.drain_delivered(t, &mut out);
+        assert_eq!(out, vec![7]);
     }
 }

@@ -21,6 +21,7 @@ pub mod addr;
 pub mod calendar;
 pub mod clock;
 pub mod events;
+pub mod faults;
 pub mod hashing;
 pub mod json;
 pub mod metrics;

@@ -69,6 +69,7 @@ fn main() {
         gpu_frames: 3,
         warmup_cycles: 150_000,
         max_cycles: 4_000_000_000,
+        watchdog: 50_000_000,
     };
     cfg.qos = QosMode::ThrotCpuPrio;
     cfg.sched = SchedulerKind::FrFcfsCpuPrio;

@@ -61,8 +61,10 @@ pub mod prelude {
     pub use gat_dram::SchedulerKind;
     pub use gat_hetero::experiments::{self, ExpConfig};
     pub use gat_hetero::{
-        FillPolicyKind, HeteroSystem, MachineConfig, QosMode, RunLimits, RunResult,
+        ConfigError, FillPolicyKind, HeteroSystem, MachineConfig, QosMode, RunEvent, RunLimits,
+        RunResult, SimError,
     };
+    pub use gat_sim::faults::{FaultPlan, FaultSpecError};
     pub use gat_workloads::{all_games, all_spec, amenable_games, game, mix_m, mix_w, mixes_m, mixes_w, spec, Mix};
 }
 

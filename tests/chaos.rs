@@ -1,0 +1,201 @@
+//! Chaos suite: the deterministic fault-injection harness, the liveness
+//! watchdog, and graceful QoS degradation (DESIGN.md §9).
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Zero-fault transparency** — a run with an explicitly parsed empty
+//!    `FaultPlan` is byte-identical to the committed golden fixtures: the
+//!    chaos layer is invisible until asked for.
+//! 2. **Fault determinism** — for any plan, same seed + same plan produce
+//!    byte-identical exports with fast-forward on or off, and across
+//!    repeated runs.
+//! 3. **Liveness** — a seeded wedge is converted by the watchdog into a
+//!    structured `SimError::Wedged` carrying a JSONL diagnostic, within a
+//!    bounded number of cycles, instead of a silent hang.
+
+use gat::prelude::*;
+use gat::sim::json::validate_json_line;
+use proptest::prelude::*;
+
+/// Run one system and capture everything an observer could see.
+fn run_artifacts(cfg: MachineConfig, mix: &Mix) -> (String, String, String) {
+    let mut sys = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone()));
+    let sub = sys.subscribe_run_events();
+    sys.set_epoch_sampling(Some(250_000));
+    let result = sys.run();
+    let poll = sys.poll_run_events(sub);
+    assert_eq!(poll.missed, 0, "event ring overflowed");
+    let mut events = String::new();
+    for e in &poll.events {
+        events.push_str(&e.to_json());
+        events.push('\n');
+    }
+    (events, sys.registry_snapshot().to_json(), result.to_json())
+}
+
+fn tiny_limits() -> RunLimits {
+    RunLimits {
+        cpu_instructions: 30_000,
+        gpu_frames: 2,
+        warmup_cycles: 10_000,
+        max_cycles: 300_000_000,
+        watchdog: 50_000_000,
+    }
+}
+
+/// The golden-snapshot run with an explicitly parsed empty fault spec must
+/// reproduce the committed fixtures byte-for-byte: installing the chaos
+/// layer with nothing enabled is not observable.
+#[test]
+fn zero_fault_plan_matches_the_goldens() {
+    let mix = mix_m(7);
+    let mut cfg = MachineConfig::table_one(256, 9);
+    cfg.limits = RunLimits::smoke();
+    cfg.qos = QosMode::ThrotCpuPrio;
+    cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+    cfg.faults = FaultPlan::parse("").expect("empty spec parses");
+    assert!(cfg.faults.is_none());
+    let (mut events, snapshot, mut result_json) = run_artifacts(cfg, &mix);
+    events.push_str(&snapshot);
+    events.push('\n');
+    result_json.push('\n');
+
+    let golden = |name: &str| {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name);
+        std::fs::read_to_string(&path).expect("golden fixture present")
+    };
+    assert_eq!(events, golden("m7_smoke_events.jsonl"), "event stream diverged");
+    assert_eq!(result_json, golden("m7_smoke_result.json"), "result JSON diverged");
+}
+
+/// A heavy plan visibly perturbs the run (no silent no-op injectors), and
+/// identically seeded faulted runs are byte-identical.
+#[test]
+fn heavy_faults_perturb_deterministically() {
+    let mix = mix_m(7);
+    let mut cfg = MachineConfig::table_one(128, 21);
+    cfg.limits = tiny_limits();
+    let clean = run_artifacts(cfg.clone(), &mix);
+    cfg.faults = FaultPlan::parse(
+        "dram.bounce=1.0,dram.backoff=16,dram.retries=2,ring.drop=0.5,ring.replay=64",
+    )
+    .unwrap();
+    let a = run_artifacts(cfg.clone(), &mix);
+    let b = run_artifacts(cfg, &mix);
+    assert_eq!(a, b, "same seed + same plan must be byte-identical");
+    assert_ne!(a.2, clean.2, "a p=1 bounce plan must perturb the result");
+}
+
+/// The seeded wedge fixture: the GPU scheduler stops making progress at a
+/// known cycle and the watchdog must convert that into a structured error
+/// with a machine-readable diagnostic, within about two windows.
+#[test]
+fn watchdog_converts_a_seeded_wedge_into_a_structured_error() {
+    const WEDGE_AT: u64 = 100_000;
+    const WINDOW: u64 = 50_000;
+    let mut cfg = MachineConfig::table_one(64, 3);
+    cfg.limits = RunLimits {
+        cpu_instructions: 0,
+        gpu_frames: 50,
+        warmup_cycles: 0,
+        max_cycles: 1_000_000_000,
+        watchdog: WINDOW,
+    };
+    cfg.faults = FaultPlan::parse(&format!("wedge={WEDGE_AT}")).unwrap();
+    let game = mix_m(7).game;
+    let mut sys = HeteroSystem::new(cfg, &[], Some(game));
+    match sys.try_run() {
+        Err(SimError::Wedged {
+            cycle,
+            window,
+            diagnostic,
+        }) => {
+            assert_eq!(window, WINDOW);
+            assert!(
+                (WEDGE_AT..=WEDGE_AT + 3 * WINDOW).contains(&cycle),
+                "watchdog fired at {cycle}, wedge at {WEDGE_AT}"
+            );
+            assert!(diagnostic.contains("\"type\":\"watchdog_dump\""));
+            for line in diagnostic.lines() {
+                validate_json_line(line).expect("diagnostic lines are JSONL");
+            }
+        }
+        other => panic!("expected SimError::Wedged, got {other:?}"),
+    }
+}
+
+/// FRPU sensor noise must degrade the controller gracefully: the run
+/// completes, QoS latches the safe throttle-off fallback, and a
+/// `degraded` event is published — no panic, no wedge.
+#[test]
+fn frpu_noise_degrades_qos_instead_of_failing() {
+    let mix = mix_m(7);
+    let mut cfg = MachineConfig::table_one(64, 11);
+    cfg.qos = QosMode::ThrotCpuPrio;
+    cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+    cfg.limits = RunLimits {
+        cpu_instructions: 0,
+        gpu_frames: 24,
+        warmup_cycles: 20_000,
+        max_cycles: 300_000_000,
+        watchdog: 50_000_000,
+    };
+    cfg.faults = FaultPlan::parse("frpu.jitter=0.8").unwrap();
+    let mut sys = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone()));
+    let sub = sys.subscribe_run_events();
+    let result = sys.try_run().expect("degraded run still completes");
+    assert!(result.gpu.as_ref().unwrap().frames >= 24);
+    assert!(sys.qos_degraded(), "relearn storm must latch degradation");
+    let events: String = sys
+        .poll_run_events(sub)
+        .events
+        .iter()
+        .map(|e| e.to_json() + "\n")
+        .collect();
+    assert!(events.contains("\"kind\":\"degraded\""), "no degraded event:\n{events}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Randomized fault plans: byte-identical across fast-forward on/off
+    /// and across reruns, for any mix/seed/plan drawn here.
+    #[test]
+    fn faulted_runs_are_ff_invariant_and_reproducible(
+        seed in 1u64..1_000_000,
+        mix_idx in 1usize..=14,
+        bounce in 0.0f64..0.4,
+        drop in 0.0f64..0.3,
+        jitter in 0.0f64..0.5,
+        stall_period in 0u64..4000,
+    ) {
+        let mut spec = format!(
+            "dram.bounce={bounce:.3},ring.drop={drop:.3},frpu.jitter={jitter:.3}"
+        );
+        // Periods under 500 mean "no stall window" so the sweep also
+        // covers plans without one.
+        if stall_period >= 500 {
+            spec.push_str(&format!(
+                ",gpu.stall.period={stall_period},gpu.stall.len={}",
+                (stall_period / 4).max(1)
+            ));
+        }
+        let mix = mix_m(mix_idx);
+        let mut cfg = MachineConfig::table_one(128, seed);
+        cfg.limits = tiny_limits();
+        cfg.qos = QosMode::ThrotCpuPrio;
+        cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+        cfg.faults = FaultPlan::parse(&spec).unwrap();
+        cfg.fast_forward = true;
+        let on = run_artifacts(cfg.clone(), &mix);
+        let rerun = run_artifacts(cfg.clone(), &mix);
+        prop_assert_eq!(&on, &rerun, "rerun diverged");
+        cfg.fast_forward = false;
+        let off = run_artifacts(cfg, &mix);
+        prop_assert_eq!(&on.2, &off.2, "RunResult diverged FF on/off");
+        prop_assert_eq!(&on.1, &off.1, "registry snapshot diverged FF on/off");
+        prop_assert_eq!(&on.0, &off.0, "event stream diverged FF on/off");
+    }
+}

@@ -57,6 +57,7 @@ fn tiny_limits() -> RunLimits {
         gpu_frames: 2,
         warmup_cycles: 25_000,
         max_cycles: 300_000_000,
+        watchdog: 50_000_000,
     }
 }
 
