@@ -39,7 +39,9 @@ fn real_main() -> Result<(), CliError> {
         _ => 7,
     };
     if !(1..=14).contains(&k) {
-        return Err(CliError::Usage(format!("mix-number must be 1..=14, got {k}")));
+        return Err(CliError::Usage(format!(
+            "mix-number must be 1..=14, got {k}"
+        )));
     }
     let scale: u32 = match args
         .iter()
@@ -180,7 +182,8 @@ fn real_main() -> Result<(), CliError> {
         }
     }
     if let Some(mut f) = json {
-        f.flush().map_err(|e| CliError::Io(format!("--json: {e}")))?;
+        f.flush()
+            .map_err(|e| CliError::Io(format!("--json: {e}")))?;
         eprintln!("# wrote JSONL results to {}", json_path.unwrap());
     }
     Ok(())

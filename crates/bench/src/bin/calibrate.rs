@@ -40,26 +40,39 @@ fn real_main() -> Result<(), CliError> {
     {
         let mut probe = MachineConfig::table_one(scale, 3);
         probe.limits = limits();
-        probe.validate().map_err(|e| CliError::Config(e.to_string()))?;
+        probe
+            .validate()
+            .map_err(|e| CliError::Config(e.to_string()))?;
     }
 
     match what {
         "cpus" => {
-            println!("{:<12} {:>8} {:>9} {:>6} {:>8} {:>8} {:>8} {:>8}", "app", "baseIPC", "aloneIPC", "frac", "dramLat", "rowHit", "llcMiss%", "pf");
+            println!(
+                "{:<12} {:>8} {:>9} {:>6} {:>8} {:>8} {:>8} {:>8}",
+                "app", "baseIPC", "aloneIPC", "frac", "dramLat", "rowHit", "llcMiss%", "pf"
+            );
             for p in all_spec() {
                 let mut cfg = MachineConfig::table_one(scale, 3);
                 cfg.limits = limits();
                 let r = HeteroSystem::new(cfg, &[p], None).try_run()?;
                 println!(
                     "{:<12} {:>8.2} {:>9.3} {:>5.0}% {:>8.0} {:>8.2} {:>8.2} {:>8}",
-                    p.name, p.base_ipc, r.cores[0].ipc, 100.0 * r.cores[0].ipc / p.base_ipc,
-                    r.dram.read_latency_mean, r.dram.row_hit_rate,
-                    100.0 * r.llc.cpu_miss_ratio(), r.cores[0].prefetches,
+                    p.name,
+                    p.base_ipc,
+                    r.cores[0].ipc,
+                    100.0 * r.cores[0].ipc / p.base_ipc,
+                    r.dram.read_latency_mean,
+                    r.dram.row_hit_rate,
+                    100.0 * r.llc.cpu_miss_ratio(),
+                    r.cores[0].prefetches,
                 );
             }
         }
         "games" => {
-            println!("{:<14} {:>9} {:>9} {:>7}", "game", "tableFPS", "aloneFPS", "ratio");
+            println!(
+                "{:<14} {:>9} {:>9} {:>7}",
+                "game", "tableFPS", "aloneFPS", "ratio"
+            );
             for g in all_games() {
                 let mut cfg = MachineConfig::table_one(scale, 3);
                 cfg.limits = limits();
@@ -67,7 +80,10 @@ fn real_main() -> Result<(), CliError> {
                 let fps = r.gpu.as_ref().unwrap().fps;
                 println!(
                     "{:<14} {:>9.1} {:>9.1} {:>7.2}",
-                    g.name, g.table2_fps, fps, fps / g.table2_fps
+                    g.name,
+                    g.table2_fps,
+                    fps,
+                    fps / g.table2_fps
                 );
             }
         }
@@ -77,12 +93,21 @@ fn real_main() -> Result<(), CliError> {
                 .into_iter()
                 .find(|m| m.name == name)
                 .ok_or_else(|| CliError::Usage(format!("unknown mix {name:?} (M1..M14)")))?;
-            println!("== {} ({} + {}) scale {scale}", mix.name, mix.game.name, mix.cpu_label());
+            println!(
+                "== {} ({} + {}) scale {scale}",
+                mix.name,
+                mix.game.name,
+                mix.cpu_label()
+            );
             let mut rows = Vec::new();
             for (label, qos, sched) in [
                 ("baseline", QosMode::Off, SchedulerKind::FrFcfs),
                 ("throttle", QosMode::Throttle, SchedulerKind::FrFcfs),
-                ("throt+prio", QosMode::ThrotCpuPrio, SchedulerKind::FrFcfsCpuPrio),
+                (
+                    "throt+prio",
+                    QosMode::ThrotCpuPrio,
+                    SchedulerKind::FrFcfsCpuPrio,
+                ),
             ] {
                 let mut cfg = MachineConfig::table_one(scale, 3);
                 cfg.limits = limits();
@@ -93,7 +118,18 @@ fn real_main() -> Result<(), CliError> {
             }
             println!(
                 "{:<11} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>9} {:>4} {:>7}",
-                "config", "FPS", "sumIPC", "gpuHit%", "cpuHit%", "gpuB/c", "cpuB/c", "gAcc/f", "gMis/f", "dramLat", "WG", "Mcycles"
+                "config",
+                "FPS",
+                "sumIPC",
+                "gpuHit%",
+                "cpuHit%",
+                "gpuB/c",
+                "cpuB/c",
+                "gAcc/f",
+                "gMis/f",
+                "dramLat",
+                "WG",
+                "Mcycles"
             );
             for (label, r) in &rows {
                 let g = r.gpu.as_ref().unwrap();
@@ -117,12 +153,27 @@ fn real_main() -> Result<(), CliError> {
             println!("unit hit rates (tex1 tex2 depth color vtx):");
             for (label, r) in &rows {
                 let g = r.gpu.as_ref().unwrap();
-                let rate = |(h, m): (u64, u64)| if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 };
+                let rate = |(h, m): (u64, u64)| {
+                    if h + m == 0 {
+                        0.0
+                    } else {
+                        h as f64 / (h + m) as f64
+                    }
+                };
                 let us = g.unit_stats;
                 println!(
                     "{:<11} {:.3} {:.3} {:.3} {:.3} {:.3}  misses: {} {} {} {} {}",
-                    label, rate(us[0]), rate(us[1]), rate(us[2]), rate(us[3]), rate(us[4]),
-                    us[0].1, us[1].1, us[2].1, us[3].1, us[4].1,
+                    label,
+                    rate(us[0]),
+                    rate(us[1]),
+                    rate(us[2]),
+                    rate(us[3]),
+                    rate(us[4]),
+                    us[0].1,
+                    us[1].1,
+                    us[2].1,
+                    us[3].1,
+                    us[4].1,
                 );
             }
         }

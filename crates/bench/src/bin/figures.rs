@@ -66,7 +66,8 @@ fn real_main() -> Result<(), CliError> {
         i += 2;
     }
     cfg.faults = fault_plan_from(faults_spec)?;
-    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| CliError::Config(e.to_string()))?;
     let mut json = match json_path.as_ref() {
         Some(p) => Some(std::io::BufWriter::new(
             std::fs::File::create(p).map_err(|e| CliError::Io(format!("{p}: {e}")))?,
@@ -98,7 +99,8 @@ fn real_main() -> Result<(), CliError> {
         id => emit(id)?,
     }
     if let Some(mut f) = json {
-        f.flush().map_err(|e| CliError::Io(format!("--json: {e}")))?;
+        f.flush()
+            .map_err(|e| CliError::Io(format!("--json: {e}")))?;
         eprintln!("# wrote JSONL tables to {}", json_path.unwrap());
     }
     eprintln!("# total {:.1}s", start.elapsed().as_secs_f64());

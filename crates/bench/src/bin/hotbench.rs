@@ -100,9 +100,7 @@ fn real_main() -> Result<(), CliError> {
                     .ok_or_else(|| CliError::Usage(format!("{key} needs a value\n{USAGE}")))?;
                 match key {
                     "--out" => out_path = val.clone(),
-                    "--drivers" => {
-                        drivers = val.split(',').map(|s| s.trim().to_string()).collect()
-                    }
+                    "--drivers" => drivers = val.split(',').map(|s| s.trim().to_string()).collect(),
                     "--scale" => cfg.scale = parse_num(key, val)?,
                     "--frames" => cfg.limits.gpu_frames = parse_num(key, val)?,
                     "--instr" => cfg.limits.cpu_instructions = parse_num(key, val)?,
@@ -118,7 +116,8 @@ fn real_main() -> Result<(), CliError> {
             return Err(CliError::Usage(format!("unknown driver {id:?}")));
         }
     }
-    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| CliError::Config(e.to_string()))?;
     if quick {
         // CI smoke: one small driver pair, seconds not minutes.
         cfg.scale = 256;

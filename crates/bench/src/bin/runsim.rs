@@ -102,7 +102,8 @@ fn real_main() -> Result<(), CliError> {
         cfg.llc_policy = ReplacementPolicy::Lru;
     }
     cfg.faults = fault_plan_from(get("--faults"))?;
-    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| CliError::Config(e.to_string()))?;
 
     let mut apps = Vec::new();
     for id in get("--cpus")

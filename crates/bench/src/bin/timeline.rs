@@ -36,7 +36,9 @@ fn real_main() -> Result<(), CliError> {
         _ => 7,
     };
     if !(1..=14).contains(&k) {
-        return Err(CliError::Usage(format!("mix-number must be 1..=14, got {k}")));
+        return Err(CliError::Usage(format!(
+            "mix-number must be 1..=14, got {k}"
+        )));
     }
     let get = |flag: &str| -> Option<String> {
         args.iter()
@@ -76,7 +78,8 @@ fn real_main() -> Result<(), CliError> {
         watchdog: 50_000_000,
     };
     cfg.faults = fault_plan_from(get("--faults"))?;
-    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| CliError::Config(e.to_string()))?;
 
     let mut sys = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone()));
     let sub = sys.subscribe_run_events();

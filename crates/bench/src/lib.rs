@@ -200,7 +200,10 @@ mod tests {
         assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
         assert_eq!(CliError::Config("x".into()).exit_code(), 2);
         assert_eq!(CliError::Io("x".into()).exit_code(), 1);
-        let sim = CliError::from(SimError::MaxCycles { cycle: 10, limit: 10 });
+        let sim = CliError::from(SimError::MaxCycles {
+            cycle: 10,
+            limit: 10,
+        });
         assert_eq!(sim.exit_code(), 3);
         assert!(sim.to_string().contains("simulation failed"));
     }
@@ -214,8 +217,10 @@ mod tests {
             Err(CliError::Config(_))
         ));
         // No spec anywhere: fault-free.
-        assert!(fault_plan_from(None).map(|p| p.is_none()).unwrap_or(false)
-            || std::env::var("GAT_FAULTS").is_ok());
+        assert!(
+            fault_plan_from(None).map(|p| p.is_none()).unwrap_or(false)
+                || std::env::var("GAT_FAULTS").is_ok()
+        );
     }
 
     #[test]

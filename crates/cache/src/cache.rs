@@ -16,7 +16,7 @@
 //! implement bypass policies (HeLM, Fig. 3's bypass-all) and the non-
 //! inclusive GPU behaviour without special cases in the tag array itself.
 
-use crate::replacement::{self, DuelState, ReplacementPolicy, ReplState};
+use crate::replacement::{self, DuelState, ReplState, ReplacementPolicy};
 use crate::Source;
 use gat_sim::addr::{block_align, hash_index, Addr};
 use gat_sim::stats::Counter;
@@ -217,7 +217,8 @@ impl SetAssocCache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.block_bytes.is_power_of_two(), "block size must be 2^k");
         assert!(
-            cfg.size_bytes.is_multiple_of(cfg.block_bytes * u64::from(cfg.ways)),
+            cfg.size_bytes
+                .is_multiple_of(cfg.block_bytes * u64::from(cfg.ways)),
             "{}: size {} not divisible by ways*block",
             cfg.name,
             cfg.size_bytes

@@ -228,7 +228,10 @@ mod tests {
         }
         let rrpvs: Vec<u32> = (0..64).map(|_| d.insert_rrpv(7)).collect();
         let distant = rrpvs.iter().filter(|&&r| r == u32::from(RRPV_MAX)).count();
-        let long = rrpvs.iter().filter(|&&r| r == u32::from(RRPV_INSERT)).count();
+        let long = rrpvs
+            .iter()
+            .filter(|&&r| r == u32::from(RRPV_INSERT))
+            .count();
         assert_eq!(long, 2, "1 in 32 inserts at the SRRIP depth");
         assert_eq!(distant, 62);
     }

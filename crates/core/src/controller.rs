@@ -51,14 +51,22 @@ impl std::error::Error for ConfigError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QosEvent {
     /// FRPU FSM transition (Fig. 4): learning ↔ prediction.
-    FrpuPhase { cycle: Cycle, from: Phase, to: Phase },
+    FrpuPhase {
+        cycle: Cycle,
+        from: Phase,
+        to: Phase,
+    },
     /// The FRPU discarded its model (point B of Fig. 4); `total` is the
     /// cumulative re-learn count.
     FrpuRelearn { cycle: Cycle, total: u64 },
     /// The ATU gate went from open to closed (`W_G` 0 → nonzero).
     ThrottleEngage { cycle: Cycle, w_g: u64 },
     /// The gate window changed while engaged.
-    ThrottleAdjust { cycle: Cycle, from_w_g: u64, w_g: u64 },
+    ThrottleAdjust {
+        cycle: Cycle,
+        from_w_g: u64,
+        w_g: u64,
+    },
     /// The gate fully opened (`W_G` → 0).
     ThrottleRelease { cycle: Cycle },
     /// The controller entered the safe throttle-off fallback: the FRPU
@@ -280,7 +288,8 @@ impl QosController {
                     llc_accesses,
                     ..
                 } => {
-                    self.frpu.on_rtp_complete(updates, cycles, tiles, llc_accesses);
+                    self.frpu
+                        .on_rtp_complete(updates, cycles, tiles, llc_accesses);
                     self.publish_frpu_transitions(now, prev_phase, prev_relearns);
                     self.evaluate(now);
                 }
@@ -300,7 +309,8 @@ impl QosController {
     fn publish_frpu_transitions(&mut self, now: Cycle, prev_phase: Phase, prev_relearns: u64) {
         let total = self.frpu.relearn_events;
         if total > prev_relearns {
-            self.events.publish(QosEvent::FrpuRelearn { cycle: now, total });
+            self.events
+                .publish(QosEvent::FrpuRelearn { cycle: now, total });
         }
         let phase = self.frpu.phase();
         if phase != prev_phase {

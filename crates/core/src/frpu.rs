@@ -233,9 +233,7 @@ impl FrameRateEstimator {
                 self.cur_rtps += 1;
                 self.cur_cycles += cycles;
                 // Capture the mid-frame projection for error reporting.
-                if self.mid_prediction.is_none()
-                    && self.cur_rtps * 2 >= self.learned_rtps
-                {
+                if self.mid_prediction.is_none() && self.cur_rtps * 2 >= self.learned_rtps {
                     self.mid_prediction = self.predicted_cycles_per_frame();
                 }
                 // Verified observation: refresh the table entry in place,
@@ -243,7 +241,9 @@ impl FrameRateEstimator {
                 // re-learning round trip (same storage, one write; an
                 // EWMA variant was measurably worse — replacement tracks
                 // drift, which dominates single-frame noise here).
-                if idx < self.cfg.table_entries - 1 || self.learned_rtps as usize <= self.cfg.table_entries {
+                if idx < self.cfg.table_entries - 1
+                    || self.learned_rtps as usize <= self.cfg.table_entries
+                {
                     self.table[idx] = RtpInfo {
                         updates: updates as u32,
                         cycles: cycles as u32,
@@ -271,18 +271,15 @@ impl FrameRateEstimator {
                 }
                 let filled = self.learn_filled.min(self.cfg.table_entries);
                 self.learned_rtps = self.learn_filled as u32;
-                self.learned_cycles = self
-                    .table[..filled]
+                self.learned_cycles = self.table[..filled]
                     .iter()
                     .map(|e| u64::from(e.cycles))
                     .sum();
-                self.learned_updates = self
-                    .table[..filled]
+                self.learned_updates = self.table[..filled]
                     .iter()
                     .map(|e| u64::from(e.updates))
                     .sum();
-                self.learned_accesses = self
-                    .table[..filled]
+                self.learned_accesses = self.table[..filled]
                     .iter()
                     .map(|e| u64::from(e.llc_accesses))
                     .sum();
@@ -306,9 +303,18 @@ impl FrameRateEstimator {
                     // Recompute aggregates from the refreshed table so the
                     // next frame predicts against current scene conditions.
                     let filled = (self.learned_rtps as usize).min(self.cfg.table_entries);
-                    self.learned_cycles = self.table[..filled].iter().map(|e| u64::from(e.cycles)).sum();
-                    self.learned_updates = self.table[..filled].iter().map(|e| u64::from(e.updates)).sum();
-                    self.learned_accesses = self.table[..filled].iter().map(|e| u64::from(e.llc_accesses)).sum();
+                    self.learned_cycles = self.table[..filled]
+                        .iter()
+                        .map(|e| u64::from(e.cycles))
+                        .sum();
+                    self.learned_updates = self.table[..filled]
+                        .iter()
+                        .map(|e| u64::from(e.updates))
+                        .sum();
+                    self.learned_accesses = self.table[..filled]
+                        .iter()
+                        .map(|e| u64::from(e.llc_accesses))
+                        .sum();
                     self.cur_rtps = 0;
                     self.cur_cycles = 0;
                 }
@@ -344,7 +350,7 @@ mod tests {
     fn equation_three_blends_current_and_learned() {
         let mut f = FrameRateEstimator::new(FrpuConfig::default());
         feed_frame(&mut f, 4, 1000, 2500); // learned: 2500 cycles/RTP
-        // Current frame is running 2x slower: first 2 RTPs at 5000 cycles.
+                                           // Current frame is running 2x slower: first 2 RTPs at 5000 cycles.
         f.on_rtp_complete(1000, 5000, 100, 500);
         f.on_rtp_complete(1000, 5000, 100, 500);
         // λ = 0.5, C_inter = 5000, C_avg = 2500 → F = 3750 × 4 = 15000.
@@ -447,7 +453,7 @@ mod tests {
     fn live_prediction_floors_on_elapsed_time() {
         let mut f = FrameRateEstimator::new(FrpuConfig::default());
         feed_frame(&mut f, 4, 1000, 1000); // learned frame: 4000 cycles
-        // Mid-frame, 2 RTPs done on schedule: Eq. 3 says 4000.
+                                           // Mid-frame, 2 RTPs done on schedule: Eq. 3 says 4000.
         f.on_rtp_complete(1000, 1000, 100, 500);
         f.on_rtp_complete(1000, 1000, 100, 500);
         assert_eq!(f.predicted_cycles_per_frame(), Some(4000.0));

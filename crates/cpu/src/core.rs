@@ -9,9 +9,9 @@
 //! entire CPU-side story of the paper.
 
 use crate::hierarchy::{CpuHierarchy, LoadOutcome};
-use crate::stream::{InstructionStream, Op};
 #[cfg(test)]
 use crate::stream::StreamGen;
+use crate::stream::{InstructionStream, Op};
 use gat_cache::MemPort;
 use gat_sim::stats::Counter;
 use gat_sim::Cycle;
@@ -194,8 +194,7 @@ impl Core {
                         if self.budget_cycles.is_none() {
                             if let Some(b) = self.measure_budget {
                                 if self.retired_since_mark() >= b {
-                                    self.budget_cycles =
-                                        Some(self.cycles.get() - self.mark_cycles);
+                                    self.budget_cycles = Some(self.cycles.get() - self.mark_cycles);
                                 }
                             }
                         }
@@ -235,8 +234,7 @@ impl Core {
             // Pointer-chase loads serialize against the available chains:
             // at most `chase_chains` dependent walks overlap.
             if serialized
-                && self.outstanding_chases.len()
-                    >= usize::from(self.stream.profile().chase_chains)
+                && self.outstanding_chases.len() >= usize::from(self.stream.profile().chase_chains)
             {
                 break;
             }
@@ -358,8 +356,7 @@ impl Core {
         // delivered by an active uncore — no self-wake needed.
         if let Some(&(_, _, _, serialized)) = self.access_queue.front() {
             let chase_blocked = serialized
-                && self.outstanding_chases.len()
-                    >= usize::from(self.stream.profile().chase_chains);
+                && self.outstanding_chases.len() >= usize::from(self.stream.profile().chase_chains);
             if !chase_blocked {
                 return None;
             }
@@ -368,8 +365,8 @@ impl Core {
         // reaches 1.0 and there is structural room. Credit accrual alone
         // (and its min-cap) is replayed by `fast_forward`.
         let b = self.stream.profile().base_ipc;
-        let rob_open = self.rob.len() < self.cfg.rob_size
-            && self.access_queue.len() < self.cfg.rob_size / 2;
+        let rob_open =
+            self.rob.len() < self.cfg.rob_size && self.access_queue.len() < self.cfg.rob_size / 2;
         if rob_open && b > 0.0 {
             if now < self.frontend_stall_until {
                 wake = wake.min(self.frontend_stall_until);
@@ -494,7 +491,10 @@ mod tests {
             a.retired.get() as f64 / 20_000.0,
             b.retired.get() as f64 / 20_000.0,
         );
-        assert!(ipc_b < ipc_a * 0.92, "mispredicts must cost: {ipc_a} vs {ipc_b}");
+        assert!(
+            ipc_b < ipc_a * 0.92,
+            "mispredicts must cost: {ipc_a} vs {ipc_b}"
+        );
         assert!(ipc_b > ipc_a * 0.6, "but not cripple: {ipc_a} vs {ipc_b}");
         assert!(b.branch_mispredicts.get() > 100);
         assert_eq!(a.branch_mispredicts.get(), 0);

@@ -8,11 +8,14 @@
 //! bound — when its MSHRs are full the core cannot start new misses, which
 //! is how DRAM queueing delay turns into lost IPC.
 
-use gat_cache::{AccessKind, BlockReq, CacheConfig, MemPort, MshrFile, MshrOutcome, ReplacementPolicy, SetAssocCache, Source};
+use gat_cache::{
+    AccessKind, BlockReq, CacheConfig, MemPort, MshrFile, MshrOutcome, ReplacementPolicy,
+    SetAssocCache, Source,
+};
 use gat_sim::addr::line_of;
+use gat_sim::hashing::FastMap;
 use gat_sim::stats::Counter;
 use gat_sim::Cycle;
-use gat_sim::hashing::FastMap;
 
 /// Geometry/latency knobs; defaults are Table I.
 #[derive(Debug, Clone)]
@@ -477,7 +480,7 @@ mod tests {
         assert_eq!(h.load(0, 0x1000, 1, &mut port), LoadOutcome::Pending);
         assert_eq!(port.accepted.len(), 1);
         assert_eq!(port.accepted[0].1.addr, 0x1000);
-        let done = resp(&mut h,100, 0x1000, &mut port);
+        let done = resp(&mut h, 100, 0x1000, &mut port);
         assert_eq!(done, vec![1]);
         assert_eq!(
             h.load(101, 0x1008, 2, &mut port),
@@ -491,18 +494,21 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         h.load(0, 0x2000, 1, &mut port);
-        resp(&mut h,10, 0x2000, &mut port);
+        resp(&mut h, 10, 0x2000, &mut port);
         // Evict from L1 only (fill 8 conflicting blocks: L1 32KB/8w/64B =
         // 64 sets; stride 64*64 = 4096 hits the same L1 set).
         for i in 1..=8u64 {
             let a = 0x2000 + i * 4096;
             h.load(20, a, 10 + i, &mut port);
-            resp(&mut h,30, a, &mut port);
+            resp(&mut h, 30, a, &mut port);
         }
         assert!(!h.l1d.probe(0x2000), "L1 victimized");
         // L2 (256KB/8w = 512 sets, stride 32768 maps same set) still has it.
         assert!(h.l2.probe(0x2000));
-        assert_eq!(h.load(40, 0x2000, 99, &mut port), LoadOutcome::Hit { latency: 5 });
+        assert_eq!(
+            h.load(40, 0x2000, 99, &mut port),
+            LoadOutcome::Hit { latency: 5 }
+        );
     }
 
     #[test]
@@ -512,7 +518,7 @@ mod tests {
         assert_eq!(h.load(0, 0x3000, 1, &mut port), LoadOutcome::Pending);
         assert_eq!(h.load(0, 0x3008, 2, &mut port), LoadOutcome::Pending);
         assert_eq!(port.accepted.len(), 1, "one downstream request");
-        let done = resp(&mut h,50, 0x3000, &mut port);
+        let done = resp(&mut h, 50, 0x3000, &mut port);
         assert_eq!(done, vec![1, 2]);
     }
 
@@ -530,7 +536,7 @@ mod tests {
         assert_eq!(h.load(0, 0x1000, 2, &mut port), LoadOutcome::Pending);
         assert_eq!(h.load(0, 0x2000, 3, &mut port), LoadOutcome::Stall);
         assert!(!h.can_miss());
-        resp(&mut h,10, 0x0000, &mut port);
+        resp(&mut h, 10, 0x0000, &mut port);
         assert!(h.can_miss());
     }
 
@@ -553,7 +559,7 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         assert_eq!(h.store(0, 0x4000, &mut port), LoadOutcome::Pending);
-        let done = resp(&mut h,10, 0x4000, &mut port);
+        let done = resp(&mut h, 10, 0x4000, &mut port);
         assert!(done.is_empty(), "stores deliver no load seqs");
         // The block must be dirty: back-invalidate and expect a write-back.
         h.back_invalidate(0x4000);
@@ -570,7 +576,7 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         h.load(0, 0x5000, 1, &mut port);
-        resp(&mut h,10, 0x5000, &mut port);
+        resp(&mut h, 10, 0x5000, &mut port);
         h.back_invalidate(0x5000);
         assert_eq!(h.writebacks_queued(), 0);
         assert!(!h.l1d.probe(0x5000));
@@ -595,10 +601,13 @@ mod tests {
             .collect();
         assert!(pf_addrs.contains(&0x8080));
         // Deliver a prefetch: it fills L2 but not L1.
-        resp(&mut h,10, 0x8080, &mut port);
+        resp(&mut h, 10, 0x8080, &mut port);
         assert!(h.l2.probe(0x8080));
         assert!(!h.l1d.probe(0x8080), "prefetch must not pollute L1");
-        assert_eq!(h.load(20, 0x8080, 3, &mut port), LoadOutcome::Hit { latency: 5 });
+        assert_eq!(
+            h.load(20, 0x8080, 3, &mut port),
+            LoadOutcome::Hit { latency: 5 }
+        );
     }
 
     #[test]
@@ -616,10 +625,14 @@ mod tests {
                 LoadOutcome::Hit { .. } => {}
             }
             // Answer everything immediately (zero-latency memory).
-            let outstanding: Vec<u64> =
-                port.accepted.drain(..).filter(|(_, r)| !r.write).map(|(_, r)| r.token).collect();
+            let outstanding: Vec<u64> = port
+                .accepted
+                .drain(..)
+                .filter(|(_, r)| !r.write)
+                .map(|(_, r)| r.token)
+                .collect();
             for tok in outstanding {
-                resp(&mut h,i, tok, &mut port);
+                resp(&mut h, i, tok, &mut port);
             }
         }
         assert!(
@@ -637,7 +650,7 @@ mod tests {
         assert!(h.mshr.contains(0x8080), "prefetch in flight");
         // Demand load merges onto the in-flight prefetch of 0x8080.
         assert_eq!(h.load(2, 0x8080, 3, &mut port), LoadOutcome::Pending);
-        resp(&mut h,10, 0x8080, &mut port);
+        resp(&mut h, 10, 0x8080, &mut port);
         assert!(h.l1d.probe(0x8080), "demand-merged fill reaches L1");
     }
 
@@ -646,7 +659,7 @@ mod tests {
         let mut h = hier();
         let mut port = SinkPort::default();
         h.store(0, 0x6000, &mut port);
-        resp(&mut h,5, 0x6000, &mut port);
+        resp(&mut h, 5, 0x6000, &mut port);
         h.back_invalidate(0x6000);
         let mut closed = SinkPort {
             reject_all: true,

@@ -57,7 +57,11 @@ pub struct SpecProfile {
 impl SpecProfile {
     /// Internal consistency check (fractions in range and summable).
     pub fn validate(&self) {
-        assert!(self.working_set >= 1 << 16, "{}: working set too small", self.name);
+        assert!(
+            self.working_set >= 1 << 16,
+            "{}: working set too small",
+            self.name
+        );
         for (label, v) in [
             ("mem_fraction", self.mem_fraction),
             ("write_fraction", self.write_fraction),
@@ -66,14 +70,34 @@ impl SpecProfile {
             ("chase_fraction", self.chase_fraction),
             ("hot_fraction", self.hot_fraction),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{}: {label} = {v} out of range", self.name);
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{}: {label} = {v} out of range",
+                self.name
+            );
         }
         let mix = self.stream_fraction + self.stride_fraction + self.chase_fraction;
-        assert!(mix <= 1.0 + 1e-9, "{}: pattern mix {mix} exceeds 1", self.name);
-        assert!(self.base_ipc > 0.0 && self.base_ipc <= 4.0, "{}: base_ipc", self.name);
+        assert!(
+            mix <= 1.0 + 1e-9,
+            "{}: pattern mix {mix} exceeds 1",
+            self.name
+        );
+        assert!(
+            self.base_ipc > 0.0 && self.base_ipc <= 4.0,
+            "{}: base_ipc",
+            self.name
+        );
         assert!(self.stride_bytes.is_power_of_two());
-        assert!(self.chase_chains >= 1, "{}: need at least one chain", self.name);
-        assert!((0.0..=100.0).contains(&self.branch_mpki), "{}: branch_mpki", self.name);
+        assert!(
+            self.chase_chains >= 1,
+            "{}: need at least one chain",
+            self.name
+        );
+        assert!(
+            (0.0..=100.0).contains(&self.branch_mpki),
+            "{}: branch_mpki",
+            self.name
+        );
     }
 
     /// Uniform-random fraction of memory ops (the remainder of the mix).

@@ -245,7 +245,12 @@ mod tests {
             }
         }
         for i in 4..16 {
-            assert_eq!(addrs[i], addrs[i - 4] + 8, "stream {} not sequential", i % 4);
+            assert_eq!(
+                addrs[i],
+                addrs[i - 4] + 8,
+                "stream {} not sequential",
+                i % 4
+            );
         }
     }
 

@@ -77,11 +77,7 @@ impl TraceStream {
     }
 
     /// Parse the text format described in the module docs.
-    pub fn parse(
-        profile: SpecProfile,
-        text: &str,
-        base: u64,
-    ) -> Result<Self, TraceParseError> {
+    pub fn parse(profile: SpecProfile, text: &str, base: u64) -> Result<Self, TraceParseError> {
         let mut ops = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -202,7 +198,12 @@ mod tests {
                 serialized: true
             }
         );
-        assert_eq!(t.next_op(), Op::Store { addr: 0x1000 + 0x1f88 });
+        assert_eq!(
+            t.next_op(),
+            Op::Store {
+                addr: 0x1000 + 0x1f88
+            }
+        );
         // Loops back to the start.
         assert_eq!(t.next_op(), Op::Alu);
         assert_eq!(t.loops, 1);

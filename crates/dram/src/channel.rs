@@ -155,7 +155,12 @@ pub struct DramChannel {
 }
 
 impl DramChannel {
-    pub fn new(timing: DramTiming, banks: u32, queue_capacity: usize, scheduler: Box<dyn Scheduler>) -> Self {
+    pub fn new(
+        timing: DramTiming,
+        banks: u32,
+        queue_capacity: usize,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Self {
         let sched_starved_skip = scheduler.pure_when_starved();
         Self {
             timing,
@@ -245,43 +250,43 @@ impl DramChannel {
     fn req_infos(&self, now: u64, writes_eligible: bool, out: &mut Vec<ReqInfo>) -> u64 {
         let mut eligible_ready = u64::MAX;
         out.extend(self.queue.iter().map(|p| {
-                let bank = &self.banks[p.coord.bank as usize];
-                let (row_hit, issuable_at) = match bank.open_row {
-                    Some(r) if r == p.coord.row => {
-                        let mut at = bank.cmd_ready;
-                        if !p.req.write {
-                            at = at.max(bank.read_after_write_ready);
-                        }
-                        (true, at)
+            let bank = &self.banks[p.coord.bank as usize];
+            let (row_hit, issuable_at) = match bank.open_row {
+                Some(r) if r == p.coord.row => {
+                    let mut at = bank.cmd_ready;
+                    if !p.req.write {
+                        at = at.max(bank.read_after_write_ready);
                     }
-                    Some(_) => {
-                        // Conflict: PRE first, gated by tRAS and write recovery.
-                        let at = bank
-                            .cmd_ready
-                            .max(bank.pre_ready)
-                            .max(bank.pre_after_write_ready);
-                        (false, at)
-                    }
-                    None => {
-                        let at = bank.cmd_ready.max(self.act_any_ready);
-                        (false, at)
-                    }
-                };
-                let eligible = !p.req.write || writes_eligible;
-                if eligible {
-                    eligible_ready = eligible_ready.min(issuable_at);
+                    (true, at)
                 }
-                ReqInfo {
-                    is_gpu: p.req.source.is_gpu(),
-                    source_id: p.req.source.encode(),
-                    is_write: p.req.write,
-                    arrival: p.arrival,
-                    row_hit,
-                    issuable: issuable_at <= now,
-                    eligible,
-                    bank: p.coord.bank,
-                    row: p.coord.row,
+                Some(_) => {
+                    // Conflict: PRE first, gated by tRAS and write recovery.
+                    let at = bank
+                        .cmd_ready
+                        .max(bank.pre_ready)
+                        .max(bank.pre_after_write_ready);
+                    (false, at)
                 }
+                None => {
+                    let at = bank.cmd_ready.max(self.act_any_ready);
+                    (false, at)
+                }
+            };
+            let eligible = !p.req.write || writes_eligible;
+            if eligible {
+                eligible_ready = eligible_ready.min(issuable_at);
+            }
+            ReqInfo {
+                is_gpu: p.req.source.is_gpu(),
+                source_id: p.req.source.encode(),
+                is_write: p.req.write,
+                arrival: p.arrival,
+                row_hit,
+                issuable: issuable_at <= now,
+                eligible,
+                bank: p.coord.bank,
+                row: p.coord.row,
+            }
         }));
         eligible_ready
     }
@@ -353,7 +358,10 @@ impl DramChannel {
         let eligible_ready = self.req_infos(now, writes_eligible, &mut infos);
         let picked = self.scheduler.select(&infos, now, ctx);
         if let Some(idx) = picked {
-            debug_assert!(infos[idx].issuable, "scheduler picked a non-issuable request");
+            debug_assert!(
+                infos[idx].issuable,
+                "scheduler picked a non-issuable request"
+            );
         }
         infos.clear();
         self.info_buf = infos;
@@ -600,7 +608,7 @@ mod tests {
         // Two reads to different rows of the same bank.
         let mut ch = channel();
         let row_span = u64::from(MAP.channels) * MAP.row_bytes; // next row, same raw bank
-        // Find an address pair in the same bank, different row.
+                                                                // Find an address pair in the same bank, different row.
         let mut conflict_addr = None;
         for k in 1..64u64 {
             let cand = k * row_span;
@@ -648,7 +656,10 @@ mod tests {
         // before a serialized conflict would.
         let gap = done[1].done_at - done[0].done_at;
         assert!(gap >= t.t_burst);
-        assert!(gap <= t.t_rrd + t.t_burst, "gap {gap} too large for bank overlap");
+        assert!(
+            gap <= t.t_rrd + t.t_burst,
+            "gap {gap} too large for bank overlap"
+        );
     }
 
     #[test]

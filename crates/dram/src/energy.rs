@@ -105,6 +105,9 @@ mod tests {
     #[test]
     fn refresh_dominates_equivalent_single_access() {
         let m = DramEnergyModel::ddr3_2133();
-        assert!(m.refresh_pj > m.act_pre_pj + m.read_pj, "REF hits all banks");
+        assert!(
+            m.refresh_pj > m.act_pre_pj + m.read_pj,
+            "REF hits all banks"
+        );
     }
 }

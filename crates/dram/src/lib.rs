@@ -33,5 +33,7 @@ pub mod timing;
 pub use channel::{Completion, DramChannel, DramRequest, DramStats};
 pub use energy::{DramEnergy, DramEnergyModel};
 pub use mapping::{ChannelInterleave, DramAddressMap};
-pub use sched::{DynPrio, FrFcfs, FrFcfsCpuPrio, SchedCtx, Scheduler, SchedulerKind, Sms, StaticCpuPrio};
+pub use sched::{
+    DynPrio, FrFcfs, FrFcfsCpuPrio, SchedCtx, Scheduler, SchedulerKind, Sms, StaticCpuPrio,
+};
 pub use timing::DramTiming;

@@ -412,7 +412,10 @@ mod tests {
         let mut s = FrFcfs;
         let reqs = [req(false, 1, true, false), req(true, 9, false, true)];
         assert_eq!(s.select(&reqs, 100, SchedCtx::default()), Some(1));
-        assert_eq!(s.select(&[req(false, 1, true, false)], 0, SchedCtx::default()), None);
+        assert_eq!(
+            s.select(&[req(false, 1, true, false)], 0, SchedCtx::default()),
+            None
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! pipeline. All GPU fills are tagged [`Source::Gpu`] so the LLC can apply
 //! its non-inclusive GPU policy and the bypass/throttling proposals.
 
-use gat_cache::{AccessKind, CacheConfig, MshrFile, MshrOutcome, ReplacementPolicy, SetAssocCache, Source};
+use gat_cache::{
+    AccessKind, CacheConfig, MshrFile, MshrOutcome, ReplacementPolicy, SetAssocCache, Source,
+};
 use gat_sim::addr::line_of;
 
 /// Which unit a miss belongs to; encoded into interface tokens.
@@ -176,13 +178,7 @@ impl GpuCaches {
                 2,
                 lru,
             )),
-            hiz: SetAssocCache::new(CacheConfig::new(
-                "hiZ",
-                cfg.hiz_bytes,
-                cfg.hiz_ways,
-                1,
-                lru,
-            )),
+            hiz: SetAssocCache::new(CacheConfig::new("hiZ", cfg.hiz_bytes, cfg.hiz_ways, 1, lru)),
             shader_i: SetAssocCache::new(CacheConfig::new(
                 "shaderI",
                 cfg.shader_i_bytes,
@@ -388,7 +384,11 @@ mod tests {
             c.hiz_read(i * 64);
         }
         assert!(c.outbound.iter().all(|r| r.write), "hiZ never reads below");
-        let flushed = c.outbound.iter().filter(|r| r.unit == GpuUnit::HierZ).count();
+        let flushed = c
+            .outbound
+            .iter()
+            .filter(|r| r.unit == GpuUnit::HierZ)
+            .count();
         assert_eq!(flushed, 256, "every eviction writes back");
     }
 
@@ -452,13 +452,20 @@ mod tests {
         for i in 0..512u64 {
             c.color_write(i * 64);
         }
-        assert!(c.outbound.iter().all(|r| r.write || r.unit != GpuUnit::Color));
+        assert!(c
+            .outbound
+            .iter()
+            .all(|r| r.write || r.unit != GpuUnit::Color));
         assert_eq!(c.outbound.len(), 0, "no traffic while the surface fits");
         // One more row of writes forces dirty evictions.
         for i in 512..1024u64 {
             c.color_write(i * 64);
         }
-        let writes = c.outbound.iter().filter(|r| r.write && r.unit == GpuUnit::Color).count();
+        let writes = c
+            .outbound
+            .iter()
+            .filter(|r| r.write && r.unit == GpuUnit::Color)
+            .count();
         assert_eq!(writes, 512, "every eviction is a dirty write-back");
         // And no color read was ever generated.
         assert!(c.outbound.iter().all(|r| r.write));

@@ -571,9 +571,7 @@ impl GpuPipeline {
 
     fn drain_iface(&mut self, now: Cycle, quota: u32, port: &mut dyn MemPort) -> u32 {
         // Pull cache-generated traffic into the interface queue.
-        while !self.caches.outbound.is_empty()
-            && self.iface.len() < self.cfg.iface_queue + 16
-        {
+        while !self.caches.outbound.is_empty() && self.iface.len() < self.cfg.iface_queue + 16 {
             // Evictions may briefly overflow the nominal queue (the +16):
             // they cannot be refused without losing data.
             let req = self.caches.outbound.pop_front().unwrap();

@@ -65,7 +65,11 @@ pub struct GameProfile {
 impl GameProfile {
     /// Sanity checks.
     pub fn validate(&self) {
-        assert!(self.width >= TILE_PX && self.height >= TILE_PX, "{}", self.name);
+        assert!(
+            self.width >= TILE_PX && self.height >= TILE_PX,
+            "{}",
+            self.name
+        );
         assert!(self.rtps_per_frame >= 1, "{}", self.name);
         assert!(
             self.frags_per_tile > 0.0 && self.frags_per_tile <= f64::from(TILE_PX * TILE_PX),
@@ -74,7 +78,11 @@ impl GameProfile {
         );
         assert!(self.texels_per_frag >= 0.0, "{}", self.name);
         assert!(self.shade_rate > 0.0, "{}", self.name);
-        assert!(self.tex_window > 0 && self.tex_window <= self.tex_working_set, "{}", self.name);
+        assert!(
+            self.tex_window > 0 && self.tex_window <= self.tex_working_set,
+            "{}",
+            self.name
+        );
         assert!(self.table2_fps > 0.0, "{}", self.name);
     }
 
@@ -103,8 +111,7 @@ impl GameProfile {
     /// Used by calibration tests to cross-check `shade_rate` against the
     /// Table II FPS.
     pub fn ideal_cycles_per_frame(&self) -> f64 {
-        let frags =
-            f64::from(self.tiles(1)) * self.frags_per_tile * f64::from(self.rtps_per_frame);
+        let frags = f64::from(self.tiles(1)) * self.frags_per_tile * f64::from(self.rtps_per_frame);
         frags / self.shade_rate
     }
 }

@@ -205,7 +205,10 @@ impl MachineConfig {
             if k == 0 || k >= self.llc_ways {
                 return Err(ConfigError::new(
                     "machine.gpu_llc_ways",
-                    format!("partition of {k} ways out of {} is degenerate", self.llc_ways),
+                    format!(
+                        "partition of {k} ways out of {} is degenerate",
+                        self.llc_ways
+                    ),
                 ));
             }
         }
@@ -231,10 +234,7 @@ impl MachineConfig {
             ));
         }
         if self.limits.max_cycles == 0 {
-            return Err(ConfigError::new(
-                "limits.max_cycles",
-                "zero-cycle run",
-            ));
+            return Err(ConfigError::new("limits.max_cycles", "zero-cycle run"));
         }
         if self.limits.warmup_cycles >= self.limits.max_cycles {
             return Err(ConfigError::new(
@@ -248,9 +248,9 @@ impl MachineConfig {
         // The derived QoS controller knobs must themselves be sane.
         QosControllerConfig::proposal(self.scale).validate()?;
         // A hand-built FaultPlan may bypass the parser's checks.
-        self.faults.validate().map_err(|e| {
-            ConfigError::new("machine.faults", e.to_string())
-        })?;
+        self.faults
+            .validate()
+            .map_err(|e| ConfigError::new("machine.faults", e.to_string()))?;
         Ok(())
     }
 

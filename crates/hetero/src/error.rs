@@ -37,7 +37,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MaxCycles { cycle, limit } => {
-                write!(f, "run exceeded max_cycles at cycle {cycle} (limit {limit})")
+                write!(
+                    f,
+                    "run exceeded max_cycles at cycle {cycle} (limit {limit})"
+                )
             }
             SimError::Wedged {
                 cycle,
@@ -55,7 +58,10 @@ impl fmt::Display for SimError {
                 component,
                 detail,
             } => {
-                write!(f, "invariant violated at cycle {cycle} in {component}: {detail}")
+                write!(
+                    f,
+                    "invariant violated at cycle {cycle} in {component}: {detail}"
+                )
             }
         }
     }

@@ -157,8 +157,10 @@ where
         return jobs.into_iter().map(f).collect();
     }
     let n = jobs.len();
-    let jobs: Vec<std::sync::Mutex<Option<J>>> =
-        jobs.into_iter().map(|j| std::sync::Mutex::new(Some(j))).collect();
+    let jobs: Vec<std::sync::Mutex<Option<J>>> = jobs
+        .into_iter()
+        .map(|j| std::sync::Mutex::new(Some(j)))
+        .collect();
     let results: Vec<std::sync::Mutex<Option<R>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -185,7 +187,11 @@ fn run_one(mut m: MachineConfig, mix: &Mix, with_cpu: bool, with_gpu: bool) -> R
     if !with_cpu {
         m.num_cpus = m.num_cpus.max(1);
     }
-    let apps = if with_cpu { mix.cpu.clone() } else { Vec::new() };
+    let apps = if with_cpu {
+        mix.cpu.clone()
+    } else {
+        Vec::new()
+    };
     let game = with_gpu.then(|| mix.game.clone());
     HeteroSystem::new(m, &apps, game).run()
 }
@@ -353,15 +359,11 @@ pub struct Fig8 {
 /// Percent error of dynamic frame-rate estimation across the M mixes.
 pub fn fig8(cfg: &ExpConfig) -> Fig8 {
     let mixes = mixes_m();
-    let results = par_run(
-        mixes.iter().collect::<Vec<_>>(),
-        cfg.threads,
-        |mix| {
-            let mut m = cfg.machine(4);
-            m.qos = QosMode::Observe;
-            run_one(m, mix, true, true)
-        },
-    );
+    let results = par_run(mixes.iter().collect::<Vec<_>>(), cfg.threads, |mix| {
+        let mut m = cfg.machine(4);
+        m.qos = QosMode::Observe;
+        run_one(m, mix, true, true)
+    });
     let rows = mixes
         .iter()
         .zip(&results)
@@ -384,7 +386,14 @@ impl Fig8 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Fig. 8: percent error in dynamic frame rate estimation",
-            &["Game", "MeanErr%", "MinErr%", "MaxErr%", "PredFrames", "Relearns"],
+            &[
+                "Game",
+                "MeanErr%",
+                "MinErr%",
+                "MaxErr%",
+                "PredFrames",
+                "Relearns",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -445,10 +454,7 @@ fn alone_ipcs(cfg: &ExpConfig, mixes: &[Mix]) -> HashMap<u16, f64> {
         .collect();
     ids.sort_unstable();
     ids.dedup();
-    let profiles: Vec<_> = ids
-        .iter()
-        .map(|&id| gat_workloads::spec(id))
-        .collect();
+    let profiles: Vec<_> = ids.iter().map(|&id| gat_workloads::spec(id)).collect();
     let results = par_run(profiles, cfg.threads, |p| {
         let m = cfg.machine(4);
         HeteroSystem::new(m, &[p], None).run()
@@ -558,10 +564,22 @@ pub fn throttle_eval(cfg: &ExpConfig) -> ThrottleEval {
                 gpu_llc_miss_norm: [gmiss(thr) / gmiss(base), gmiss(thrp) / gmiss(base)],
                 cpu_llc_miss_norm: [cmiss(thr) / cmiss(base), cmiss(thrp) / cmiss(base)],
                 gpu_bw_norm: [
-                    ratio_or_nan(bw(thr.dram.gpu_read_bytes, thr), bw(base.dram.gpu_read_bytes, base)),
-                    ratio_or_nan(bw(thr.dram.gpu_write_bytes, thr), bw(base.dram.gpu_write_bytes, base)),
-                    ratio_or_nan(bw(thrp.dram.gpu_read_bytes, thrp), bw(base.dram.gpu_read_bytes, base)),
-                    ratio_or_nan(bw(thrp.dram.gpu_write_bytes, thrp), bw(base.dram.gpu_write_bytes, base)),
+                    ratio_or_nan(
+                        bw(thr.dram.gpu_read_bytes, thr),
+                        bw(base.dram.gpu_read_bytes, base),
+                    ),
+                    ratio_or_nan(
+                        bw(thr.dram.gpu_write_bytes, thr),
+                        bw(base.dram.gpu_write_bytes, base),
+                    ),
+                    ratio_or_nan(
+                        bw(thrp.dram.gpu_read_bytes, thrp),
+                        bw(base.dram.gpu_read_bytes, base),
+                    ),
+                    ratio_or_nan(
+                        bw(thrp.dram.gpu_write_bytes, thrp),
+                        bw(base.dram.gpu_write_bytes, base),
+                    ),
                 ],
             }
         })

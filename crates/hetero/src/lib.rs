@@ -25,7 +25,7 @@ pub use config::{FillPolicyKind, MachineConfig, QosMode, RunLimits};
 pub use error::SimError;
 pub use events::RunEvent;
 pub use gat_core::ConfigError;
-pub use report::ReportError;
 pub use metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
+pub use report::ReportError;
 
 pub use system::HeteroSystem;

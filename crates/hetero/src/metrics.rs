@@ -212,10 +212,17 @@ impl RunResult {
         use std::fmt::Write;
         let mut o = String::new();
         let _ = writeln!(o, "=== run report: {} ===", self.label);
-        let _ = writeln!(o, "measured cycles: {} ({:.3} ms at 4 GHz)",
-            self.cycles, self.cycles as f64 / 4e6);
-        let _ = writeln!(o, "
--- CPU cores --");
+        let _ = writeln!(
+            o,
+            "measured cycles: {} ({:.3} ms at 4 GHz)",
+            self.cycles,
+            self.cycles as f64 / 4e6
+        );
+        let _ = writeln!(
+            o,
+            "
+-- CPU cores --"
+        );
         for c in &self.cores {
             let _ = writeln!(
                 o,
@@ -224,36 +231,80 @@ impl RunResult {
             );
         }
         if let Some(g) = &self.gpu {
-            let _ = writeln!(o, "
--- GPU --");
-            let _ = writeln!(o, "  frames {:>6}   avg FPS {:>7.1}   min-frame FPS {:>7.1}",
-                g.frames, g.fps, g.fps_min);
-            let _ = writeln!(o, "  LLC sends: {} reads, {} writes; gated cycles {}",
-                g.llc_reads, g.llc_writes, g.gated_cycles);
+            let _ = writeln!(
+                o,
+                "
+-- GPU --"
+            );
+            let _ = writeln!(
+                o,
+                "  frames {:>6}   avg FPS {:>7.1}   min-frame FPS {:>7.1}",
+                g.frames, g.fps, g.fps_min
+            );
+            let _ = writeln!(
+                o,
+                "  LLC sends: {} reads, {} writes; gated cycles {}",
+                g.llc_reads, g.llc_writes, g.gated_cycles
+            );
             let _ = writeln!(o, "  estimator: mean err {:+.2}% (min {:+.2}%, max {:+.2}%), {} predicted frames, {} re-learns",
                 g.est_error_mean, g.est_error_min, g.est_error_max,
                 g.predicted_frames, g.relearn_events);
             let _ = writeln!(o, "  throttle: W_G = {}", g.throttle_w_g);
         }
-        let _ = writeln!(o, "
--- shared LLC --");
-        let _ = writeln!(o, "  CPU: {:>10} hits {:>10} misses ({:>5.1}% hit)",
-            self.llc.cpu_hits, self.llc.cpu_misses, 100.0 * (1.0 - self.llc.cpu_miss_ratio()));
-        let _ = writeln!(o, "  GPU: {:>10} hits {:>10} misses ({:>5.1}% hit)",
-            self.llc.gpu_hits, self.llc.gpu_misses, 100.0 * (1.0 - self.llc.gpu_miss_ratio()));
-        let _ = writeln!(o, "  back-invalidations {:>10}   GPU fills bypassed {:>10}",
-            self.llc.back_invalidations, self.llc.gpu_fills_bypassed);
-        let _ = writeln!(o, "
--- DRAM --");
+        let _ = writeln!(
+            o,
+            "
+-- shared LLC --"
+        );
+        let _ = writeln!(
+            o,
+            "  CPU: {:>10} hits {:>10} misses ({:>5.1}% hit)",
+            self.llc.cpu_hits,
+            self.llc.cpu_misses,
+            100.0 * (1.0 - self.llc.cpu_miss_ratio())
+        );
+        let _ = writeln!(
+            o,
+            "  GPU: {:>10} hits {:>10} misses ({:>5.1}% hit)",
+            self.llc.gpu_hits,
+            self.llc.gpu_misses,
+            100.0 * (1.0 - self.llc.gpu_miss_ratio())
+        );
+        let _ = writeln!(
+            o,
+            "  back-invalidations {:>10}   GPU fills bypassed {:>10}",
+            self.llc.back_invalidations, self.llc.gpu_fills_bypassed
+        );
+        let _ = writeln!(
+            o,
+            "
+-- DRAM --"
+        );
         let bw = |b: u64| b as f64 * 4.0 / self.cycles.max(1) as f64; // GB/s at 4 GHz
-        let _ = writeln!(o, "  CPU: {:>7.2} GB/s read  {:>7.2} GB/s write",
-            bw(self.dram.cpu_read_bytes), bw(self.dram.cpu_write_bytes));
-        let _ = writeln!(o, "  GPU: {:>7.2} GB/s read  {:>7.2} GB/s write",
-            bw(self.dram.gpu_read_bytes), bw(self.dram.gpu_write_bytes));
-        let _ = writeln!(o, "  row-hit rate {:>5.1}%   mean read latency {:.0} DRAM cycles",
-            100.0 * self.dram.row_hit_rate, self.dram.read_latency_mean);
-        let _ = writeln!(o, "  energy {:>10.1} µJ   average power {:>7.1} mW",
-            self.dram.energy_pj / 1e6, self.dram.power_mw);
+        let _ = writeln!(
+            o,
+            "  CPU: {:>7.2} GB/s read  {:>7.2} GB/s write",
+            bw(self.dram.cpu_read_bytes),
+            bw(self.dram.cpu_write_bytes)
+        );
+        let _ = writeln!(
+            o,
+            "  GPU: {:>7.2} GB/s read  {:>7.2} GB/s write",
+            bw(self.dram.gpu_read_bytes),
+            bw(self.dram.gpu_write_bytes)
+        );
+        let _ = writeln!(
+            o,
+            "  row-hit rate {:>5.1}%   mean read latency {:.0} DRAM cycles",
+            100.0 * self.dram.row_hit_rate,
+            self.dram.read_latency_mean
+        );
+        let _ = writeln!(
+            o,
+            "  energy {:>10.1} µJ   average power {:>7.1} mW",
+            self.dram.energy_pj / 1e6,
+            self.dram.power_mw
+        );
         o
     }
 }
@@ -325,7 +376,14 @@ mod tests {
             unit_stats: [(0, 0); 5],
         });
         let rep = r.render_report();
-        for needle in ["CPU cores", "GPU", "shared LLC", "DRAM", "W_G = 2", "avg FPS"] {
+        for needle in [
+            "CPU cores",
+            "GPU",
+            "shared LLC",
+            "DRAM",
+            "W_G = 2",
+            "avg FPS",
+        ] {
             assert!(rep.contains(needle), "missing {needle} in report");
         }
     }

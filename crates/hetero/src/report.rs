@@ -19,7 +19,10 @@ impl std::fmt::Display for ReportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::WidthMismatch { expected, got } => {
-                write!(f, "row width mismatch: expected {expected} cells, got {got}")
+                write!(
+                    f,
+                    "row width mismatch: expected {expected} cells, got {got}"
+                )
             }
         }
     }
@@ -239,7 +242,13 @@ mod tests {
     fn try_row_reports_width_mismatch_without_panicking() {
         let mut t = Table::new("t", &["a", "b"]);
         let err = t.try_row(vec!["only-one".into()]).unwrap_err();
-        assert_eq!(err, ReportError::WidthMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            ReportError::WidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
         assert!(err.to_string().contains("row width mismatch"));
         assert!(t.try_row(vec!["x".into(), "y".into()]).is_ok());
         assert!(t.render().contains('x'));

@@ -14,9 +14,8 @@ use crate::metrics::{CoreResult, DramResult, GpuResult, LlcResult, RunResult};
 use crate::uncore::{BackInval, Uncore, UncoreCompletion, UncorePort};
 use gat_cache::Source;
 use gat_core::{QosController, QosControllerConfig, QosEvent};
-use gat_cpu::{Core, CpuHierarchy, InstructionStream, SpecProfile, StreamGen, TraceStream};
 use gat_cpu::stream::Op;
-use std::sync::Arc;
+use gat_cpu::{Core, CpuHierarchy, InstructionStream, SpecProfile, StreamGen, TraceStream};
 use gat_dram::{SchedCtx, SchedulerKind};
 use gat_gpu::{GameProfile, GpuEvent, GpuPipeline, WorkloadGen};
 use gat_sim::events::{EventBus, Poll, SubscriberId};
@@ -25,6 +24,7 @@ use gat_sim::json::{Arr, Obj};
 use gat_sim::metrics::{MetricsRegistry, RegistrySnapshot};
 use gat_sim::rng::SimRng;
 use gat_sim::{Cycle, GPU_CLOCK_DIVIDER};
+use std::sync::Arc;
 
 /// Capacity of the system's [`RunEvent`] ring. Sized for the densest
 /// stream — per-evaluation throttle adjustments plus frame boundaries —
@@ -209,20 +209,13 @@ impl HeteroSystem {
         let uncore = Uncore::new(&cfg);
         // Escape hatch for bisecting against the reference loop: any
         // non-empty value other than "0" disables fast-forward.
-        let env_off = std::env::var_os("GAT_NO_FASTFORWARD")
-            .is_some_and(|v| !v.is_empty() && v != "0");
+        let env_off =
+            std::env::var_os("GAT_NO_FASTFORWARD").is_some_and(|v| !v.is_empty() && v != "0");
         let fast_forward = cfg.fast_forward && !env_off;
-        let paranoia = std::env::var_os("GAT_PARANOIA")
-            .is_some_and(|v| !v.is_empty() && v != "0");
+        let paranoia = std::env::var_os("GAT_PARANOIA").is_some_and(|v| !v.is_empty() && v != "0");
         let frpu_jitter = cfg.faults.frpu_jitter;
-        let frpu_rng =
-            (frpu_jitter > 0.0).then(|| cfg.faults.rng_root(cfg.seed).fork("frpu"));
-        let label = format!(
-            "{}+{:?}+{:?}",
-            cfg.sched.label(),
-            cfg.fill_policy,
-            cfg.qos
-        );
+        let frpu_rng = (frpu_jitter > 0.0).then(|| cfg.faults.rng_root(cfg.seed).fork("frpu"));
+        let label = format!("{}+{:?}+{:?}", cfg.sched.label(), cfg.fill_policy, cfg.qos);
         Self {
             profiles: cpu_apps.iter().map(|(p, _)| *p).collect(),
             cores,
@@ -521,13 +514,12 @@ impl HeteroSystem {
                 for e in &self.event_buf {
                     if let GpuEvent::FrameComplete { frame, cycles } = *e {
                         let (w_g, boost) = match self.qos.as_ref() {
-                            Some(q) => {
-                                (q.atu.decision().w_g, q.signals(gpu_now).cpu_prio_boost)
-                            }
+                            Some(q) => (q.atu.decision().w_g, q.signals(gpu_now).cpu_prio_boost),
                             None => (0, false),
                         };
-                        let cpu_retired = *retired_memo
-                            .get_or_insert_with(|| self.cores.iter().map(|c| c.retired.get()).sum());
+                        let cpu_retired = *retired_memo.get_or_insert_with(|| {
+                            self.cores.iter().map(|c| c.retired.get()).sum()
+                        });
                         self.run_events.publish(RunEvent::FrameBoundary {
                             cycle: now,
                             frame: frame.into(),
@@ -611,10 +603,7 @@ impl HeteroSystem {
         if let Some(gpu) = self.gpu.as_ref() {
             let next_gpu_tick = now.next_multiple_of(GPU_CLOCK_DIVIDER);
             let g_now = next_gpu_tick / GPU_CLOCK_DIVIDER;
-            let gate_reopen = self
-                .qos
-                .as_ref()
-                .and_then(|q| q.atu.gate_reopens_at(g_now));
+            let gate_reopen = self.qos.as_ref().and_then(|q| q.atu.gate_reopens_at(g_now));
             // An injected stall burst closes the port like the ATU gate;
             // the earlier of the two reopen cycles is a conservative wake
             // (the probe simply re-runs there if the port is still shut).
@@ -851,7 +840,9 @@ impl HeteroSystem {
         if let Some(g) = self.gpu.as_ref() {
             g.check_invariants().map_err(|d| err("gpu", d))?;
         }
-        self.uncore.check_invariants().map_err(|d| err("uncore", d))?;
+        self.uncore
+            .check_invariants()
+            .map_err(|d| err("uncore", d))?;
         if let Some(i) = self.epoch_interval {
             // Epoch monotonicity: the next sample is never scheduled more
             // than one interval out (fast-forward wakes at `next_epoch`).
@@ -962,11 +953,7 @@ impl HeteroSystem {
                 est_error_max: err_max,
                 predicted_frames: predicted,
                 relearn_events: relearn,
-                throttle_w_g: self
-                    .qos
-                    .as_ref()
-                    .map(|q| q.atu.decision().w_g)
-                    .unwrap_or(0),
+                throttle_w_g: self.qos.as_ref().map(|q| q.atu.decision().w_g).unwrap_or(0),
                 gated_cycles: g.stats.gated_cycles.get(),
                 unit_stats: g.unit_stats(),
             }
@@ -996,7 +983,11 @@ impl HeteroSystem {
             lat_n += ch.stats.read_latency.count();
         }
         dram.row_hit_rate = hit_weight / self.uncore.channels.len() as f64;
-        dram.read_latency_mean = if lat_n == 0 { 0.0 } else { lat_sum / lat_n as f64 };
+        dram.read_latency_mean = if lat_n == 0 {
+            0.0
+        } else {
+            lat_sum / lat_n as f64
+        };
         dram.energy_pj = self
             .uncore
             .channels
@@ -1221,7 +1212,10 @@ mod tests {
         let b = HeteroSystem::new(cfg, &apps, Some(game("NFS"))).run();
         assert_eq!(a.cores[0].retired, b.cores[0].retired);
         assert_eq!(a.llc.cpu_misses, b.llc.cpu_misses);
-        assert_eq!(a.gpu.as_ref().unwrap().frames, b.gpu.as_ref().unwrap().frames);
+        assert_eq!(
+            a.gpu.as_ref().unwrap().frames,
+            b.gpu.as_ref().unwrap().frames
+        );
         assert_eq!(a.cycles, b.cycles);
     }
 }

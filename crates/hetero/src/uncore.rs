@@ -20,15 +20,17 @@
 //!   `gpu_urgent` signals through [`SchedCtx`].
 
 use crate::config::{FillPolicyKind, MachineConfig};
-use gat_cache::{AccessKind, BlockReq, CacheConfig, MemPort, MshrFile, MshrOutcome, SetAssocCache, Source};
+use gat_cache::{
+    AccessKind, BlockReq, CacheConfig, MemPort, MshrFile, MshrOutcome, SetAssocCache, Source,
+};
 use gat_dram::{Completion, DramChannel, DramRequest, SchedCtx};
 use gat_policies::{BypassAllGpuReads, FillDecision, Helm, InsertAll, LlcFillPolicy};
 use gat_ring::{Ring, RingTopology, StopId};
 use gat_sim::addr::line_of;
 use gat_sim::faults::DelayInjector;
+use gat_sim::hashing::FastMap;
 use gat_sim::stats::Counter;
 use gat_sim::{Cycle, DRAM_CLOCK_DIVIDER};
-use gat_sim::hashing::FastMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Stage {
@@ -344,12 +346,7 @@ impl Uncore {
     }
 
     /// LLC fill honouring the static way-partitioning ablation.
-    fn llc_fill(
-        &mut self,
-        addr: u64,
-        source: Source,
-        dirty: bool,
-    ) -> Option<gat_cache::Evicted> {
+    fn llc_fill(&mut self, addr: u64, source: Source, dirty: bool) -> Option<gat_cache::Evicted> {
         match self.cfg.gpu_llc_ways {
             Some(k) => {
                 let ways = self.cfg.llc_ways;
@@ -406,7 +403,8 @@ impl Uncore {
                 if self.resp_due[i].0 <= now {
                     let (_, id) = self.resp_due.swap_remove(i);
                     if let Some(txn) = self.txns.get(&id).copied() {
-                        self.ring.send(now, llc_stop, self.stop_of(txn.requester), id);
+                        self.ring
+                            .send(now, llc_stop, self.stop_of(txn.requester), id);
                     }
                 } else {
                     remaining = remaining.min(self.resp_due[i].0);
@@ -423,7 +421,8 @@ impl Uncore {
                     let (_, id) = self.miss_due.swap_remove(i);
                     if let Some(txn) = self.txns.get(&id).copied() {
                         let ch = self.channel_of(&txn);
-                        self.ring.send(now, llc_stop, StopId(self.cfg.mc_stop(ch)), id);
+                        self.ring
+                            .send(now, llc_stop, StopId(self.cfg.mc_stop(ch)), id);
                     }
                 } else {
                     remaining = remaining.min(self.miss_due[i].0);
@@ -650,7 +649,10 @@ impl Uncore {
     /// Total faulted events across the DRAM and ring injectors
     /// (diagnostics; 0 without a fault plan).
     pub fn faults_injected(&self) -> u64 {
-        self.channels.iter().map(|c| c.faults_injected()).sum::<u64>()
+        self.channels
+            .iter()
+            .map(|c| c.faults_injected())
+            .sum::<u64>()
             + self.ring.faults_injected()
     }
 
@@ -756,7 +758,15 @@ mod tests {
     #[test]
     fn second_read_hits_and_is_much_faster() {
         let mut u = uncore();
-        u.try_request(0, Source::Cpu(0), BlockReq { token: 1, addr: 0x2000, write: false });
+        u.try_request(
+            0,
+            Source::Cpu(0),
+            BlockReq {
+                token: 1,
+                addr: 0x2000,
+                write: false,
+            },
+        );
         let mut out = Vec::new();
         let mut miss_done = 0;
         for now in 0..3000 {
@@ -765,11 +775,22 @@ mod tests {
             if !out.is_empty() && miss_done == 0 {
                 miss_done = now;
                 out.clear();
-                u.try_request(now, Source::Cpu(0), BlockReq { token: 2, addr: 0x2000, write: false });
+                u.try_request(
+                    now,
+                    Source::Cpu(0),
+                    BlockReq {
+                        token: 2,
+                        addr: 0x2000,
+                        write: false,
+                    },
+                );
             } else if !out.is_empty() {
                 // Hit latency ≈ ring + LLC lookup, far below miss latency.
                 let hit_latency = now - miss_done;
-                assert!(hit_latency < miss_done / 2, "hit {hit_latency} vs miss {miss_done}");
+                assert!(
+                    hit_latency < miss_done / 2,
+                    "hit {hit_latency} vs miss {miss_done}"
+                );
                 return;
             }
         }
@@ -779,8 +800,24 @@ mod tests {
     #[test]
     fn mshr_merges_cross_core_requests() {
         let mut u = uncore();
-        u.try_request(0, Source::Cpu(0), BlockReq { token: 10, addr: 0x3000, write: false });
-        u.try_request(0, Source::Cpu(1), BlockReq { token: 20, addr: 0x3000, write: false });
+        u.try_request(
+            0,
+            Source::Cpu(0),
+            BlockReq {
+                token: 10,
+                addr: 0x3000,
+                write: false,
+            },
+        );
+        u.try_request(
+            0,
+            Source::Cpu(1),
+            BlockReq {
+                token: 20,
+                addr: 0x3000,
+                write: false,
+            },
+        );
         let done = run_for(&mut u, 0, 2000);
         assert_eq!(done.len(), 2, "both requesters answered");
         // Only one DRAM read happened.
@@ -797,11 +834,15 @@ mod tests {
         // 64 distinct blocks from core 0 guarantee evictions.
         let mut now = 0;
         for i in 0..64u64 {
-            while !u.try_request(now, Source::Cpu(0), BlockReq {
-                token: i,
-                addr: i * 64,
-                write: false,
-            }) {
+            while !u.try_request(
+                now,
+                Source::Cpu(0),
+                BlockReq {
+                    token: i,
+                    addr: i * 64,
+                    write: false,
+                },
+            ) {
                 u.tick(now, SchedCtx::default());
                 now += 1;
             }
@@ -823,11 +864,15 @@ mod tests {
         let mut u = Uncore::new(&cfg);
         let mut now = 0;
         for i in 0..64u64 {
-            while !u.try_request(now, Source::Gpu, BlockReq {
-                token: i,
-                addr: (1 << 41) + i * 64,
-                write: false,
-            }) {
+            while !u.try_request(
+                now,
+                Source::Gpu,
+                BlockReq {
+                    token: i,
+                    addr: (1 << 41) + i * 64,
+                    write: false,
+                },
+            ) {
                 u.tick(now, SchedCtx::default());
                 now += 1;
             }
@@ -844,7 +889,15 @@ mod tests {
     #[test]
     fn gpu_write_allocates_without_dram_read() {
         let mut u = uncore();
-        u.try_request(0, Source::Gpu, BlockReq { token: 0, addr: 1 << 41, write: true });
+        u.try_request(
+            0,
+            Source::Gpu,
+            BlockReq {
+                token: 0,
+                addr: 1 << 41,
+                write: true,
+            },
+        );
         let _ = run_for(&mut u, 0, 500);
         assert!(u.llc.probe(1 << 41), "write-allocated in LLC");
         let reads: u64 = u.channels.iter().map(|c| c.stats.reads.get()).sum();
@@ -856,7 +909,15 @@ mod tests {
         let mut cfg = MachineConfig::table_one(16, 7);
         cfg.fill_policy = FillPolicyKind::BypassAll;
         let mut u = Uncore::new(&cfg);
-        u.try_request(0, Source::Gpu, BlockReq { token: 5, addr: 1 << 41, write: false });
+        u.try_request(
+            0,
+            Source::Gpu,
+            BlockReq {
+                token: 5,
+                addr: 1 << 41,
+                write: false,
+            },
+        );
         let done = run_for(&mut u, 0, 2000);
         assert_eq!(done.len(), 1, "data still delivered");
         assert!(!u.llc.probe(1 << 41), "fill bypassed the LLC");
@@ -871,11 +932,15 @@ mod tests {
         let mut now = 0;
         // GPU dirty writes fill the tiny LLC, then keep evicting.
         for i in 0..128u64 {
-            while !u.try_request(now, Source::Gpu, BlockReq {
-                token: 0,
-                addr: (1 << 41) + i * 64,
-                write: true,
-            }) {
+            while !u.try_request(
+                now,
+                Source::Gpu,
+                BlockReq {
+                    token: 0,
+                    addr: (1 << 41) + i * 64,
+                    write: true,
+                },
+            ) {
                 u.tick(now, SchedCtx::default());
                 now += 1;
             }
@@ -890,7 +955,11 @@ mod tests {
         }
         let writes: u64 = u.channels.iter().map(|c| c.stats.writes.get()).sum();
         assert!(writes > 0, "dirty victims must be written to DRAM");
-        let gpu_wb: u64 = u.channels.iter().map(|c| c.stats.gpu_write_bytes.get()).sum();
+        let gpu_wb: u64 = u
+            .channels
+            .iter()
+            .map(|c| c.stats.gpu_write_bytes.get())
+            .sum();
         assert!(gpu_wb > 0, "and attributed to the GPU");
     }
 
@@ -902,11 +971,15 @@ mod tests {
         let mut u = Uncore::new(&cfg);
         let mut now = 0;
         for i in 0..128u64 {
-            while !u.try_request(now, Source::Gpu, BlockReq {
-                token: i,
-                addr: (1 << 41) + i * 64,
-                write: false,
-            }) {
+            while !u.try_request(
+                now,
+                Source::Gpu,
+                BlockReq {
+                    token: i,
+                    addr: (1 << 41) + i * 64,
+                    write: false,
+                },
+            ) {
                 u.tick(now, SchedCtx::default());
                 now += 1;
             }
@@ -916,7 +989,10 @@ mod tests {
             }
         }
         let gpu_lines = u.llc.count_lines_where(|s, _| s.is_gpu());
-        assert!(gpu_lines <= 2 * 4, "GPU confined to 4 ways/set: {gpu_lines}");
+        assert!(
+            gpu_lines <= 2 * 4,
+            "GPU confined to 4 ways/set: {gpu_lines}"
+        );
     }
 
     #[test]
@@ -931,7 +1007,15 @@ mod tests {
             } else {
                 (Source::Gpu, (1 << 41) + i * 64)
             };
-            while !u.try_request(now, src, BlockReq { token: i, addr, write: false }) {
+            while !u.try_request(
+                now,
+                src,
+                BlockReq {
+                    token: i,
+                    addr,
+                    write: false,
+                },
+            ) {
                 u.tick(now, SchedCtx::default());
                 now += 1;
             }
@@ -940,8 +1024,16 @@ mod tests {
             u.tick(now, SchedCtx::default());
             now += 1;
         }
-        assert_eq!(u.channels[0].stats.gpu_read_bytes.get(), 0, "channel 0 is CPU-only");
-        assert_eq!(u.channels[1].stats.cpu_read_bytes.get(), 0, "channel 1 is GPU-only");
+        assert_eq!(
+            u.channels[0].stats.gpu_read_bytes.get(),
+            0,
+            "channel 0 is CPU-only"
+        );
+        assert_eq!(
+            u.channels[1].stats.cpu_read_bytes.get(),
+            0,
+            "channel 1 is GPU-only"
+        );
         assert!(u.channels[0].stats.cpu_read_bytes.get() > 0);
         assert!(u.channels[1].stats.gpu_read_bytes.get() > 0);
     }
@@ -1026,11 +1118,15 @@ mod tests {
         let mut u = Uncore::new(&cfg);
         let mut accepted = 0;
         for i in 0..64u64 {
-            if u.try_request(0, Source::Cpu(0), BlockReq {
-                token: i,
-                addr: i * 4096,
-                write: false,
-            }) {
+            if u.try_request(
+                0,
+                Source::Cpu(0),
+                BlockReq {
+                    token: i,
+                    addr: i * 4096,
+                    write: false,
+                },
+            ) {
                 accepted += 1;
             }
             // Deliver ring messages into the queue.

@@ -12,7 +12,7 @@
 //! (so heavy GPU fill traffic does add cycles), but not flit-level
 //! wormhole detail.
 
-use gat_sim::{Cycle, faults::DelayInjector, stats::Counter};
+use gat_sim::{faults::DelayInjector, stats::Counter, Cycle};
 
 /// A stop (agent attachment point) on the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -360,7 +360,11 @@ mod tests {
         let mut r = Ring::new(TOPO);
         r.set_fault_injector(DelayInjector::new(1.0, 50, 1, SimRng::new(3).fork("ring")));
         let t = r.send(0, StopId(0), StopId(1), 7);
-        assert_eq!(r.next_delivery(), Some(t), "probe horizon covers the replay");
+        assert_eq!(
+            r.next_delivery(),
+            Some(t),
+            "probe horizon covers the replay"
+        );
         assert_eq!(r.faults_injected(), 1);
         let mut out = Vec::new();
         r.drain_delivered(t - 1, &mut out);

@@ -169,7 +169,8 @@ impl FaultPlan {
             match key {
                 "seed" => plan.seed = Some(value.parse().map_err(|_| bad("expected u64"))?),
                 "dram.bounce" => {
-                    plan.dram.bounce = parse_probability(value).ok_or_else(|| bad("expected probability in [0,1]"))?;
+                    plan.dram.bounce = parse_probability(value)
+                        .ok_or_else(|| bad("expected probability in [0,1]"))?;
                 }
                 "dram.backoff" => {
                     plan.dram.backoff = value.parse().map_err(|_| bad("expected u64"))?;
@@ -178,7 +179,8 @@ impl FaultPlan {
                     plan.dram.retries = value.parse().map_err(|_| bad("expected u32"))?;
                 }
                 "ring.drop" => {
-                    plan.ring.drop = parse_probability(value).ok_or_else(|| bad("expected probability in [0,1]"))?;
+                    plan.ring.drop = parse_probability(value)
+                        .ok_or_else(|| bad("expected probability in [0,1]"))?;
                 }
                 "ring.replay" => {
                     plan.ring.replay = value.parse().map_err(|_| bad("expected u64"))?;
@@ -291,14 +293,20 @@ impl std::fmt::Display for FaultSpecError {
                 write!(f, "bad value {value:?} for fault key {key:?}: {reason}")
             }
             Self::IncompleteStallWindow => {
-                write!(f, "gpu.stall.period and gpu.stall.len must be given together")
+                write!(
+                    f,
+                    "gpu.stall.period and gpu.stall.len must be given together"
+                )
             }
             Self::BadStallWindow { period, len } => write!(
                 f,
                 "gpu stall window needs 0 < len < period (got period={period}, len={len})"
             ),
             Self::DegenerateDram => {
-                write!(f, "dram.bounce > 0 needs dram.backoff > 0 and dram.retries > 0")
+                write!(
+                    f,
+                    "dram.bounce > 0 needs dram.backoff > 0 and dram.retries > 0"
+                )
             }
             Self::DegenerateRing => write!(f, "ring.drop > 0 needs ring.replay > 0"),
         }

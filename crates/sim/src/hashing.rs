@@ -78,7 +78,10 @@ mod tests {
         for i in 0..64u64 {
             low_bits.insert(b.hash_one(i << 6) & 0x3F);
         }
-        assert!(low_bits.len() > 32, "low bucket bits collapse: {low_bits:?}");
+        assert!(
+            low_bits.len() > 32,
+            "low bucket bits collapse: {low_bits:?}"
+        );
     }
 
     #[test]

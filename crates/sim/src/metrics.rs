@@ -315,7 +315,12 @@ mod tests {
         b.counter("a.first");
         b.counter("z.last");
         assert_eq!(a.snapshot(0).to_json(), b.snapshot(0).to_json());
-        let keys: Vec<_> = a.snapshot(0).entries.iter().map(|(k, _)| k.clone()).collect();
+        let keys: Vec<_> = a
+            .snapshot(0)
+            .entries
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         assert_eq!(keys, ["a.first", "m.middle", "z.last"]);
     }
 

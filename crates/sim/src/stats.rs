@@ -164,7 +164,11 @@ impl Log2Histogram {
 
     #[inline]
     pub fn record(&mut self, v: u64) {
-        let b = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let b = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.total += 1;
     }

@@ -46,8 +46,7 @@ fn calibrated(
         scene_cut_period,
         table2_fps: table_fps,
     };
-    let frags_per_frame =
-        f64::from(g.tiles(1)) * g.frags_per_tile * f64::from(g.rtps_per_frame);
+    let frags_per_frame = f64::from(g.tiles(1)) * g.frags_per_tile * f64::from(g.rtps_per_frame);
     g.shade_rate = frags_per_frame * table_fps * headroom / 1e9;
     g.validate();
     g
@@ -66,21 +65,189 @@ pub fn all_games() -> Vec<GameProfile> {
     use Api::{DirectX as DX, OpenGl as GL};
     vec![
         // Heavy multi-pass benchmark scenes: single-digit FPS.
-        calibrated("3DMark06GT1", DX, R1, (670, 671), 8, 820.0, 3.20, 256 << 20, 6.0, 1.35, 0),
-        calibrated("3DMark06GT2", DX, R1, (500, 501), 7, 760.0, 2.88, 256 << 20, 13.8, 1.35, 0),
-        calibrated("3DMark06HDR1", DX, R1, (600, 601), 6, 800.0, 2.72, 192 << 20, 16.0, 1.30, 0),
-        calibrated("3DMark06HDR2", DX, R1, (550, 551), 6, 780.0, 2.72, 192 << 20, 20.8, 1.30, 0),
-        calibrated("COD2", DX, R2, (208, 209), 5, 700.0, 2.40, 192 << 20, 18.1, 1.30, 0),
-        calibrated("CRYSIS", DX, R2, (400, 401), 8, 760.0, 3.52, 320 << 20, 6.6, 1.35, 0),
+        calibrated(
+            "3DMark06GT1",
+            DX,
+            R1,
+            (670, 671),
+            8,
+            820.0,
+            3.20,
+            256 << 20,
+            6.0,
+            1.35,
+            0,
+        ),
+        calibrated(
+            "3DMark06GT2",
+            DX,
+            R1,
+            (500, 501),
+            7,
+            760.0,
+            2.88,
+            256 << 20,
+            13.8,
+            1.35,
+            0,
+        ),
+        calibrated(
+            "3DMark06HDR1",
+            DX,
+            R1,
+            (600, 601),
+            6,
+            800.0,
+            2.72,
+            192 << 20,
+            16.0,
+            1.30,
+            0,
+        ),
+        calibrated(
+            "3DMark06HDR2",
+            DX,
+            R1,
+            (550, 551),
+            6,
+            780.0,
+            2.72,
+            192 << 20,
+            20.8,
+            1.30,
+            0,
+        ),
+        calibrated(
+            "COD2",
+            DX,
+            R2,
+            (208, 209),
+            5,
+            700.0,
+            2.40,
+            192 << 20,
+            18.1,
+            1.30,
+            0,
+        ),
+        calibrated(
+            "CRYSIS",
+            DX,
+            R2,
+            (400, 401),
+            8,
+            760.0,
+            3.52,
+            320 << 20,
+            6.6,
+            1.35,
+            0,
+        ),
         // Lean forward renderers: high FPS, throttling candidates.
-        calibrated("DOOM3", GL, R3, (300, 314), 4, 640.0, 1.60, 128 << 20, 81.0, 1.45, 7),
-        calibrated("HL2", DX, R3, (25, 33), 3, 680.0, 1.60, 128 << 20, 75.9, 1.40, 0),
-        calibrated("L4D", DX, R1, (601, 605), 4, 700.0, 1.92, 160 << 20, 32.5, 1.30, 0),
-        calibrated("NFS", DX, R1, (10, 17), 3, 640.0, 1.76, 128 << 20, 62.3, 1.40, 0),
-        calibrated("QUAKE4", GL, R3, (300, 309), 4, 620.0, 1.60, 128 << 20, 80.8, 1.60, 0),
-        calibrated("COR", GL, R1, (253, 267), 3, 560.0, 1.28, 96 << 20, 111.0, 1.45, 8),
-        calibrated("UT2004", GL, R3, (200, 217), 2, 560.0, 1.12, 96 << 20, 130.7, 1.45, 9),
-        calibrated("UT3", DX, R1, (955, 956), 5, 720.0, 2.40, 192 << 20, 26.8, 1.30, 0),
+        calibrated(
+            "DOOM3",
+            GL,
+            R3,
+            (300, 314),
+            4,
+            640.0,
+            1.60,
+            128 << 20,
+            81.0,
+            1.45,
+            7,
+        ),
+        calibrated(
+            "HL2",
+            DX,
+            R3,
+            (25, 33),
+            3,
+            680.0,
+            1.60,
+            128 << 20,
+            75.9,
+            1.40,
+            0,
+        ),
+        calibrated(
+            "L4D",
+            DX,
+            R1,
+            (601, 605),
+            4,
+            700.0,
+            1.92,
+            160 << 20,
+            32.5,
+            1.30,
+            0,
+        ),
+        calibrated(
+            "NFS",
+            DX,
+            R1,
+            (10, 17),
+            3,
+            640.0,
+            1.76,
+            128 << 20,
+            62.3,
+            1.40,
+            0,
+        ),
+        calibrated(
+            "QUAKE4",
+            GL,
+            R3,
+            (300, 309),
+            4,
+            620.0,
+            1.60,
+            128 << 20,
+            80.8,
+            1.60,
+            0,
+        ),
+        calibrated(
+            "COR",
+            GL,
+            R1,
+            (253, 267),
+            3,
+            560.0,
+            1.28,
+            96 << 20,
+            111.0,
+            1.45,
+            8,
+        ),
+        calibrated(
+            "UT2004",
+            GL,
+            R3,
+            (200, 217),
+            2,
+            560.0,
+            1.12,
+            96 << 20,
+            130.7,
+            1.45,
+            9,
+        ),
+        calibrated(
+            "UT3",
+            DX,
+            R1,
+            (955, 956),
+            5,
+            720.0,
+            2.40,
+            192 << 20,
+            26.8,
+            1.30,
+            0,
+        ),
     ]
 }
 

@@ -35,19 +35,17 @@ fn main() {
     println!("frame  phase       mid-frame prediction   actual    error");
     println!("------------------------------------------------------------");
 
-    let report = |i: usize, frpu: &FrameRateEstimator, pred: Option<f64>, actual: u64| {
-        match pred {
-            Some(p) => println!(
-                "{i:>5}  {:<10}  {p:>20.0}  {actual:>8}  {:+6.2}%",
-                format!("{:?}", frpu.phase()),
-                100.0 * (p - actual as f64) / actual as f64
-            ),
-            None => println!(
-                "{i:>5}  {:<10}  {:>20}  {actual:>8}",
-                format!("{:?}", frpu.phase()),
-                "(learning)"
-            ),
-        }
+    let report = |i: usize, frpu: &FrameRateEstimator, pred: Option<f64>, actual: u64| match pred {
+        Some(p) => println!(
+            "{i:>5}  {:<10}  {p:>20.0}  {actual:>8}  {:+6.2}%",
+            format!("{:?}", frpu.phase()),
+            100.0 * (p - actual as f64) / actual as f64
+        ),
+        None => println!(
+            "{i:>5}  {:<10}  {:>20}  {actual:>8}",
+            format!("{:?}", frpu.phase()),
+            "(learning)"
+        ),
     };
 
     // Phase 1: steady 4-RTP frames — learning, then near-perfect predictions.
@@ -63,7 +61,11 @@ fn main() {
         let (pred, actual) = feed_frame(&mut frpu, 4, 1000, 3250);
         report(i, &frpu, pred, actual);
     }
-    assert_eq!(frpu.phase(), Phase::Predicting, "cycle change must not relearn");
+    assert_eq!(
+        frpu.phase(),
+        Phase::Predicting,
+        "cycle change must not relearn"
+    );
 
     // Phase 3: scene cut — the per-RTP work changes drastically; the FRPU
     // discards its model and re-learns (point B of Fig. 4).

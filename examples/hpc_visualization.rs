@@ -17,7 +17,10 @@ use gat::prelude::*;
 fn main() {
     let solver = [spec(470), spec(410), spec(437), spec(433)];
     let vis = game("QUAKE4");
-    println!("solver: lbm + bwaves + leslie3d + milc   visualization: {}", vis.name);
+    println!(
+        "solver: lbm + bwaves + leslie3d + milc   visualization: {}",
+        vis.name
+    );
 
     let limits = RunLimits {
         cpu_instructions: 400_000,
@@ -52,8 +55,10 @@ fn main() {
     );
     println!(
         "GPU DRAM share        {:7.1}%    {:7.1}%",
-        100.0 * base.dram.gpu_bytes() as f64 / (base.dram.gpu_bytes() + base.dram.cpu_bytes()).max(1) as f64,
-        100.0 * prop.dram.gpu_bytes() as f64 / (prop.dram.gpu_bytes() + prop.dram.cpu_bytes()).max(1) as f64,
+        100.0 * base.dram.gpu_bytes() as f64
+            / (base.dram.gpu_bytes() + base.dram.cpu_bytes()).max(1) as f64,
+        100.0 * prop.dram.gpu_bytes() as f64
+            / (prop.dram.gpu_bytes() + prop.dram.cpu_bytes()).max(1) as f64,
     );
     let g = prop.gpu.as_ref().unwrap();
     println!(

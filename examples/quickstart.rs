@@ -35,7 +35,10 @@ fn main() {
 
     let (gb, gp) = (base.gpu.as_ref().unwrap(), prop.gpu.as_ref().unwrap());
     println!("\n                     baseline    proposal");
-    println!("GPU FPS              {:8.1}    {:8.1}   (target 40)", gb.fps, gp.fps);
+    println!(
+        "GPU FPS              {:8.1}    {:8.1}   (target 40)",
+        gb.fps, gp.fps
+    );
     for (cb, cp) in base.cores.iter().zip(&prop.cores) {
         println!(
             "CPU {} {:<12} IPC {:5.2}    IPC {:5.2}   ({:+.1}%)",

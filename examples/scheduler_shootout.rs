@@ -17,9 +17,14 @@ fn main() {
     let mix = mix_m(k);
     println!(
         "mix M{k}: {} ({} FPS standalone in Table II) + CPUs {}",
-        mix.game.name, mix.game.table2_fps, mix.cpu_label()
+        mix.game.name,
+        mix.game.table2_fps,
+        mix.cpu_label()
     );
-    println!("{:<14} {:>8} {:>10} {:>12}", "proposal", "GPU FPS", "ΣIPC", "vs baseline");
+    println!(
+        "{:<14} {:>8} {:>10} {:>12}",
+        "proposal", "GPU FPS", "ΣIPC", "vs baseline"
+    );
 
     let limits = RunLimits {
         cpu_instructions: 300_000,

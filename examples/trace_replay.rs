@@ -81,7 +81,6 @@ fn main() {
         (spec(462), None),
         (spec(410), None),
     ];
-    let result =
-        HeteroSystem::new_with_sources(cfg, &sources, Some(game("DOOM3"))).run();
+    let result = HeteroSystem::new_with_sources(cfg, &sources, Some(game("DOOM3"))).run();
     print!("{}", result.render_report());
 }

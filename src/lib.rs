@@ -57,7 +57,9 @@ pub use gat_workloads as workloads;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use gat_core::{AccessThrottler, FrameRateEstimator, FrpuConfig, QosController, QosControllerConfig};
+    pub use gat_core::{
+        AccessThrottler, FrameRateEstimator, FrpuConfig, QosController, QosControllerConfig,
+    };
     pub use gat_dram::SchedulerKind;
     pub use gat_hetero::experiments::{self, ExpConfig};
     pub use gat_hetero::{
@@ -65,7 +67,9 @@ pub mod prelude {
         RunResult, SimError,
     };
     pub use gat_sim::faults::{FaultPlan, FaultSpecError};
-    pub use gat_workloads::{all_games, all_spec, amenable_games, game, mix_m, mix_w, mixes_m, mixes_w, spec, Mix};
+    pub use gat_workloads::{
+        all_games, all_spec, amenable_games, game, mix_m, mix_w, mixes_m, mixes_w, spec, Mix,
+    };
 }
 
 #[cfg(test)]

@@ -66,8 +66,16 @@ fn zero_fault_plan_matches_the_goldens() {
             .join(name);
         std::fs::read_to_string(&path).expect("golden fixture present")
     };
-    assert_eq!(events, golden("m7_smoke_events.jsonl"), "event stream diverged");
-    assert_eq!(result_json, golden("m7_smoke_result.json"), "result JSON diverged");
+    assert_eq!(
+        events,
+        golden("m7_smoke_events.jsonl"),
+        "event stream diverged"
+    );
+    assert_eq!(
+        result_json,
+        golden("m7_smoke_result.json"),
+        "result JSON diverged"
+    );
 }
 
 /// A heavy plan visibly perturbs the run (no silent no-op injectors), and
@@ -154,7 +162,10 @@ fn frpu_noise_degrades_qos_instead_of_failing() {
         .iter()
         .map(|e| e.to_json() + "\n")
         .collect();
-    assert!(events.contains("\"kind\":\"degraded\""), "no degraded event:\n{events}");
+    assert!(
+        events.contains("\"kind\":\"degraded\""),
+        "no degraded event:\n{events}"
+    );
 }
 
 proptest! {

@@ -37,7 +37,10 @@ fn fig1_2_exports_are_byte_identical_across_thread_counts() {
         );
         let (ja, jb) = (a.to_json(), b.to_json());
         validate_json_line(&ja).unwrap();
-        assert_eq!(ja, jb, "JSONL export differs between threads=1 and threads=8");
+        assert_eq!(
+            ja, jb,
+            "JSONL export differs between threads=1 and threads=8"
+        );
     }
 }
 

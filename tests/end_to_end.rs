@@ -28,7 +28,10 @@ fn throttling_holds_fps_near_target_and_helps_cpu() {
 
     let fps_base = base.gpu.as_ref().unwrap().fps;
     let fps_prop = prop.gpu.as_ref().unwrap().fps;
-    assert!(fps_base > 45.0, "baseline hetero DOOM3 ≈ 60-90 FPS, got {fps_base}");
+    assert!(
+        fps_base > 45.0,
+        "baseline hetero DOOM3 ≈ 60-90 FPS, got {fps_base}"
+    );
     assert!(
         fps_prop > 30.0 && fps_prop < fps_base,
         "throttled FPS {fps_prop} must sit near the 40 target, below {fps_base}"
@@ -53,9 +56,8 @@ fn throttling_reduces_gpu_bandwidth_and_inflates_gpu_misses() {
     let thr = HeteroSystem::new(cfg, &mix.cpu, Some(mix.game.clone())).run();
 
     // Miss *rate* per frame rises (Fig. 10 left).
-    let mpf = |r: &RunResult| {
-        r.llc.gpu_misses as f64 / r.gpu.as_ref().unwrap().frames.max(1) as f64
-    };
+    let mpf =
+        |r: &RunResult| r.llc.gpu_misses as f64 / r.gpu.as_ref().unwrap().frames.max(1) as f64;
     assert!(
         mpf(&thr) > mpf(&base) * 1.05,
         "throttling must age GPU blocks out of the LLC: {} vs {}",
@@ -201,9 +203,7 @@ fn weighted_speedup_is_sane() {
     let alone: Vec<f64> = mix
         .cpu
         .iter()
-        .map(|p| {
-            HeteroSystem::new(smoke(4, 16), &[*p], None).run().cores[0].ipc
-        })
+        .map(|p| HeteroSystem::new(smoke(4, 16), &[*p], None).run().cores[0].ipc)
         .collect();
     let hetero = HeteroSystem::new(smoke(4, 16), &mix.cpu, Some(mix.game.clone())).run();
     let ws = hetero.weighted_speedup(&alone);

@@ -73,7 +73,10 @@ fn golden_config_is_ff_invariant() {
     cfg.qos = QosMode::ThrotCpuPrio;
     cfg.sched = SchedulerKind::FrFcfsCpuPrio;
     let skipped = assert_equivalent(cfg, &mix);
-    assert!(skipped > 0, "fast-forward never engaged on the golden config");
+    assert!(
+        skipped > 0,
+        "fast-forward never engaged on the golden config"
+    );
 }
 
 /// The single-core §II motivation machine is where quiescent spans are
@@ -85,7 +88,10 @@ fn motivation_config_is_ff_invariant() {
     let mut cfg = MachineConfig::motivation(128, 17);
     cfg.limits = tiny_limits();
     let skipped = assert_equivalent(cfg, &mix);
-    assert!(skipped > 0, "fast-forward never engaged on the motivation config");
+    assert!(
+        skipped > 0,
+        "fast-forward never engaged on the motivation config"
+    );
 }
 
 proptest! {

@@ -71,7 +71,11 @@ fn fig8_driver_reports_errors_for_all_games() {
             r.error_mean
         );
     }
-    assert!(f.average_abs_error() < 25.0, "avg error {}", f.average_abs_error());
+    assert!(
+        f.average_abs_error() < 25.0,
+        "avg error {}",
+        f.average_abs_error()
+    );
     assert!(f.table().render().contains("UT2004"));
 }
 
@@ -90,7 +94,12 @@ fn fig9_10_11_driver_full_shape() {
             assert!(w > 0.5 && w < 2.0, "{}: ws {w}", r.game);
         }
     }
-    for t in [e.fig9_fps_table(), e.fig9_ws_table(), e.fig10_table(), e.fig11_table()] {
+    for t in [
+        e.fig9_fps_table(),
+        e.fig9_ws_table(),
+        e.fig10_table(),
+        e.fig11_table(),
+    ] {
         assert!(!t.render().is_empty());
     }
 }
@@ -106,7 +115,10 @@ fn fig12_comparison_driver() {
         for f in r.fps {
             assert!(f > 0.0, "{}: zero FPS", r.mix);
         }
-        assert!((r.ws_norm[0] - 1.0).abs() < 1e-9, "baseline normalizes to 1");
+        assert!(
+            (r.ws_norm[0] - 1.0).abs() < 1e-9,
+            "baseline normalizes to 1"
+        );
     }
     assert!(c.fps_table().render().contains("ThrotCPUprio"));
 }

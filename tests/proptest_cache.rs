@@ -1,7 +1,9 @@
 //! Property tests: the set-associative cache against a reference model,
 //! and MSHR bookkeeping invariants.
 
-use gat::cache::{AccessKind, CacheConfig, MshrFile, MshrOutcome, ReplacementPolicy, SetAssocCache, Source};
+use gat::cache::{
+    AccessKind, CacheConfig, MshrFile, MshrOutcome, ReplacementPolicy, SetAssocCache, Source,
+};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet, VecDeque};
 

@@ -22,7 +22,11 @@ fn drive(
     for (i, &(seed, write, gpu)) in reqs.iter().enumerate() {
         let addr = (seed % (1 << 20)) * 64;
         // Keep requests on this channel.
-        let addr = if MAP.decompose(addr).channel == 0 { addr } else { addr + 64 };
+        let addr = if MAP.decompose(addr).channel == 0 {
+            addr
+        } else {
+            addr + 64
+        };
         while !ch.can_accept() {
             ch.tick(now, ctx);
             ch.drain_completions(now, &mut out);

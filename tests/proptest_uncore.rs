@@ -23,7 +23,11 @@ fn drive(
     let mut done = Vec::new();
     let mut completions = Vec::new();
     for (i, &(gpu, write, seed)) in reqs.iter().enumerate() {
-        let source = if gpu { Source::Gpu } else { Source::Cpu((seed % 4) as u8) };
+        let source = if gpu {
+            Source::Gpu
+        } else {
+            Source::Cpu((seed % 4) as u8)
+        };
         let addr = if gpu {
             (1u64 << 40) + (seed % (1 << 22)) * 64
         } else {

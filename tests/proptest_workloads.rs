@@ -10,14 +10,14 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = SpecProfile> {
     (
-        20u32..28,          // log2 working set: 1 MB .. 128 MB
-        0.05f64..0.6,       // mem fraction
-        0.0f64..0.6,        // write fraction
+        20u32..28,    // log2 working set: 1 MB .. 128 MB
+        0.05f64..0.6, // mem fraction
+        0.0f64..0.6,  // write fraction
         prop::collection::vec(0.0f64..1.0, 3),
-        0.3f64..1.0,        // hot fraction
-        1u8..6,             // chase chains
-        0.0f64..10.0,       // branch mpki
-        0.5f64..3.5,        // base ipc
+        0.3f64..1.0,  // hot fraction
+        1u8..6,       // chase chains
+        0.0f64..10.0, // branch mpki
+        0.5f64..3.5,  // base ipc
     )
         .prop_map(|(ws, mem, wr, mix, hot, chains, mpki, ipc)| {
             // Normalize the pattern mix to sum below 1.

@@ -119,7 +119,9 @@ fn table3_mix_compositions() {
         assert_eq!(m.game.name, *game_name, "M{}", i + 1);
         assert_eq!(&m.cpu_label(), cpus, "M{}", i + 1);
     }
-    let expect_w = [481, 471, 470, 482, 470, 429, 462, 403, 462, 437, 410, 434, 450, 434];
+    let expect_w = [
+        481, 471, 470, 482, 470, 429, 462, 403, 462, 437, 410, 434, 450, 434,
+    ];
     for (i, id) in expect_w.iter().enumerate() {
         assert_eq!(mix_w(i + 1).cpu[0].spec_id, *id, "W{}", i + 1);
     }
