@@ -7,6 +7,19 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# ---- Static analysis (DESIGN.md §10): fail fast, before anything builds.
+echo "== static analysis: fmt --check =="
+cargo fmt --check
+
+echo "== static analysis: gat-lint (workspace determinism linter) =="
+# Rules R1-R6: hash-order, ambient nondeterminism, RNG discipline,
+# library printing, NaN-unsafe ordering, docs/source drift.
+cargo run --release -q -p gat-lint
+
+echo "== static analysis: clippy -D warnings =="
+# Curated allow-list lives in [workspace.lints] in Cargo.toml.
+cargo clippy --all-targets -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release
 

@@ -220,6 +220,10 @@ impl Sms {
             batch_cap: 8,
             age_limit: 8,
             rr_next: 0,
+            // Constructed once from the machine seed at config time; the
+            // "sms" fork label keeps the policy coin's stream disjoint from
+            // every other consumer of the same seed.
+            // gat-lint: allow(R3, "config-time seeding of the SMS policy coin; stream is namespaced by fork label")
             rng: SimRng::new(seed).fork("sms"),
         }
     }

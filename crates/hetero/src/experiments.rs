@@ -24,7 +24,7 @@ use gat_core::ConfigError;
 use gat_dram::SchedulerKind;
 use gat_sim::faults::FaultPlan;
 use gat_workloads::{mixes_m, mixes_w, Mix, AMENABLE_NAMES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parameters shared by all experiment drivers.
 #[derive(Debug, Clone)]
@@ -53,6 +53,10 @@ impl Default for ExpConfig {
                 max_cycles: 4_000_000_000,
                 watchdog: 50_000_000,
             },
+            // The worker count is ambient (machine-dependent) but cannot
+            // leak into results: par_run pins result order by job index and
+            // tests/determinism.rs compares threads=1 vs 8 byte-for-byte.
+            // gat-lint: allow(R2, "thread count tunes parallelism only; outputs are thread-count-invariant by test")
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -165,6 +169,7 @@ where
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let f = &f;
+    // gat-lint: allow(R2, "scoped worker pool; slot i holds job i's result, so completion order is unobservable")
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
             s.spawn(|| loop {
@@ -447,7 +452,12 @@ pub struct ThrottleEval {
 
 /// Compute per-application standalone IPCs (each app alone on the
 /// machine) for the weighted-speedup denominators.
-fn alone_ipcs(cfg: &ExpConfig, mixes: &[Mix]) -> HashMap<u16, f64> {
+///
+/// Keyed by `BTreeMap`, not a hash map: the map is only ever probed by
+/// spec id today, but a `BTreeMap` makes any future iteration ordered by
+/// construction, so the determinism contract (gat-lint rule R1) cannot be
+/// broken by a refactor that starts walking it.
+fn alone_ipcs(cfg: &ExpConfig, mixes: &[Mix]) -> BTreeMap<u16, f64> {
     let mut ids: Vec<u16> = mixes
         .iter()
         .flat_map(|m| m.cpu.iter().map(|p| p.spec_id))
@@ -464,7 +474,7 @@ fn alone_ipcs(cfg: &ExpConfig, mixes: &[Mix]) -> HashMap<u16, f64> {
         .collect()
 }
 
-fn weighted_speedup(r: &RunResult, alone: &HashMap<u16, f64>) -> f64 {
+fn weighted_speedup(r: &RunResult, alone: &BTreeMap<u16, f64>) -> f64 {
     let ipcs: Vec<f64> = r
         .cores
         .iter()

@@ -207,12 +207,12 @@ impl HeteroSystem {
         });
         let qos_sub = qos.as_mut().map(|q| q.subscribe_events());
         let uncore = Uncore::new(&cfg);
-        // Escape hatch for bisecting against the reference loop: any
-        // non-empty value other than "0" disables fast-forward.
-        let env_off =
-            std::env::var_os("GAT_NO_FASTFORWARD").is_some_and(|v| !v.is_empty() && v != "0");
-        let fast_forward = cfg.fast_forward && !env_off;
-        let paranoia = std::env::var_os("GAT_PARANOIA").is_some_and(|v| !v.is_empty() && v != "0");
+        // Environment knobs come only from the approved module
+        // (gat-lint rule R2): GAT_NO_FASTFORWARD is the escape hatch for
+        // bisecting against the reference loop, GAT_PARANOIA enables the
+        // per-tick invariant sweeps.
+        let fast_forward = cfg.fast_forward && !gat_sim::knobs::no_fastforward();
+        let paranoia = gat_sim::knobs::paranoia();
         let frpu_jitter = cfg.faults.frpu_jitter;
         let frpu_rng = (frpu_jitter > 0.0).then(|| cfg.faults.rng_root(cfg.seed).fork("frpu"));
         let label = format!("{}+{:?}+{:?}", cfg.sched.label(), cfg.fill_policy, cfg.qos);

@@ -155,6 +155,7 @@ impl Uncore {
                         cfg.faults.dram.bounce,
                         cfg.faults.dram.backoff,
                         cfg.faults.dram.retries,
+                        // gat-lint: allow(R3, "construction-time fork from the fault-plan root; one stream per channel")
                         froot.fork(&format!("dram.ch{i}")),
                     ));
                 }
@@ -164,6 +165,7 @@ impl Uncore {
                     cfg.faults.ring.drop,
                     cfg.faults.ring.replay,
                     1,
+                    // gat-lint: allow(R3, "construction-time fork from the fault-plan root for the ring injector")
                     froot.fork("ring"),
                 ));
             }

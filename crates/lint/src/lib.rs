@@ -1,0 +1,261 @@
+//! `gat-lint` — the workspace determinism linter.
+//!
+//! The simulator's headline guarantee is byte-identical output across
+//! thread counts, fast-forward on/off, and fault replays. The golden
+//! snapshots catch a nondeterminism bug *after* it ships; this linter
+//! rejects the usual sources at review time, where they are introduced:
+//!
+//! | rule | forbids (in sim-state crates)                              |
+//! |------|------------------------------------------------------------|
+//! | R1   | `std::collections::HashMap`/`HashSet` (hasher-order iteration) |
+//! | R2   | wall clocks, `std::thread`, env reads outside `gat_sim::knobs`, `thread_rng` |
+//! | R3   | `SimRng::new`/`.fork(..)` outside approved config/fault-plan modules |
+//! | R4   | `println!`-family output from library code                  |
+//! | R5   | NaN-unsafe `partial_cmp().unwrap()` / float sorts           |
+//! | R6   | bench `--flag`s absent from README.md; `GAT_*` knobs absent from DESIGN.md |
+//!
+//! Findings are suppressible with a justified pragma —
+//! `// gat-lint: allow(R2, "why")` (line scope) or `allow-file` — and a
+//! pragma that suppresses nothing is itself an error, so stale
+//! exemptions cannot linger. See DESIGN.md §10 for the full contract.
+
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+
+pub use report::{summary_json, Finding, RuleId};
+
+use rules::FileLint;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// An in-memory source file (workspace-relative path + contents). The
+/// whole analysis runs over these, so tests can lint synthetic trees.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+}
+
+/// Lint a set of sources against the given documentation contents.
+/// Findings come back sorted by (file, line, rule).
+pub fn lint_sources(files: &[SourceFile], readme: &str, design: &str) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in files {
+        let mut fl = rules::lint_file(&f.path, &f.text);
+        let r6 = check_docs(&f.path, &fl, readme, design);
+        findings.extend(rules::suppress(r6, &mut fl.pragmas));
+        findings.append(&mut fl.findings);
+        for p in &fl.pragmas {
+            if !p.used {
+                findings.push(Finding {
+                    rule: RuleId::Pragma,
+                    file: f.path.clone(),
+                    line: p.line,
+                    message: format!(
+                        "unused pragma: no {} finding here to suppress (reason was: {:?})",
+                        p.rule.as_str(),
+                        p.reason
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Rule R6 for one file: every `--flag` a bench binary parses must be
+/// documented in README.md; every `GAT_*` knob mentioned in code must be
+/// documented in DESIGN.md. One finding per (file, name).
+fn check_docs(path: &str, fl: &FileLint, readme: &str, design: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (flag, line) in &fl.flags {
+        if seen.insert(flag) && !doc_mentions(readme, flag, flag_continues) {
+            out.push(Finding {
+                rule: RuleId::R6,
+                file: path.into(),
+                line: *line,
+                message: format!("flag \"{flag}\" is parsed here but not documented in README.md"),
+            });
+        }
+    }
+    let mut seen_env: BTreeSet<&str> = BTreeSet::new();
+    for (var, line) in &fl.env_vars {
+        if seen_env.insert(var) && !doc_mentions(design, var, knob_continues) {
+            out.push(Finding {
+                rule: RuleId::R6,
+                file: path.into(),
+                line: *line,
+                message: format!(
+                    "environment knob \"{var}\" is referenced here but not documented in DESIGN.md"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Would `c` extend a `--flag` word? (so `--out` is not satisfied by a
+/// README that only mentions `--output`).
+fn flag_continues(c: char) -> bool {
+    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'
+}
+
+/// Would `c` extend a `GAT_*` knob name?
+fn knob_continues(c: char) -> bool {
+    c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'
+}
+
+/// Does `doc` mention `name` as a complete word (per the continuation
+/// class)?
+fn doc_mentions(doc: &str, name: &str, continues: fn(char) -> bool) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = doc[start..].find(name) {
+        let end = start + pos + name.len();
+        match doc[end..].chars().next() {
+            Some(c) if continues(c) => start += pos + 1,
+            _ => return true,
+        }
+    }
+    false
+}
+
+/// Scan the workspace rooted at `root`: lint every `crates/*/src/**/*.rs`
+/// against `README.md` and `DESIGN.md`. Returns (files scanned, findings).
+pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{}: no crates/ directory (wrong --root?)", root.display()),
+        ));
+    }
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&crates_dir, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // Classification decides whether the file matters; reading only
+        // what we lint keeps the scan fast on big checkouts.
+        if policy::classify(&rel) == policy::FileClass::Skip {
+            continue;
+        }
+        files.push(SourceFile {
+            path: rel,
+            text: std::fs::read_to_string(p)?,
+        });
+    }
+    let readme = std::fs::read_to_string(root.join("README.md"))?;
+    let design = std::fs::read_to_string(root.join("DESIGN.md"))?;
+    let n = files.len();
+    Ok((n, lint_sources(&files, &readme, &design)))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(src: &str) -> Vec<SourceFile> {
+        vec![SourceFile {
+            path: "crates/gpu/src/fixture.rs".into(),
+            text: src.into(),
+        }]
+    }
+
+    #[test]
+    fn clean_source_yields_no_findings() {
+        let f = sim("pub fn tick(now: u64) -> u64 { now + 1 }\n");
+        assert!(lint_sources(&f, "", "").is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_carry_spans() {
+        let f = sim("use std::collections::HashMap;\nuse std::time::Instant;\n");
+        let fs = lint_sources(&f, "", "");
+        assert_eq!(fs.len(), 2);
+        assert_eq!((fs[0].rule, fs[0].line), (RuleId::R1, 1));
+        assert_eq!((fs[1].rule, fs[1].line), (RuleId::R2, 2));
+    }
+
+    #[test]
+    fn doc_mentions_respects_word_boundaries() {
+        assert!(doc_mentions(
+            "use `--scale N` here",
+            "--scale",
+            flag_continues
+        ));
+        assert!(!doc_mentions(
+            "only --output is listed",
+            "--out",
+            flag_continues
+        ));
+        assert!(doc_mentions(
+            "set GAT_FAULTS=spec",
+            "GAT_FAULTS",
+            knob_continues
+        ));
+        assert!(!doc_mentions(
+            "GAT_FAULTS_EXTRA",
+            "GAT_FAULTS",
+            knob_continues
+        ));
+        // A prefix miss must not mask a later complete mention.
+        assert!(doc_mentions(
+            "--outward then --out.",
+            "--out",
+            flag_continues
+        ));
+    }
+
+    #[test]
+    fn r6_flags_check_readme_and_knobs_check_design() {
+        let files = vec![SourceFile {
+            path: "crates/bench/src/bin/fixture.rs".into(),
+            text: "fn main() { let _ = (\"--documented\", \"--mystery\", \"GAT_SECRET\"); }\n"
+                .into(),
+        }];
+        let fs = lint_sources(&files, "docs mention --documented only", "no knobs here");
+        let msgs: Vec<&str> = fs.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(fs.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("--mystery")));
+        assert!(msgs.iter().any(|m| m.contains("GAT_SECRET")));
+        // Documented in the right place: both clear.
+        let fs = lint_sources(
+            &files,
+            "--documented and --mystery",
+            "knob GAT_SECRET does things",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn unused_pragma_is_an_error() {
+        let f = sim("// gat-lint: allow(R1, \"left over after a refactor\")\npub fn ok() {}\n");
+        let fs = lint_sources(&f, "", "");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, RuleId::Pragma);
+        assert!(fs[0].message.contains("unused pragma"));
+    }
+}

@@ -1,0 +1,82 @@
+//! CLI for the workspace determinism linter.
+//!
+//! ```text
+//! cargo run -p gat-lint [-- --json] [--root PATH]
+//! ```
+//!
+//! Walks `crates/*/src` under the workspace root (default: the current
+//! directory), applies rules R1–R6 (see DESIGN.md §10), and prints one
+//! `file:line: rule: message` line per finding — or, with `--json`, the
+//! observability layer's JSONL grammar (`lint_finding` objects plus one
+//! `lint_summary` trailer).
+//!
+//! Exit codes follow the workspace convention: 0 clean, 1 I/O failure,
+//! 2 bad usage, 3 findings reported.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: gat-lint [--json] [--root PATH]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("gat-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gat-lint: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (files_scanned, findings) = match gat_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gat-lint: io error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if json {
+        let mut out = String::new();
+        for f in &findings {
+            out.push_str(&f.to_json());
+            out.push('\n');
+        }
+        out.push_str(&gat_lint::summary_json(files_scanned, &findings));
+        out.push('\n');
+        print!("{out}");
+    } else {
+        for f in &findings {
+            println!("{}", f.render_text());
+        }
+        if findings.is_empty() {
+            println!("gat-lint: clean ({files_scanned} files scanned)");
+        } else {
+            println!(
+                "gat-lint: {} finding(s) in {files_scanned} files scanned",
+                findings.len()
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}

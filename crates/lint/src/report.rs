@@ -1,0 +1,166 @@
+//! Finding model and rendering (text and JSONL).
+
+use gat_sim::json::Obj;
+
+/// The rule catalog. Ids are stable: they appear in pragmas, CI logs and
+/// the JSONL export, so renaming one is a breaking change to suppression
+/// comments across the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Unordered std hash collections in sim-state crates.
+    R1,
+    /// Ambient nondeterminism: wall clocks, threads, env reads, OS RNG.
+    R2,
+    /// `SimRng` construction/forking outside approved modules.
+    R3,
+    /// Direct stdout/stderr printing from library crates.
+    R4,
+    /// NaN-unsafe float comparison patterns.
+    R5,
+    /// CLI flags / `GAT_*` knobs missing from the documentation.
+    R6,
+    /// Pragma problems: malformed, unknown rule, or unused suppression.
+    Pragma,
+}
+
+impl RuleId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
+            RuleId::R5 => "R5",
+            RuleId::R6 => "R6",
+            RuleId::Pragma => "pragma",
+        }
+    }
+
+    /// The id as written inside `allow(...)` pragmas. `Pragma` findings
+    /// are not suppressible (a suppression of the suppression checker
+    /// would be a hole in the gate), so it has no pragma name.
+    pub fn from_pragma_name(name: &str) -> Option<Self> {
+        match name {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
+            _ => None,
+        }
+    }
+
+    /// One-line fix hint attached to every finding of this rule.
+    pub fn hint(self) -> &'static str {
+        match self {
+            RuleId::R1 => {
+                "use gat_sim::hashing::{FastMap, FastSet} (deterministic hasher) or BTreeMap/BTreeSet (ordered iteration)"
+            }
+            RuleId::R2 => {
+                "simulated behaviour may only depend on the config and the Cycle timeline; env knobs go through gat_sim::knobs"
+            }
+            RuleId::R3 => {
+                "accept a SimRng (or a fork) as a constructor argument; streams are created in config/fault-plan modules only"
+            }
+            RuleId::R4 => "emit through the events/metrics layer (gat_sim::events, gat_sim::metrics)",
+            RuleId::R5 => "use f64::total_cmp for ordering, or guard the comparison against NaN explicitly",
+            RuleId::R6 => "document the name, or remove the dead flag/knob",
+            RuleId::Pragma => {
+                "fix the pragma: gat-lint: allow(R1..R6, \"reason\"); delete it if the violation is gone"
+            }
+        }
+    }
+}
+
+/// One linter finding, anchored to a file:line span.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    /// Human-readable single line: `file:line: rule: message (hint: …)`.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: {}: {} (hint: {})",
+            self.file,
+            self.line,
+            self.rule.as_str(),
+            self.message,
+            self.rule.hint()
+        )
+    }
+
+    /// One JSONL object, in the observability layer's output grammar.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("type", "lint_finding")
+            .str("rule", self.rule.as_str())
+            .str("file", &self.file)
+            .u64("line", u64::from(self.line))
+            .str("message", &self.message)
+            .str("hint", self.rule.hint())
+            .finish()
+    }
+}
+
+/// The `{"type":"lint_summary",...}` trailer line.
+pub fn summary_json(files_scanned: usize, findings: &[Finding]) -> String {
+    Obj::new()
+        .str("type", "lint_summary")
+        .u64("files_scanned", files_scanned as u64)
+        .u64("findings", findings.len() as u64)
+        .bool("clean", findings.is_empty())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gat_sim::json::validate_json_line;
+
+    #[test]
+    fn text_rendering_is_clickable_and_tagged() {
+        let f = Finding {
+            rule: RuleId::R1,
+            file: "crates/cache/src/mshr.rs".into(),
+            line: 42,
+            message: "std HashMap".into(),
+        };
+        let t = f.render_text();
+        assert!(t.starts_with("crates/cache/src/mshr.rs:42: R1: "));
+        assert!(t.contains("hint: "));
+    }
+
+    #[test]
+    fn json_lines_validate() {
+        let f = Finding {
+            rule: RuleId::R6,
+            file: "crates/bench/src/bin/runsim.rs".into(),
+            line: 7,
+            message: "flag \"--weird\" not in README.md".into(),
+        };
+        validate_json_line(&f.to_json()).unwrap();
+        validate_json_line(&summary_json(3, &[f])).unwrap();
+    }
+
+    #[test]
+    fn every_rule_id_round_trips_except_pragma() {
+        for r in [
+            RuleId::R1,
+            RuleId::R2,
+            RuleId::R3,
+            RuleId::R4,
+            RuleId::R5,
+            RuleId::R6,
+        ] {
+            assert_eq!(RuleId::from_pragma_name(r.as_str()), Some(r));
+        }
+        assert_eq!(RuleId::from_pragma_name("pragma"), None);
+        assert_eq!(RuleId::from_pragma_name("R9"), None);
+    }
+}

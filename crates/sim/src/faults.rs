@@ -246,12 +246,13 @@ impl FaultPlan {
         Ok(())
     }
 
-    /// Read a plan from the `GAT_FAULTS` environment variable. Unset or
-    /// empty means no plan.
+    /// Read a plan from the `GAT_FAULTS` environment variable (via the
+    /// approved knob module, [`crate::knobs`]). Unset or empty means no
+    /// plan.
     pub fn from_env() -> Result<Option<Self>, FaultSpecError> {
-        match std::env::var("GAT_FAULTS") {
-            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
-            _ => Ok(None),
+        match crate::knobs::faults_spec() {
+            Some(spec) => Self::parse(&spec).map(Some),
+            None => Ok(None),
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod events;
 pub mod faults;
 pub mod hashing;
 pub mod json;
+pub mod knobs;
 pub mod metrics;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,268 @@
+//! Fixture suite for the determinism linter (DESIGN.md §10): one passing
+//! and one failing case per rule R1–R6, the pragma machinery, and the
+//! capstone check that the real tree is lint-clean.
+//!
+//! Fixtures are linted fully in memory via [`gat_lint::lint_sources`], so
+//! the failing snippets never exist as workspace files (the linter would
+//! otherwise flag its own test data).
+
+use gat_lint::{lint_sources, lint_workspace, Finding, SourceFile};
+
+/// Lint one synthetic sim-state file against empty docs.
+fn lint_sim(src: &str) -> Vec<Finding> {
+    let files = vec![SourceFile {
+        path: "crates/cache/src/fixture.rs".into(),
+        text: src.into(),
+    }];
+    lint_sources(&files, "", "")
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+// --- R1: std hash collections -----------------------------------------
+
+#[test]
+fn r1_flags_std_hash_collections() {
+    // Same line + same rule dedupes to one actionable finding.
+    let f = lint_sim("use std::collections::{HashMap, HashSet};\n");
+    assert_eq!(rules(&f), vec!["R1"]);
+    assert_eq!(f[0].line, 1);
+    assert!(f[0].message.contains("HashMap"));
+
+    let f = lint_sim("pub struct S {\n    map: HashMap<u64, u64>,\n    set: HashSet<u64>,\n}\n");
+    assert_eq!(rules(&f), vec!["R1", "R1"]);
+    assert_eq!((f[0].line, f[1].line), (2, 3));
+}
+
+#[test]
+fn r1_passes_deterministic_maps() {
+    let f = lint_sim(
+        "use gat_sim::hashing::{FastMap, FastSet};\nuse std::collections::{BTreeMap, VecDeque};\npub fn f(m: &FastMap<u64, u32>, o: &BTreeMap<u64, u32>) {}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- R2: ambient nondeterminism ---------------------------------------
+
+#[test]
+fn r2_flags_wall_clocks_threads_env_and_os_rng() {
+    let cases = [
+        "pub fn t() { let _ = std::time::Instant::now(); }",
+        "pub fn t() { let _ = std::time::SystemTime::now(); }",
+        "pub fn t() { std::thread::sleep(core::time::Duration::ZERO); }",
+        "pub fn t() { let _ = std::env::var(\"HOME\"); }",
+        "pub fn t() { let mut r = thread_rng(); }",
+    ];
+    for src in cases {
+        let f = lint_sim(src);
+        assert_eq!(rules(&f), vec!["R2"], "fixture: {src}");
+    }
+}
+
+#[test]
+fn r2_passes_cycle_timeline_code() {
+    let f = lint_sim("pub fn tick(now: u64, horizon: u64) -> u64 { now.min(horizon) + 1 }\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r2_allows_env_reads_in_the_knob_module_only() {
+    let knobs = SourceFile {
+        path: "crates/sim/src/knobs.rs".into(),
+        text: "pub fn k() -> bool { std::env::var_os(\"X\").is_some() }\n".into(),
+    };
+    assert!(lint_sources(std::slice::from_ref(&knobs), "", "").is_empty());
+    let elsewhere = SourceFile {
+        path: "crates/dram/src/knockoff.rs".into(),
+        ..knobs
+    };
+    assert_eq!(rules(&lint_sources(&[elsewhere], "", "")), vec!["R2"]);
+}
+
+// --- R3: RNG discipline ------------------------------------------------
+
+#[test]
+fn r3_flags_rng_construction_and_forking_outside_approved_modules() {
+    let f = lint_sim("pub fn f() { let r = SimRng::new(7); }");
+    assert_eq!(rules(&f), vec!["R3"]);
+    let f = lint_sim("pub fn f(root: &SimRng) { let _ = root.fork(\"mine\"); }");
+    assert_eq!(rules(&f), vec!["R3"]);
+}
+
+#[test]
+fn r3_passes_handed_in_streams_and_approved_modules() {
+    // Using a stream you were handed is the sanctioned pattern.
+    let f = lint_sim("pub fn f(rng: &mut SimRng) -> u64 { rng.next_u64() }\n");
+    assert!(f.is_empty(), "{f:?}");
+    // The system constructor owns the root RNG.
+    let sys = SourceFile {
+        path: "crates/hetero/src/system.rs".into(),
+        text: "pub fn root(seed: u64) -> SimRng { SimRng::new(seed).fork(\"gpu\") }\n".into(),
+    };
+    assert!(lint_sources(&[sys], "", "").is_empty());
+}
+
+// --- R4: printing from library code -----------------------------------
+
+#[test]
+fn r4_flags_direct_printing() {
+    let f = lint_sim("pub fn f() { println!(\"debug\"); eprintln!(\"oops\"); }");
+    assert_eq!(rules(&f), vec!["R4"]); // same line: deduped to one finding
+    let f = lint_sim("pub fn f(x: u32) -> u32 {\n    dbg!(x)\n}");
+    assert_eq!(rules(&f), vec!["R4"]);
+}
+
+#[test]
+fn r4_passes_writes_to_buffers() {
+    let f = lint_sim(
+        "use std::fmt::Write as _;\npub fn f(out: &mut String) { let _ = writeln!(out, \"row\"); }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- R5: NaN-unsafe patterns ------------------------------------------
+
+#[test]
+fn r5_flags_partial_cmp_unwrap_and_float_sorts() {
+    let f = lint_sim("pub fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }");
+    assert_eq!(rules(&f), vec!["R5"]);
+    let f = lint_sim("pub fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }");
+    assert_eq!(rules(&f), vec!["R5"]);
+    // Guarded with unwrap_or is still a non-total comparator: flagged.
+    let f = lint_sim(
+        "pub fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }",
+    );
+    assert_eq!(rules(&f), vec!["R5"]);
+}
+
+#[test]
+fn r5_passes_total_cmp_and_trait_impls() {
+    let f = lint_sim("pub fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }");
+    assert!(f.is_empty(), "{f:?}");
+    // Implementing PartialOrd is a definition, not a NaN-unsafe call.
+    let f = lint_sim(
+        "impl PartialOrd for Ev {\n    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> { Some(self.cmp(o)) }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- R6: docs/source consistency --------------------------------------
+
+#[test]
+fn r6_flags_undocumented_flags_and_knobs() {
+    let bin = vec![SourceFile {
+        path: "crates/bench/src/bin/fixture.rs".into(),
+        text: r#"fn main() { let _ = ("--novel-flag", "GAT_NOVEL_KNOB"); }"#.into(),
+    }];
+    let f = lint_sources(&bin, "README without the flag", "DESIGN without the knob");
+    assert_eq!(rules(&f), vec!["R6", "R6"]);
+    assert!(f[0].message.contains("--novel-flag") && f[0].message.contains("README.md"));
+    assert!(f[1].message.contains("GAT_NOVEL_KNOB") && f[1].message.contains("DESIGN.md"));
+}
+
+#[test]
+fn r6_passes_documented_names_with_word_boundaries() {
+    let bin = vec![SourceFile {
+        path: "crates/bench/src/bin/fixture.rs".into(),
+        text: r#"fn main() { let _ = ("--out", "GAT_NOVEL_KNOB"); }"#.into(),
+    }];
+    // `--output` alone must NOT satisfy `--out`.
+    let f = lint_sources(&bin, "mentions --output only", "GAT_NOVEL_KNOB documented");
+    assert_eq!(rules(&f), vec!["R6"]);
+    let f = lint_sources(&bin, "use `--out PATH`", "GAT_NOVEL_KNOB documented");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- Pragmas -----------------------------------------------------------
+
+#[test]
+fn pragma_suppresses_the_named_rule_on_the_next_line() {
+    let f = lint_sim(
+        "// gat-lint: allow(R3, \"fixture justification\")\npub fn f() { let r = SimRng::new(7); }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn file_level_pragma_covers_the_whole_file() {
+    let f = lint_sim(
+        "// gat-lint: allow-file(R1, \"fixture justification\")\nuse std::collections::HashMap;\npub struct S { m: HashMap<u64, u64> }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn pragma_does_not_suppress_other_rules() {
+    let f = lint_sim(
+        "// gat-lint: allow(R1, \"wrong rule\")\npub fn f() { let r = SimRng::new(7); }\n",
+    );
+    // The R3 finding survives AND the pragma is reported unused
+    // (findings sort by line: the pragma sits on line 1).
+    assert_eq!(rules(&f), vec!["pragma", "R3"]);
+}
+
+#[test]
+fn unused_pragma_is_an_error() {
+    let f = lint_sim("// gat-lint: allow(R2, \"stale after refactor\")\npub fn clean() {}\n");
+    assert_eq!(rules(&f), vec!["pragma"]);
+    assert!(f[0].message.contains("unused"));
+    assert!(f[0].message.contains("stale after refactor"));
+}
+
+#[test]
+fn malformed_pragmas_are_errors_not_silence() {
+    // Missing reason, and an unknown rule id.
+    let f = lint_sim("// gat-lint: allow(R2)\n// gat-lint: allow(R99, \"who\")\npub fn g() {}\n");
+    assert_eq!(rules(&f), vec!["pragma", "pragma"]);
+}
+
+#[test]
+fn test_gated_code_is_exempt_from_r1_to_r5() {
+    let f = lint_sim(
+        r#"
+pub fn prod(now: u64) -> u64 { now + 1 }
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn harness_scaffolding_is_fine() {
+        let mut m = HashMap::new();
+        m.insert(1u64, std::time::Instant::now());
+        let r = SimRng::new(42).fork("test");
+        println!("{:?}", (m.len(), r));
+    }
+}
+"#,
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- The capstone: the real tree is clean ------------------------------
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (files, findings) = lint_workspace(root).expect("workspace scan");
+    assert!(
+        files > 50,
+        "scan looks truncated: only {files} files — path wiring broken?"
+    );
+    let rendered: Vec<String> = findings.iter().map(Finding::render_text).collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay lint-clean; fix or justify with a pragma:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn findings_export_valid_jsonl() {
+    let f = lint_sim("use std::collections::HashMap;\n");
+    assert_eq!(f.len(), 1);
+    gat_sim::json::validate_json_line(&f[0].to_json()).unwrap();
+    gat_sim::json::validate_json_line(&gat_lint::summary_json(1, &f)).unwrap();
+}
