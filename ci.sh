@@ -63,11 +63,12 @@ echo "== paranoia invariant sweep (10 min cap) =="
 # MSHR/ATU/queue/epoch invariants and the bytes must not change.
 timeout 600 env GAT_PARANOIA=1 cargo test -q --release --test golden_snapshot
 
-echo "== hotbench smoke (10 min cap) =="
-# Quick perf-trajectory pass: also asserts FF-on tables match the
-# cycle-by-cycle loop on a real figure driver.
+echo "== hotbench smoke + perf gate (10 min cap) =="
+# Quick perf-trajectory pass: asserts FF-on tables match the
+# cycle-by-cycle loop on a real figure driver, and --gate fails the job
+# (exit 3) if fast-forward regresses beyond the noise band.
 timeout 600 cargo run --release -p gat-bench --bin hotbench -- \
-    --quick --out /tmp/gat_hotbench_smoke.json
+    --quick --gate --out /tmp/gat_hotbench_smoke.json
 
 if [[ -z "${SKIP_IGNORED:-}" ]]; then
     # One representative heavyweight driver (18 smoke simulations), capped

@@ -2,7 +2,7 @@
 //! engine buys on the figure drivers, and record the trajectory.
 //!
 //! ```text
-//! hotbench [--quick] [--out PATH] [--drivers a,b,c]
+//! hotbench [--quick] [--gate] [--out PATH] [--drivers a,b,c]
 //!          [--scale N] [--frames N] [--instr N] [--seed N]
 //! ```
 //!
@@ -13,6 +13,11 @@
 //! are written as JSONL (default `BENCH_hotpath.json`): one meta line,
 //! then one line per driver with wall-clock seconds, cycles simulated,
 //! cycles skipped, and cycles per second for both loops.
+//!
+//! `--gate` turns the run into a pass/fail check: if fast-forward is
+//! slower than the cycle-by-cycle loop on any driver beyond the noise
+//! band, the process exits with code 3 (a typed [`CliError::Gate`])
+//! after writing the JSONL, so CI can both fail and keep the evidence.
 
 use std::time::Instant;
 
@@ -21,8 +26,15 @@ use gat_hetero::experiments::ExpConfig;
 use gat_hetero::ffstats;
 use gat_sim::json::{validate_json_line, Obj};
 
-const USAGE: &str = "hotbench [--quick] [--out PATH] [--drivers a,b,c] \
+const USAGE: &str = "hotbench [--quick] [--gate] [--out PATH] [--drivers a,b,c] \
      [--scale N] [--frames N] [--instr N] [--seed N]";
+
+/// `--gate` noise band: fast-forward counts as a regression only when it
+/// is slower than the cycle-by-cycle loop by more than this fraction
+/// *plus* the absolute slack (which keeps second-scale `--quick` runs
+/// from tripping on scheduler jitter).
+const GATE_NOISE_FRAC: f64 = 0.05;
+const GATE_NOISE_ABS_S: f64 = 0.25;
 
 /// Pre-optimization wall-clock seconds for each figure driver, recorded
 /// with the strict cycle-by-cycle loop at the default hotbench config
@@ -86,11 +98,17 @@ fn real_main() -> Result<(), CliError> {
         .map(|s| s.to_string())
         .collect();
     let mut quick = false;
+    let mut gate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
                 quick = true;
+                i += 1;
+                continue;
+            }
+            "--gate" => {
+                gate = true;
                 i += 1;
                 continue;
             }
@@ -133,6 +151,7 @@ fn real_main() -> Result<(), CliError> {
         && cfg.seed == 538_379_561;
 
     let mut lines = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
     lines.push(
         Obj::new()
             .str("type", "bench_meta")
@@ -172,7 +191,6 @@ fn real_main() -> Result<(), CliError> {
             .f64("speedup", speedup)
             .u64("cycles_simulated", ff.simulated)
             .u64("cycles_skipped", ff.skipped)
-            .u64("ff_spans", ff.spans)
             .f64("skip_pct", skip_pct)
             .f64("baseline_cycles_per_s", base.simulated as f64 / base.wall_s)
             .f64("ff_cycles_per_s", ff.simulated as f64 / ff.wall_s);
@@ -186,6 +204,12 @@ fn real_main() -> Result<(), CliError> {
             }
         }
         lines.push(obj.finish());
+        if gate && ff.wall_s > base.wall_s * (1.0 + GATE_NOISE_FRAC) + GATE_NOISE_ABS_S {
+            regressions.push(format!(
+                "{id}: fast-forward {:.2}s vs cycle-by-cycle {:.2}s",
+                ff.wall_s, base.wall_s
+            ));
+        }
     }
 
     let mut out = String::new();
@@ -196,5 +220,8 @@ fn real_main() -> Result<(), CliError> {
     }
     std::fs::write(&out_path, &out).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
     eprintln!("# wrote {out_path}");
+    if !regressions.is_empty() {
+        return Err(CliError::Gate(regressions.join("; ")));
+    }
     Ok(())
 }

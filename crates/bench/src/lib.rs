@@ -45,6 +45,9 @@ pub enum CliError {
     /// The simulation itself aborted (liveness watchdog, paranoia
     /// invariant check, cycle-limit overrun): exit 3.
     Sim(SimError),
+    /// A performance gate tripped (`hotbench --gate`: fast-forward slower
+    /// than the cycle-by-cycle loop beyond the noise band): exit 3.
+    Gate(String),
 }
 
 impl CliError {
@@ -53,7 +56,7 @@ impl CliError {
         match self {
             CliError::Usage(_) | CliError::Config(_) => 2,
             CliError::Io(_) => 1,
-            CliError::Sim(_) => 3,
+            CliError::Sim(_) | CliError::Gate(_) => 3,
         }
     }
 }
@@ -65,6 +68,7 @@ impl std::fmt::Display for CliError {
             CliError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             CliError::Io(msg) => write!(f, "io: {msg}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CliError::Gate(msg) => write!(f, "performance gate: {msg}"),
         }
     }
 }
@@ -206,6 +210,9 @@ mod tests {
         });
         assert_eq!(sim.exit_code(), 3);
         assert!(sim.to_string().contains("simulation failed"));
+        let gate = CliError::Gate("fig8 regressed".into());
+        assert_eq!(gate.exit_code(), 3);
+        assert!(gate.to_string().contains("performance gate"));
     }
 
     #[test]

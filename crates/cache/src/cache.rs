@@ -109,19 +109,20 @@ pub struct AccessOutcome {
     pub evicted: Option<Evicted>,
 }
 
+/// Per-way state *other than* the tag. The tag (and validity — a way is
+/// valid iff its packed tag is not [`INVALID_TAG`]) lives only in
+/// `SetAssocCache::tags`; duplicating it here would double this array's
+/// footprint, and for a 16 MB LLC the line-state array alone is megabytes
+/// of host memory traffic on the hottest path.
 #[derive(Debug, Clone, Copy)]
 struct Line {
-    tag: u64,
     repl: ReplState,
-    valid: bool,
     dirty: bool,
     owner: u8,
 }
 
 const INVALID_LINE: Line = Line {
-    tag: 0,
     repl: 0,
-    valid: false,
     dirty: false,
     owner: 0,
 };
@@ -129,6 +130,30 @@ const INVALID_LINE: Line = Line {
 /// Sentinel in the packed tag array for an invalid way. Tags are block
 /// numbers (`addr / block_bytes`), so `u64::MAX` can never collide.
 const INVALID_TAG: u64 = u64::MAX;
+
+/// Branchless scan of one set's packed tags for `needle`, specialized to
+/// the common way counts so the compiler unrolls (and vectorizes) a
+/// fixed-size equality mask instead of an early-exit compare loop — the
+/// single hottest operation in the simulator, and the miss path always
+/// walks every way anyway.
+#[inline(always)]
+fn find_way(tags: &[u64], needle: u64) -> Option<usize> {
+    #[inline(always)]
+    fn fixed<const N: usize>(tags: &[u64], needle: u64) -> Option<usize> {
+        let arr: &[u64; N] = tags.try_into().unwrap();
+        let mut mask = 0u32;
+        for (i, &t) in arr.iter().enumerate() {
+            mask |= u32::from(t == needle) << i;
+        }
+        (mask != 0).then(|| mask.trailing_zeros() as usize)
+    }
+    match tags.len() {
+        4 => fixed::<4>(tags, needle),
+        8 => fixed::<8>(tags, needle),
+        16 => fixed::<16>(tags, needle),
+        _ => tags.iter().position(|&t| t == needle),
+    }
+}
 
 /// Aggregate hit/miss statistics, split by requester class.
 #[derive(Debug, Default, Clone)]
@@ -195,6 +220,10 @@ impl CacheStats {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     num_sets: u64,
+    /// `log2(block_bytes)`; block numbers are `addr >> block_shift`. The
+    /// divide form would compile to a runtime `div` because `block_bytes`
+    /// is not a constant, and this sits on the hottest path there is.
+    block_shift: u32,
     lines: Vec<Line>,
     /// Packed per-way tags ([`INVALID_TAG`] when the way is invalid),
     /// kept in lockstep with `lines`. Lookups scan this 8-byte-per-way
@@ -205,6 +234,9 @@ pub struct SetAssocCache {
     stamps: Vec<u32>,
     /// DRRIP set-dueling state (unused for LRU/SRRIP).
     duel: DuelState,
+    /// Victim-selection scratch, reused across fills so the eviction path
+    /// never allocates.
+    repl_scratch: Vec<ReplState>,
     pub stats: CacheStats,
 }
 
@@ -233,13 +265,17 @@ impl SetAssocCache {
         let lines = vec![INVALID_LINE; (num_sets * u64::from(cfg.ways)) as usize];
         let tags = vec![INVALID_TAG; lines.len()];
         let stamps = vec![0u32; num_sets as usize];
+        let block_shift = cfg.block_bytes.trailing_zeros();
+        let repl_scratch = Vec::with_capacity(cfg.ways as usize);
         Self {
             cfg,
             num_sets,
+            block_shift,
             lines,
             tags,
             stamps,
             duel: DuelState::new(),
+            repl_scratch,
             stats: CacheStats::default(),
         }
     }
@@ -250,7 +286,11 @@ impl SetAssocCache {
 
     #[inline]
     fn block_of(&self, addr: Addr) -> u64 {
-        block_align(addr, self.cfg.block_bytes) / self.cfg.block_bytes
+        debug_assert_eq!(
+            addr >> self.block_shift,
+            block_align(addr, self.cfg.block_bytes) / self.cfg.block_bytes
+        );
+        addr >> self.block_shift
     }
 
     #[inline]
@@ -296,27 +336,12 @@ impl SetAssocCache {
         let set = self.set_of(block);
         let way = {
             let range = self.set_range(set);
-            self.tags[range].iter().position(|&t| t == block)
+            find_way(&self.tags[range], block)
         };
         match way {
             Some(w) => {
-                let stamp = match self.cfg.policy {
-                    ReplacementPolicy::Lru => self.next_stamp(set),
-                    ReplacementPolicy::Srrip | ReplacementPolicy::Drrip => 0,
-                };
-                let base = self.set_range(set).start;
-                let line = &mut self.lines[base + w];
-                replacement::on_hit(self.cfg.policy, &mut line.repl, stamp);
-                if kind == AccessKind::Write {
-                    line.dirty = true;
-                }
-                self.stats.hits.inc();
-                if source.is_gpu() {
-                    self.stats.gpu_hits.inc();
-                } else {
-                    self.stats.cpu_hits.inc();
-                }
-                true
+                let idx = self.set_range(set).start + w;
+                self.record_hit(set, idx, kind, source)
             }
             None => {
                 self.stats.misses.inc();
@@ -333,11 +358,55 @@ impl SetAssocCache {
         }
     }
 
+    /// Hit bookkeeping shared by the memoized and scanned lookup paths:
+    /// replacement update, dirty marking, stats.
+    #[inline]
+    fn record_hit(&mut self, set: u64, idx: usize, kind: AccessKind, source: Source) -> bool {
+        let stamp = match self.cfg.policy {
+            ReplacementPolicy::Lru => self.next_stamp(set),
+            ReplacementPolicy::Srrip | ReplacementPolicy::Drrip => 0,
+        };
+        let line = &mut self.lines[idx];
+        replacement::on_hit(self.cfg.policy, &mut line.repl, stamp);
+        if kind == AccessKind::Write {
+            line.dirty = true;
+        }
+        self.stats.hits.inc();
+        if source.is_gpu() {
+            self.stats.gpu_hits.inc();
+        } else {
+            self.stats.cpu_hits.inc();
+        }
+        true
+    }
+
+    /// Hint the host CPU to start pulling the tag/state arrays for
+    /// `addr`'s set into its cache. Purely a performance hint with no
+    /// architectural effect: a large cache's metadata (megabytes for the
+    /// LLC) misses the host cache on nearly every simulated lookup, so
+    /// callers that know the next few lookups (queued requests) can
+    /// overlap that latency with a cycle of other simulation work. The
+    /// `black_box` keeps the otherwise-unused loads in the emitted code;
+    /// the host executes them out of order without anything waiting on
+    /// the results — a software prefetch in safe Rust.
+    #[inline]
+    pub fn prefetch(&self, addr: Addr) {
+        let block = self.block_of(addr);
+        let set = self.set_of(block);
+        let base = (set * u64::from(self.cfg.ways)) as usize;
+        std::hint::black_box(self.tags[base]);
+        std::hint::black_box(self.lines[base].repl);
+        if self.cfg.ways > 8 {
+            // A 16-way set's tags span two 64 B host cache lines.
+            std::hint::black_box(self.tags[base + 8]);
+        }
+    }
+
     /// Non-mutating lookup (no replacement update, no stats).
     pub fn probe(&self, addr: Addr) -> bool {
         let block = self.block_of(addr);
         let set = self.set_of(block);
-        self.tags[self.set_range(set)].contains(&block)
+        find_way(&self.tags[self.set_range(set)], block).is_some()
     }
 
     /// Install the block for `addr`, owned by `source`, optionally dirty
@@ -373,7 +442,7 @@ impl SetAssocCache {
         // Already present (anywhere)? Refresh.
         let existing = {
             let range = self.set_range(set);
-            self.tags[range].iter().position(|&t| t == block)
+            find_way(&self.tags[range], block)
         };
         let stamp = match self.cfg.policy {
             ReplacementPolicy::Lru => self.next_stamp(set),
@@ -390,20 +459,19 @@ impl SetAssocCache {
 
         // Free way inside the partition?
         let (lo, hi) = (way_lo as usize, way_hi as usize);
-        let free = self.tags[base + lo..base + hi]
-            .iter()
-            .position(|&t| t == INVALID_TAG)
-            .map(|w| w + lo);
+        let free = find_way(&self.tags[base + lo..base + hi], INVALID_TAG).map(|w| w + lo);
         let (way, evicted) = match free {
             Some(w) => (w, None),
             None => {
-                let mut states: Vec<ReplState> = self.lines[base + lo..base + hi]
-                    .iter()
-                    .map(|l| l.repl)
-                    .collect();
-                let w = replacement::choose_victim(self.cfg.policy, &mut states) + lo;
+                self.repl_scratch.clear();
+                self.repl_scratch
+                    .extend(self.lines[base + lo..base + hi].iter().map(|l| l.repl));
+                let w = replacement::choose_victim(self.cfg.policy, &mut self.repl_scratch) + lo;
                 // SRRIP aging mutated the partition's states; write back.
-                for (l, s) in self.lines[base + lo..base + hi].iter_mut().zip(&states) {
+                for (l, s) in self.lines[base + lo..base + hi]
+                    .iter_mut()
+                    .zip(&self.repl_scratch)
+                {
                     l.repl = *s;
                 }
                 let victim = self.lines[base + w];
@@ -414,7 +482,7 @@ impl SetAssocCache {
                 (
                     w,
                     Some(Evicted {
-                        addr: victim.tag * self.cfg.block_bytes,
+                        addr: self.tags[base + w] << self.block_shift,
                         dirty: victim.dirty,
                         owner: Source::decode(victim.owner),
                     }),
@@ -427,9 +495,7 @@ impl SetAssocCache {
             replacement::on_insert(self.cfg.policy, stamp)
         };
         self.lines[base + way] = Line {
-            tag: block,
             repl,
-            valid: true,
             dirty,
             owner: source.encode(),
         };
@@ -444,14 +510,13 @@ impl SetAssocCache {
         let block = self.block_of(addr);
         let set = self.set_of(block);
         let range = self.set_range(set);
-        let w = self.tags[range.clone()].iter().position(|&t| t == block)?;
-        let lines = &mut self.lines[range.clone()];
-        let line = lines[w];
-        lines[w] = INVALID_LINE;
+        let w = find_way(&self.tags[range.clone()], block)?;
+        let line = self.lines[range.start + w];
+        self.lines[range.start + w] = INVALID_LINE;
         self.tags[range.start + w] = INVALID_TAG;
         self.stats.invalidations.inc();
         Some(Evicted {
-            addr: line.tag * self.cfg.block_bytes,
+            addr: block << self.block_shift,
             dirty: line.dirty,
             owner: Source::decode(line.owner),
         })
@@ -462,7 +527,8 @@ impl SetAssocCache {
     pub fn count_lines_where(&self, pred: impl Fn(Source, bool) -> bool) -> u64 {
         self.lines
             .iter()
-            .filter(|l| l.valid && pred(Source::decode(l.owner), l.dirty))
+            .zip(&self.tags)
+            .filter(|(l, &t)| t != INVALID_TAG && pred(Source::decode(l.owner), l.dirty))
             .count() as u64
     }
 
@@ -481,6 +547,34 @@ mod tests {
     fn small_lru() -> SetAssocCache {
         // 4 sets x 2 ways x 64B = 512B.
         SetAssocCache::new(CacheConfig::new("t", 512, 2, 1, ReplacementPolicy::Lru))
+    }
+
+    #[test]
+    fn access_and_probe_agree_after_eviction_churn() {
+        // Repeated hits followed by conflicting fills: however replacement
+        // plays out, `access` and `probe` must keep agreeing on presence.
+        let mut c = small_lru();
+        let s = Source::Cpu(0);
+        let a = 0x0000; // set 0
+        c.fill(a, s, false);
+        assert!(c.access(a, AccessKind::Read, s));
+        assert!(c.access(a, AccessKind::Read, s), "repeat hit");
+        c.fill(0x0100, s, false); // same set
+        c.fill(0x0200, s, false);
+        c.fill(0x0300, s, false);
+        let hit = c.access(a, AccessKind::Read, s);
+        assert_eq!(hit, c.probe(a), "lookup paths disagree on presence");
+    }
+
+    #[test]
+    fn access_misses_after_invalidate() {
+        let mut c = small_lru();
+        let s = Source::Cpu(0);
+        c.fill(0x40, s, false);
+        assert!(c.access(0x40, AccessKind::Read, s));
+        c.invalidate(0x40);
+        assert!(!c.access(0x40, AccessKind::Read, s));
+        assert!(!c.probe(0x40));
     }
 
     #[test]

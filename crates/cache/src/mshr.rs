@@ -12,8 +12,6 @@
 //!   GPU resources such as request buffers and MSHRs attached to the caches
 //!   internal to the GPU" — the GPU pipeline stalls exactly when these fill.
 
-use gat_sim::hashing::FastMap;
-
 /// Result of trying to allocate an MSHR for a missed block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -28,15 +26,36 @@ pub enum MshrOutcome {
     Full,
 }
 
+/// Empty slot sentinel in the open-addressing index.
+const EMPTY: u32 = u32::MAX;
+
 /// A bounded file of MSHR entries with same-block merging.
+///
+/// Laid out as a fixed slab plus a tiny open-addressing index rather
+/// than a general hash map: each entry owns a fixed-stride chunk of one
+/// flat waiter-token array, and a power-of-two probe table (linear
+/// probing, backward-shift deletion, ≤ 50% load) maps block → entry
+/// slot. The allocate/merge/complete steady state therefore touches no
+/// general-purpose hasher and no heap — this is the hottest structure
+/// after the cache tag arrays.
 #[derive(Debug)]
 pub struct MshrFile {
     capacity: usize,
     max_waiters: usize,
-    entries: FastMap<u64, Vec<u64>>,
-    /// Recycled waiter vectors (always empty), so the steady state of
-    /// allocate/complete churns no heap memory.
-    pool: Vec<Vec<u64>>,
+    /// Open-addressing block→slot index; `EMPTY` marks a free position.
+    idx: Vec<u32>,
+    /// `64 - log2(idx.len())`: the multiply-shift hash keeps the high bits.
+    shift: u32,
+    /// Per entry slot: the block key (valid while the slot is live).
+    blk: Vec<u64>,
+    /// Live waiter count per entry slot.
+    wlen: Vec<u32>,
+    /// Flat waiter storage: `capacity` chunks of `max_waiters` tokens.
+    waiters: Vec<u64>,
+    /// Free entry slots, reused LIFO.
+    free: Vec<u32>,
+    /// Live entries.
+    len: usize,
     /// High-water mark of simultaneously live entries.
     peak: usize,
     stalls: u64,
@@ -48,78 +67,156 @@ impl MshrFile {
     /// `max_waiters` queued requesters (including the primary).
     pub fn new(capacity: usize, max_waiters: usize) -> Self {
         assert!(capacity > 0 && max_waiters > 0);
+        let table = (capacity * 2).next_power_of_two();
         Self {
             capacity,
             max_waiters,
-            entries: FastMap::with_capacity_and_hasher(capacity, Default::default()),
-            pool: Vec::new(),
+            idx: vec![EMPTY; table],
+            shift: 64 - table.trailing_zeros(),
+            blk: vec![0; capacity],
+            wlen: vec![0; capacity],
+            waiters: vec![0; capacity * max_waiters],
+            free: (0..capacity as u32).rev().collect(),
+            len: 0,
             peak: 0,
             stalls: 0,
             merges: 0,
         }
     }
 
+    /// Fibonacci multiply-shift start position for `block`'s probe chain.
+    #[inline(always)]
+    fn hash(&self, block: u64) -> usize {
+        (block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// Locate `block`: `(probe position, entry slot)` if live.
+    #[inline(always)]
+    fn find(&self, block: u64) -> Option<(usize, usize)> {
+        let mask = self.idx.len() - 1;
+        let mut p = self.hash(block);
+        loop {
+            let s = self.idx[p];
+            if s == EMPTY {
+                return None;
+            }
+            if self.blk[s as usize] == block {
+                return Some((p, s as usize));
+            }
+            p = (p + 1) & mask;
+        }
+    }
+
     /// Attempt to record a miss on `block` for requester `token`.
     pub fn allocate(&mut self, block: u64, token: u64) -> MshrOutcome {
-        if let Some(waiters) = self.entries.get_mut(&block) {
-            if waiters.len() >= self.max_waiters {
+        if let Some((_, s)) = self.find(block) {
+            let n = self.wlen[s] as usize;
+            if n >= self.max_waiters {
                 self.stalls += 1;
                 return MshrOutcome::Full;
             }
-            waiters.push(token);
+            self.waiters[s * self.max_waiters + n] = token;
+            self.wlen[s] = (n + 1) as u32;
             self.merges += 1;
             return MshrOutcome::Merged;
         }
-        if self.entries.len() >= self.capacity {
+        if self.len >= self.capacity {
             self.stalls += 1;
             return MshrOutcome::Full;
         }
-        let mut waiters = self.pool.pop().unwrap_or_default();
-        waiters.push(token);
-        self.entries.insert(block, waiters);
-        self.peak = self.peak.max(self.entries.len());
+        let s = self.free.pop().expect("free slot under capacity") as usize;
+        self.blk[s] = block;
+        self.wlen[s] = 1;
+        self.waiters[s * self.max_waiters] = token;
+        let mask = self.idx.len() - 1;
+        let mut p = self.hash(block);
+        while self.idx[p] != EMPTY {
+            p = (p + 1) & mask;
+        }
+        self.idx[p] = s as u32;
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
         MshrOutcome::Primary
+    }
+
+    /// Standard linear-probing deletion at probe position `i`: walk the
+    /// cluster, backward-shifting entries whose home position would
+    /// otherwise become unreachable, then empty the final hole.
+    fn remove_probe(&mut self, mut i: usize) {
+        let mask = self.idx.len() - 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let s = self.idx[j];
+            if s == EMPTY {
+                break;
+            }
+            let h = self.hash(self.blk[s as usize]);
+            // `h` cyclically inside `(i, j]` means the entry still sits on
+            // its own probe chain if the hole moves to `j`.
+            let reachable = if i <= j {
+                h > i && h <= j
+            } else {
+                h > i || h <= j
+            };
+            if !reachable {
+                self.idx[i] = s;
+                i = j;
+            }
+        }
+        self.idx[i] = EMPTY;
+    }
+
+    /// Release the entry at `(probe, slot)`; waiter tokens stay readable
+    /// until the slot is reused.
+    fn release(&mut self, p: usize, s: usize) {
+        self.remove_probe(p);
+        self.free.push(s as u32);
+        self.len -= 1;
     }
 
     /// The data for `block` returned: free the entry and hand back every
     /// queued requester token (primary first, then merge order).
     pub fn complete(&mut self, block: u64) -> Vec<u64> {
-        self.entries.remove(&block).unwrap_or_default()
+        let mut out = Vec::new();
+        self.complete_into(block, &mut out);
+        out
     }
 
     /// Allocation-free [`Self::complete`]: append every queued requester
     /// token for `block` to `out` (primary first, then merge order) and
     /// recycle the entry's storage. Appends nothing for an unknown block.
     pub fn complete_into(&mut self, block: u64, out: &mut Vec<u64>) {
-        if let Some(mut waiters) = self.entries.remove(&block) {
-            out.extend_from_slice(&waiters);
-            waiters.clear();
-            self.pool.push(waiters);
+        if let Some((p, s)) = self.find(block) {
+            let base = s * self.max_waiters;
+            out.extend_from_slice(&self.waiters[base..base + self.wlen[s] as usize]);
+            self.wlen[s] = 0;
+            self.release(p, s);
         }
     }
 
     /// Drop the entry for `block` without reading its waiters (allocation
     /// rollback), recycling the storage.
     pub fn cancel(&mut self, block: u64) {
-        if let Some(mut waiters) = self.entries.remove(&block) {
-            waiters.clear();
-            self.pool.push(waiters);
+        if let Some((p, s)) = self.find(block) {
+            self.wlen[s] = 0;
+            self.release(p, s);
         }
     }
 
     /// Is a miss to `block` already outstanding?
     pub fn contains(&self, block: u64) -> bool {
-        self.entries.contains_key(&block)
+        self.find(block).is_some()
     }
 
     /// Currently live entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when no new primary miss can be accepted.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     pub fn capacity(&self) -> usize {
@@ -140,31 +237,60 @@ impl MshrFile {
 
     /// Drop all state (between simulation phases).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.idx.fill(EMPTY);
+        self.wlen.fill(0);
+        self.free.clear();
+        self.free.extend((0..self.capacity as u32).rev());
+        self.len = 0;
     }
 
     /// Paranoia-mode invariant check: structural bounds that the
     /// allocate/complete protocol guarantees. A violation means an MSHR
-    /// leak or corrupted waiter bookkeeping.
+    /// leak or corrupted waiter/index bookkeeping.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if self.entries.len() > self.capacity {
+        if self.len > self.capacity {
             return Err(format!(
                 "MSHR overflow: {} entries live with capacity {}",
-                self.entries.len(),
+                self.len, self.capacity
+            ));
+        }
+        if self.len + self.free.len() != self.capacity {
+            return Err(format!(
+                "MSHR slot leak: {} live + {} free != capacity {}",
+                self.len,
+                self.free.len(),
                 self.capacity
             ));
         }
-        for (block, waiters) in &self.entries {
-            if waiters.is_empty() {
+        let mut indexed = 0usize;
+        for &s in &self.idx {
+            if s == EMPTY {
+                continue;
+            }
+            indexed += 1;
+            let s = s as usize;
+            let block = self.blk[s];
+            let n = self.wlen[s] as usize;
+            if n == 0 {
                 return Err(format!("MSHR entry for block {block:#x} has no waiters"));
             }
-            if waiters.len() > self.max_waiters {
+            if n > self.max_waiters {
                 return Err(format!(
-                    "MSHR entry for block {block:#x} holds {} waiters (bound {})",
-                    waiters.len(),
+                    "MSHR entry for block {block:#x} holds {n} waiters (bound {})",
                     self.max_waiters
                 ));
             }
+            if self.find(block).map(|(_, fs)| fs) != Some(s) {
+                return Err(format!(
+                    "MSHR index corrupt: block {block:#x} not reachable from its probe chain"
+                ));
+            }
+        }
+        if indexed != self.len {
+            return Err(format!(
+                "MSHR index desync: {indexed} indexed entries, {} live",
+                self.len
+            ));
         }
         Ok(())
     }

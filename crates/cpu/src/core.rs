@@ -168,16 +168,26 @@ impl Core {
         }
     }
 
-    /// Advance one CPU cycle.
-    pub fn tick(&mut self, now: Cycle, port: &mut dyn MemPort) {
+    /// Advance one CPU cycle. Returns `true` when the tick did observable
+    /// work (flushed a write-back, committed, touched the cache hierarchy,
+    /// or dispatched) — `false` means the tick was inert: only the
+    /// per-cycle counters and the dispatch-credit accrual moved, exactly
+    /// what [`Core::fast_forward`] replays. The system's wake calendar
+    /// uses the first inert tick as the (cheap) signal to compute and arm
+    /// this core's [`Core::next_wake`] instead of polling every cycle.
+    pub fn tick(&mut self, now: Cycle, port: &mut dyn MemPort) -> bool {
         self.cycles.inc();
-        self.hierarchy.flush_writebacks(now, port);
-        self.commit(now);
-        self.start_accesses(now, port);
-        self.dispatch(now, port);
+        let flushed = self.hierarchy.writebacks_queued() > 0;
+        if flushed {
+            self.hierarchy.flush_writebacks(now, port);
+        }
+        let committed = self.commit(now);
+        let touched = self.start_accesses(now, port);
+        let dispatched = self.dispatch(now, port);
+        flushed || committed || touched || dispatched
     }
 
-    fn commit(&mut self, now: Cycle) {
+    fn commit(&mut self, now: Cycle) -> bool {
         let mut committed = 0;
         while committed < self.cfg.commit_width {
             match self.rob.front() {
@@ -208,6 +218,7 @@ impl Core {
         if committed == 0 && !self.rob.is_empty() {
             self.commit_stall_cycles.inc();
         }
+        committed > 0
     }
 
     fn set_state(&mut self, seq: u64, state: EntryState) {
@@ -225,8 +236,12 @@ impl Core {
         }
     }
 
-    fn start_accesses(&mut self, now: Cycle, port: &mut dyn MemPort) {
+    /// Returns `true` when any hierarchy call was made (even one that
+    /// stalled: `load`/`store` bump counters and train the prefetcher on
+    /// every call, so a stalled retry is still observable work).
+    fn start_accesses(&mut self, now: Cycle, port: &mut dyn MemPort) -> bool {
         let mut ports_used = 0;
+        let mut attempted = false;
         while ports_used < self.cfg.l1_ports {
             let Some(&(seq, addr, is_store, serialized)) = self.access_queue.front() else {
                 break;
@@ -238,6 +253,7 @@ impl Core {
             {
                 break;
             }
+            attempted = true;
             let outcome = if is_store {
                 self.hierarchy.store(now, addr, port)
             } else {
@@ -270,11 +286,12 @@ impl Core {
                 LoadOutcome::Stall => break,
             }
         }
+        attempted
     }
 
-    fn dispatch(&mut self, now: Cycle, _port: &mut dyn MemPort) {
+    fn dispatch(&mut self, now: Cycle, _port: &mut dyn MemPort) -> bool {
         if now < self.frontend_stall_until {
-            return; // refilling after a mispredicted branch
+            return false; // refilling after a mispredicted branch
         }
         let profile = *self.stream.profile();
         if self.instrs_to_misp == u64::MAX && profile.branch_mpki > 0.0 {
@@ -283,6 +300,7 @@ impl Core {
         let base_ipc = profile.base_ipc;
         self.dispatch_credit =
             (self.dispatch_credit + base_ipc).min(self.cfg.dispatch_width as f64);
+        let mut dispatched = false;
         while self.dispatch_credit >= 1.0 && self.rob.len() < self.cfg.rob_size {
             // Bound the access queue so a long stall doesn't pile up
             // unbounded un-started memory ops.
@@ -305,6 +323,7 @@ impl Core {
             self.rob.push_back(RobEntry { seq, state });
             self.next_seq += 1;
             self.dispatch_credit -= 1.0;
+            dispatched = true;
             // Deterministically spaced branch mispredictions freeze the
             // front end for the refill penalty.
             if profile.branch_mpki > 0.0 {
@@ -317,6 +336,7 @@ impl Core {
                 }
             }
         }
+        dispatched
     }
 
     /// Earliest cycle at or after `now` at which ticking this core could
@@ -330,7 +350,7 @@ impl Core {
     /// (even a stalled retry — `load`/`store` bump counters and train the
     /// prefetcher on every call), pop the ROB, or dispatch an op counts as
     /// active.
-    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
         // Pending write-backs drain to the port every tick.
         if self.hierarchy.writebacks_queued() > 0 {
             return None;
@@ -398,7 +418,7 @@ impl Core {
     }
 
     /// Batch-advance the per-cycle state over the inert span `[from, to)`
-    /// (every cycle in it was certified inert by [`Core::next_activity`]).
+    /// (every cycle in it was certified inert by [`Core::next_wake`]).
     /// Counter sums and the dispatch-credit float sequence are replayed
     /// addition-by-addition so results stay bit-identical to per-cycle
     /// ticking.

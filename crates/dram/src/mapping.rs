@@ -63,33 +63,41 @@ impl DramAddressMap {
     }
 
     /// Decompose a byte address.
+    ///
+    /// Every geometry field is a power of two (asserted below), so the
+    /// field extraction is pure shift/mask — the `/`-and-`%` form would
+    /// compile to a chain of runtime `div`s (the divisors are not
+    /// constants), and this runs once or more per DRAM request.
     pub fn decompose(&self, addr: Addr) -> DramCoord {
         debug_assert!(self.channels.is_power_of_two());
         debug_assert!(self.banks_per_channel.is_power_of_two());
-        let block = addr / self.block_bytes;
-        let cols = self.cols_per_row();
+        debug_assert!(self.block_bytes.is_power_of_two());
+        debug_assert!(self.cols_per_row().is_power_of_two());
+        let ch_bits = self.channels.trailing_zeros();
+        let ch_mask = u64::from(self.channels) - 1;
+        let col_bits = self.cols_per_row().trailing_zeros();
+        let col_mask = self.cols_per_row() - 1;
+        let block = addr >> self.block_bytes.trailing_zeros();
         let (channel, rest) = match self.interleave {
-            ChannelInterleave::Block => (
-                (block % u64::from(self.channels)) as u32,
-                block / u64::from(self.channels),
-            ),
+            ChannelInterleave::Block => ((block & ch_mask) as u32, block >> ch_bits),
             ChannelInterleave::Row => {
                 // Channel chosen by the row-granular bits: |row'|ch|col|.
-                let col = block % cols;
-                let above = block / cols;
-                let channel = (above % u64::from(self.channels)) as u32;
-                (channel, (above / u64::from(self.channels)) * cols + col)
+                let col = block & col_mask;
+                let above = block >> col_bits;
+                let channel = (above & ch_mask) as u32;
+                (channel, ((above >> ch_bits) << col_bits) | col)
             }
         };
-        let col = (rest % cols) as u32;
-        let rest = rest / cols;
-        let banks = u64::from(self.banks_per_channel);
-        let raw_bank = rest % banks;
-        let row = rest / banks;
+        let col = (rest & col_mask) as u32;
+        let rest = rest >> col_bits;
+        let bank_bits = self.banks_per_channel.trailing_zeros();
+        let bank_mask = u64::from(self.banks_per_channel) - 1;
+        let raw_bank = rest & bank_mask;
+        let row = rest >> bank_bits;
         // XOR-fold low row bits into the bank index (permutation-based
         // interleaving): power-of-two strides that land on one raw bank
         // spread across all banks.
-        let bank = ((raw_bank ^ (row & (banks - 1))) % banks) as u32;
+        let bank = ((raw_bank ^ (row & bank_mask)) & bank_mask) as u32;
         DramCoord {
             channel,
             bank,

@@ -63,15 +63,16 @@ pub trait Scheduler: Send {
     fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize>;
     /// Display name for reports.
     fn name(&self) -> &'static str;
-    /// True when the policy is *work-conserving and inert under
-    /// starvation*: `select` returns `Some` whenever any request is
-    /// issuable and eligible, and otherwise returns `None` without
-    /// mutating internal state (no RNG draws, no cursors). The channel
-    /// uses this to skip rebuilding the scheduler view on cycles where
-    /// the starved outcome provably repeats (no bank can start a first
-    /// command yet and the queue is unchanged). SMS opts out: its batch
-    /// formation draws the policy coin even on cycles that issue
-    /// nothing, so every cycle must reach it.
+    /// True when the policy is *inert under starvation*: on any cycle
+    /// where no request is both issuable and eligible, `select` returns
+    /// `None` without mutating internal state (no RNG draws, no
+    /// cursors). The channel uses this to skip rebuilding the scheduler
+    /// view on cycles where the starved outcome provably repeats (no
+    /// bank can start a first command yet and the queue is unchanged).
+    /// Work conservation is *not* required: SMS still idles through
+    /// batch formation on non-starved cycles, but it defers its policy
+    /// coin until a request is actually issuable, so starved cycles are
+    /// pure for every shipped policy.
     fn pure_when_starved(&self) -> bool {
         false
     }
@@ -271,6 +272,14 @@ impl Scheduler for Sms {
         if reqs.is_empty() {
             return None;
         }
+        // Starved: no request can start a first command this cycle, so
+        // every downstream path would return `None` anyway — but the
+        // policy coin and the round-robin cursor must not move, or the
+        // RNG stream would depend on how many starved cycles the channel
+        // chose to tick through (see `pure_when_starved`).
+        if !reqs.iter().any(|r| r.issuable && r.eligible) {
+            return None;
+        }
         let batches = self.batches(reqs);
         let ready: Vec<&(u8, usize, usize, u64, bool)> = batches
             .iter()
@@ -316,6 +325,12 @@ impl Scheduler for Sms {
 
     fn name(&self) -> &'static str {
         "SMS"
+    }
+
+    fn pure_when_starved(&self) -> bool {
+        // Sound since the starved early-return above fires before the
+        // policy coin or `rr_next` can move.
+        true
     }
 }
 
@@ -547,6 +562,48 @@ mod tests {
             reqs[first].source_id, reqs[second].source_id,
             "round-robin must alternate"
         );
+    }
+
+    #[test]
+    fn sms_starved_cycles_leave_rng_stream_untouched() {
+        // Two schedulers, same seed. One sees a long run of starved
+        // cycles (requests present, none issuable) between decisions,
+        // the other never does; their decision streams must be
+        // byte-identical, or the starved-skip would change behavior.
+        let mut interleaved = Sms::new(0.5, 99);
+        let mut clean = Sms::new(0.5, 99);
+        // Aged batches from two sources so both RR and SJF coins matter.
+        let mk = |src: u8, arrival: u64, row: u64, issuable: bool| ReqInfo {
+            is_gpu: src == u8::MAX,
+            source_id: src,
+            is_write: false,
+            arrival,
+            row_hit: false,
+            issuable,
+            eligible: true,
+            bank: 0,
+            row,
+        };
+        let live = [mk(0, 0, 0, true), mk(1, 0, 1, true)];
+        let starved = [mk(0, 0, 0, false), mk(1, 0, 1, false)];
+        for step in 0..64u64 {
+            // The interleaved scheduler wades through starved cycles.
+            for k in 0..(step % 7) {
+                assert_eq!(
+                    interleaved.select(&starved, 1000 + k, SchedCtx::default()),
+                    None,
+                    "starved cycle must idle"
+                );
+            }
+            let a = interleaved.select(&live, 2000 + step, SchedCtx::default());
+            let b = clean.select(&live, 2000 + step, SchedCtx::default());
+            assert_eq!(a, b, "decision {step} diverged after starved cycles");
+        }
+    }
+
+    #[test]
+    fn sms_is_pure_when_starved() {
+        assert!(Sms::new(0.9, 1).pure_when_starved());
     }
 
     #[test]

@@ -462,7 +462,7 @@ impl GpuPipeline {
     /// shade-budget float and, when gated, `gated_cycles`), replayed
     /// exactly by [`GpuPipeline::fast_forward`]. All stages of `tick` run
     /// even on a gated cycle, so every stage must be provably inert.
-    pub fn next_activity(&self, gpu_now: Cycle, gate_reopen: Option<Cycle>) -> Option<Cycle> {
+    pub fn next_wake(&self, gpu_now: Cycle, gate_reopen: Option<Cycle>) -> Option<Cycle> {
         // Cache-generated traffic is pulled into the interface every tick,
         // before the gate check.
         if !self.caches.outbound.is_empty() {
@@ -544,7 +544,7 @@ impl GpuPipeline {
     }
 
     /// Batch-advance `g` inert GPU cycles (each certified by
-    /// [`GpuPipeline::next_activity`]). `gated` says the interface was
+    /// [`GpuPipeline::next_wake`]). `gated` says the interface was
     /// non-empty behind a closed throttle gate for the whole span, which
     /// per-cycle ticking would have counted in `gated_cycles`. The
     /// shade-budget accumulator is replayed addition-by-addition for

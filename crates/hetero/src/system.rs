@@ -18,6 +18,7 @@ use gat_cpu::stream::Op;
 use gat_cpu::{Core, CpuHierarchy, InstructionStream, SpecProfile, StreamGen, TraceStream};
 use gat_dram::{SchedCtx, SchedulerKind};
 use gat_gpu::{GameProfile, GpuEvent, GpuPipeline, WorkloadGen};
+use gat_sim::calendar::WakeCalendar;
 use gat_sim::events::{EventBus, Poll, SubscriberId};
 use gat_sim::faults::StallWindow;
 use gat_sim::json::{Arr, Obj};
@@ -30,6 +31,13 @@ use std::sync::Arc;
 /// stream — per-evaluation throttle adjustments plus frame boundaries —
 /// between two polls of a per-frame consumer.
 const RUN_EVENT_RING: usize = 1 << 16;
+
+/// Machine-wide jumps shorter than this tick through instead: the batch
+/// replay (per-core credit loops, per-channel DRAM accounting) has fixed
+/// overhead that a single certified-inert tick undercuts. The span is
+/// still probe-free — `quiet_until` covers it — so short waits cost almost
+/// nothing either way.
+const MIN_JUMP_SPAN: Cycle = 2;
 
 /// The machine.
 pub struct HeteroSystem {
@@ -75,15 +83,27 @@ pub struct HeteroSystem {
     ff_skipped: Cycle,
     /// Contiguous fast-forward jumps taken so far.
     ff_spans: u64,
-    /// Ticks left before the next quiescence probe. Skipping probes is
-    /// always safe — a missed probe only forgoes a skip opportunity, it
-    /// never changes behaviour — so after a failed probe we back off
-    /// exponentially instead of paying the probe cost every cycle while
-    /// the machine is busy.
-    ff_cooldown: u32,
-    /// Current backoff step (doubles on each failed probe, capped, and
-    /// resets to 1 whenever a probe finds the machine quiescent).
-    ff_backoff: u32,
+    /// Central wake calendar (DESIGN.md §8): one slot per CPU core, then
+    /// the uncore, the GPU complex (pipeline + ATU gate + QoS evaluation)
+    /// and the epoch sampler. An armed slot is a cached quiescence
+    /// certification; delivery hooks in `tick` cancel it the moment the
+    /// source receives external input.
+    wakes: WakeCalendar,
+    /// Next cycle each core must actually execute. A core with an armed
+    /// future wake skips its tick; `Core::fast_forward` replays the gap
+    /// lazily before the next delivery, probe, tick or measurement.
+    core_synced: Vec<Cycle>,
+    /// `now` is inside a machine-wide certified-quiet window ending here;
+    /// until it expires no calendar refresh is needed at all.
+    quiet_until: Cycle,
+    /// Uncore ingress count at the last calendar refresh (new requests
+    /// invalidate the uncore's cached certification).
+    last_ingress: u64,
+    /// Cores whose last executed tick did observable work (they pushed no
+    /// wake). While non-zero the machine is trivially active: a calendar
+    /// refresh would find an uncertified core, so `try_fast_forward`
+    /// returns on this one integer instead of walking the slots.
+    cores_active: usize,
     // Chaos-plan pieces copied out of `cfg.faults` (borrow-friendly in
     // `tick`). All `None`/zero for the fault-free plan.
     /// Periodic GPU frame-stall bursts: quota forced to 0 while stalled.
@@ -216,6 +236,7 @@ impl HeteroSystem {
         let frpu_jitter = cfg.faults.frpu_jitter;
         let frpu_rng = (frpu_jitter > 0.0).then(|| cfg.faults.rng_root(cfg.seed).fork("frpu"));
         let label = format!("{}+{:?}+{:?}", cfg.sched.label(), cfg.fill_policy, cfg.qos);
+        let num_cores = cores.len();
         Self {
             profiles: cpu_apps.iter().map(|(p, _)| *p).collect(),
             cores,
@@ -241,8 +262,11 @@ impl HeteroSystem {
             fast_forward,
             ff_skipped: 0,
             ff_spans: 0,
-            ff_cooldown: 0,
-            ff_backoff: 1,
+            wakes: WakeCalendar::new(num_cores + 3),
+            core_synced: vec![0; num_cores],
+            quiet_until: 0,
+            last_ingress: 0,
+            cores_active: num_cores,
             stall: cfg.faults.gpu_stall,
             wedge: cfg.faults.wedge,
             frpu_jitter,
@@ -258,6 +282,21 @@ impl HeteroSystem {
     /// Is the quiescence-aware fast-forward engine active?
     pub fn fast_forward_enabled(&self) -> bool {
         self.fast_forward
+    }
+
+    /// Wake-calendar slot of the uncore (cores occupy `0..num_cores`).
+    fn uncore_token(&self) -> u32 {
+        self.cores.len() as u32
+    }
+
+    /// Wake-calendar slot of the GPU complex.
+    fn gpu_token(&self) -> u32 {
+        self.cores.len() as u32 + 1
+    }
+
+    /// Wake-calendar slot of the epoch sampler.
+    fn epoch_token(&self) -> u32 {
+        self.cores.len() as u32 + 2
     }
 
     /// Cycles skipped by fast-forward so far (subset of [`Self::now`]).
@@ -301,6 +340,10 @@ impl HeteroSystem {
     pub fn set_epoch_sampling(&mut self, interval: Option<Cycle>) {
         self.epoch_interval = interval.filter(|&i| i > 0);
         self.next_epoch = self.now;
+        // Any cached sampler certification is stale now.
+        let token = self.epoch_token();
+        self.wakes.cancel(token);
+        self.quiet_until = self.now;
     }
 
     /// Sync component statistics into the metrics registry under the
@@ -411,6 +454,8 @@ impl HeteroSystem {
     /// Advance one CPU cycle.
     pub fn tick(&mut self) {
         let now = self.now;
+        let gpu_tok = self.gpu_token();
+        let ff = self.fast_forward;
 
         // One port for the whole tick; only the requester source changes
         // between uses (hoisting the construction off the per-core loop).
@@ -420,17 +465,31 @@ impl HeteroSystem {
         };
 
         // 1. Deliver finished reads. (`comp_buf` is restored empty — see
-        // the invariant on the scratch-buffer fields.)
+        // the invariant on the scratch-buffer fields.) External input
+        // cancels the receiver's cached wake; a skipped core is caught up
+        // to `now` before it observes the response.
         let mut comp = std::mem::take(&mut self.comp_buf);
         port.uncore.drain_completions(&mut comp);
         for c in &comp {
             match c.source {
                 Source::Cpu(i) => {
+                    let i = i as usize;
+                    if ff {
+                        self.wakes.cancel(i as u32);
+                        let s = self.core_synced[i];
+                        if s < now {
+                            self.cores[i].fast_forward(s, now);
+                            self.core_synced[i] = now;
+                        }
+                    }
                     port.source = c.source;
-                    self.cores[i as usize].on_mem_response(now, c.token, &mut port);
+                    self.cores[i].on_mem_response(now, c.token, &mut port);
                 }
                 Source::Gpu => {
                     if let Some(gpu) = self.gpu.as_mut() {
+                        if ff {
+                            self.wakes.cancel(gpu_tok);
+                        }
                         gpu.on_mem_response(now / GPU_CLOCK_DIVIDER, c.token);
                     }
                 }
@@ -443,18 +502,59 @@ impl HeteroSystem {
         let mut invals = std::mem::take(&mut self.inval_buf);
         port.uncore.drain_back_invals(&mut invals);
         for b in &invals {
-            if let Some(core) = self.cores.get_mut(b.core as usize) {
+            let i = b.core as usize;
+            if let Some(core) = self.cores.get_mut(i) {
+                if ff {
+                    self.wakes.cancel(i as u32);
+                    let s = self.core_synced[i];
+                    if s < now {
+                        core.fast_forward(s, now);
+                        self.core_synced[i] = now;
+                    }
+                }
                 core.back_invalidate(b.addr);
             }
         }
         invals.clear();
         self.inval_buf = invals;
 
-        // 3. CPU cores.
-        for core in &mut self.cores {
+        // 3. CPU cores. A core whose armed wake is still in the future is
+        // certified inert this cycle: skip its tick entirely (the lazy
+        // catch-up above replays the gap when something finally reaches
+        // it). Ticked cores *push* their certification: an inert tick arms
+        // the core's wake right here, so nothing ever polls an active
+        // core. This is what makes the engine pay off on busy drivers —
+        // stalled cores stop costing per-cycle work even while the uncore
+        // and GPU stay hot, and busy cores cost nothing beyond their tick.
+        let mut cores_active = 0;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if ff {
+                if self.wakes.armed(i as u32).is_some_and(|w| w > now) {
+                    continue;
+                }
+                self.wakes.cancel(i as u32);
+                let s = self.core_synced[i];
+                if s < now {
+                    core.fast_forward(s, now);
+                }
+                self.core_synced[i] = now + 1;
+            }
             port.source = Source::Cpu(core.core_id());
-            core.tick(now, &mut port);
+            let worked = core.tick(now, &mut port);
+            if ff {
+                // An inert tick is the cue to compute the real wake once;
+                // a working core stays uncertified at zero probe cost.
+                if worked {
+                    cores_active += 1;
+                } else {
+                    match core.next_wake(now + 1) {
+                        Some(w) => self.wakes.schedule(i as u32, w),
+                        None => cores_active += 1,
+                    }
+                }
+            }
         }
+        self.cores_active = cores_active;
 
         // 4. GPU on its clock divider.
         let mut gpu_now = 0;
@@ -573,12 +673,79 @@ impl HeteroSystem {
         self.now += 1;
     }
 
+    /// GPU-complex probe: earliest cycle at or after `self.now` at which
+    /// the GPU pipeline, the ATU gate, an injected stall boundary or a
+    /// QoS evaluation could do observable work (`None` = active now).
+    fn probe_gpu(&self) -> Option<Cycle> {
+        let now = self.now;
+        let Some(gpu) = self.gpu.as_ref() else {
+            return Some(Cycle::MAX);
+        };
+        let mut wake = Cycle::MAX;
+        let next_gpu_tick = now.next_multiple_of(GPU_CLOCK_DIVIDER);
+        let g_now = next_gpu_tick / GPU_CLOCK_DIVIDER;
+        let gate_reopen = self.qos.as_ref().and_then(|q| q.atu.gate_reopens_at(g_now));
+        // An injected stall burst closes the port like the ATU gate;
+        // the earlier of the two reopen cycles is a conservative wake
+        // (the probe simply re-runs there if the port is still shut).
+        let stall_reopen = self
+            .stall
+            .filter(|s| s.stalled(g_now))
+            .map(|s| s.next_boundary(g_now));
+        let gate_reopen = match (gate_reopen, stall_reopen) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(s) = self.stall {
+            // Never skip across a stall boundary: the per-cycle gating
+            // stats differ on the two sides.
+            wake = wake.min(s.next_boundary(g_now).saturating_mul(GPU_CLOCK_DIVIDER));
+        }
+        match gpu.next_wake(g_now, gate_reopen) {
+            None => {
+                // Active at its next tick; only skippable if that tick
+                // is still in the future.
+                if next_gpu_tick == now {
+                    return None;
+                }
+                wake = wake.min(next_gpu_tick);
+            }
+            Some(w) => {
+                if w != Cycle::MAX {
+                    wake = wake.min(w.saturating_mul(GPU_CLOCK_DIVIDER));
+                }
+            }
+        }
+        if let Some(q) = self.qos.as_ref() {
+            // The periodic policy evaluation fires from `note_sends`
+            // on the first GPU tick at/after its deadline.
+            let eval_cpu = q
+                .next_eval_at()
+                .saturating_mul(GPU_CLOCK_DIVIDER)
+                .max(next_gpu_tick);
+            if eval_cpu <= now {
+                return None;
+            }
+            wake = wake.min(eval_cpu);
+        }
+        Some(wake)
+    }
+
+    /// Epoch-sampler probe (`None` = a snapshot fires on the next tick).
+    fn probe_epoch(&self) -> Option<Cycle> {
+        match self.epoch_interval {
+            None => Some(Cycle::MAX),
+            Some(_) if self.next_epoch <= self.now => None,
+            Some(_) => Some(self.next_epoch),
+        }
+    }
+
     /// Earliest cycle at or after `self.now` at which any component could
     /// do observable work, or `None` if some component is active at
-    /// `self.now` (the normal case). All probes are conservative: a cycle
-    /// is only skippable when *every* layer certifies it inert, so a
-    /// fast-forwarded run is byte-identical to the cycle-by-cycle one.
-    fn next_activity(&self) -> Option<Cycle> {
+    /// `self.now`. This is the pure-path aggregate (every layer probed
+    /// fresh — sound only while no core tick has been skipped); the
+    /// event-driven path uses [`Self::refresh_wakes`] instead.
+    fn next_wake(&self) -> Option<Cycle> {
         let now = self.now;
         // A wedged machine claims to be active forever: the watchdog, not
         // the fast-forward engine, must be what ends the run.
@@ -591,79 +758,119 @@ impl HeteroSystem {
             wake = wake.min(w);
         }
         for core in &self.cores {
-            match core.next_activity(now) {
+            match core.next_wake(now) {
                 None => return None,
                 Some(w) => wake = wake.min(w),
             }
         }
-        match self.uncore.next_activity(now) {
+        match self.uncore.next_wake(now) {
             None => return None,
             Some(w) => wake = wake.min(w),
         }
-        if let Some(gpu) = self.gpu.as_ref() {
-            let next_gpu_tick = now.next_multiple_of(GPU_CLOCK_DIVIDER);
-            let g_now = next_gpu_tick / GPU_CLOCK_DIVIDER;
-            let gate_reopen = self.qos.as_ref().and_then(|q| q.atu.gate_reopens_at(g_now));
-            // An injected stall burst closes the port like the ATU gate;
-            // the earlier of the two reopen cycles is a conservative wake
-            // (the probe simply re-runs there if the port is still shut).
-            let stall_reopen = self
-                .stall
-                .filter(|s| s.stalled(g_now))
-                .map(|s| s.next_boundary(g_now));
-            let gate_reopen = match (gate_reopen, stall_reopen) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
-            if let Some(s) = self.stall {
-                // Never skip across a stall boundary: the per-cycle gating
-                // stats differ on the two sides.
-                wake = wake.min(s.next_boundary(g_now).saturating_mul(GPU_CLOCK_DIVIDER));
-            }
-            match gpu.next_activity(g_now, gate_reopen) {
-                None => {
-                    // Active at its next tick; only skippable if that tick
-                    // is still in the future.
-                    if next_gpu_tick == now {
-                        return None;
-                    }
-                    wake = wake.min(next_gpu_tick);
-                }
-                Some(w) => {
-                    if w != Cycle::MAX {
-                        wake = wake.min(w.saturating_mul(GPU_CLOCK_DIVIDER));
-                    }
-                }
-            }
-            if let Some(q) = self.qos.as_ref() {
-                // The periodic policy evaluation fires from `note_sends`
-                // on the first GPU tick at/after its deadline.
-                let eval_cpu = q
-                    .next_eval_at()
-                    .saturating_mul(GPU_CLOCK_DIVIDER)
-                    .max(next_gpu_tick);
-                if eval_cpu <= now {
-                    return None;
-                }
-                wake = wake.min(eval_cpu);
-            }
+        match self.probe_gpu() {
+            None => return None,
+            Some(w) => wake = wake.min(w),
         }
-        if self.epoch_interval.is_some() {
-            if self.next_epoch <= now {
-                return None;
-            }
-            wake = wake.min(self.next_epoch);
+        match self.probe_epoch() {
+            None => return None,
+            Some(w) => wake = wake.min(w),
         }
         Some(wake)
     }
 
+    /// Re-certify `token` on the calendar if its cached wake has expired
+    /// (or was cancelled). Returns whether the source is quiescent.
+    fn refresh_token(&mut self, token: u32, probe: impl Fn(&Self) -> Option<Cycle>) -> bool {
+        if self.wakes.armed(token).is_some_and(|w| w > self.now) {
+            return true;
+        }
+        match probe(self) {
+            Some(w) => {
+                self.wakes.schedule(token, w);
+                true
+            }
+            None => {
+                self.wakes.cancel(token);
+                false
+            }
+        }
+    }
+
+    /// Refresh the wake calendar at `self.now`: armed future wakes are
+    /// trusted (external input cancels them at delivery), due or cancelled
+    /// sources are re-probed. Returns the machine-wide wake — the earliest
+    /// armed wake, `Cycle::MAX` when every source is blocked on external
+    /// input — or `None` if any source is active at `self.now`.
+    fn refresh_wakes(&mut self) -> Option<Cycle> {
+        let now = self.now;
+        // A core that did observable work last tick is uncertified by
+        // construction — the machine cannot jump, so don't touch the
+        // calendar at all. This is the per-cycle cost of fast-forward on
+        // a busy driver: one integer test.
+        if self.cores_active > 0 {
+            return None;
+        }
+        // A wedged machine claims to be active forever: the watchdog, not
+        // the fast-forward engine, must be what ends the run.
+        if self.wedge.is_some_and(|w| now >= w) {
+            return None;
+        }
+        let uncore_token = self.uncore_token();
+        // Requests accepted since the last refresh invalidate the uncore's
+        // cached certification (the only external path into it).
+        if self.uncore.ingress != self.last_ingress {
+            self.last_ingress = self.uncore.ingress;
+            self.wakes.cancel(uncore_token);
+        }
+        // Cores push their certifications from their own ticks, so the
+        // calendar is already current everywhere except a wake that just
+        // came due: catch the core up and re-probe it once (the due wake
+        // is often conservative — e.g. a dispatch-credit crossing into a
+        // still-full ROB — and re-certifies further out).
+        let mut quiet = true;
+        for i in 0..self.cores.len() {
+            match self.wakes.armed(i as u32) {
+                Some(w) if w > now => continue,
+                _ => {}
+            }
+            let s = self.core_synced[i];
+            if s < now {
+                self.cores[i].fast_forward(s, now);
+                self.core_synced[i] = now;
+            }
+            match self.cores[i].next_wake(now) {
+                Some(w) => self.wakes.schedule(i as u32, w),
+                None => {
+                    self.wakes.cancel(i as u32);
+                    quiet = false;
+                }
+            }
+        }
+        // The remaining sources only gate machine-wide jumps: stop probing
+        // as soon as one source is known active this cycle.
+        let quiet = quiet
+            && self.refresh_token(uncore_token, |s| s.uncore.next_wake(s.now))
+            && self.refresh_token(uncore_token + 1, Self::probe_gpu)
+            && self.refresh_token(uncore_token + 2, Self::probe_epoch);
+        if !quiet {
+            return None;
+        }
+        Some(self.wakes.next_at().unwrap_or(Cycle::MAX))
+    }
+
     /// Jump `now` to `target`, batch-advancing every per-cycle counter
-    /// exactly as `target - now` inert ticks would have.
+    /// exactly as the skipped inert ticks would have.
     fn fast_forward_to(&mut self, target: Cycle) {
         let from = self.now;
         debug_assert!(target > from);
-        for core in &mut self.cores {
-            core.fast_forward(from, target);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            // Cores catch up lazily, so each replays from wherever its
+            // last executed tick left it.
+            let s = self.core_synced[i];
+            if s < target {
+                core.fast_forward(s, target);
+                self.core_synced[i] = target;
+            }
         }
         if let Some(gpu) = self.gpu.as_mut() {
             // GPU ticks skipped in `[from, target)` are the GPU cycles in
@@ -701,28 +908,60 @@ impl HeteroSystem {
         }
     }
 
-    /// If every component is quiescent, jump to the earliest wake cycle
-    /// (bounded by `cap`, exclusive of the jump target's tick).
+    /// If every source certifies quiescence, advance to the machine-wide
+    /// wake (bounded by `cap`, exclusive of the jump target's tick): long
+    /// spans jump in one batch replay, short ones open a probe-free quiet
+    /// window and tick through.
     fn try_fast_forward(&mut self, cap: Cycle) {
         if !self.fast_forward || self.now >= cap {
             return;
         }
-        if self.ff_cooldown > 0 {
-            self.ff_cooldown -= 1;
+        if self.now < self.quiet_until {
+            // Inside a certified-quiet window: nothing can become active
+            // before it ends, so there is nothing to probe.
             return;
         }
-        let Some(wake) = self.next_activity() else {
-            // Busy: probe less often while activity continues. This only
-            // delays when a skippable span is *noticed*, never what the
-            // machine does, so outputs stay byte-identical.
-            self.ff_cooldown = self.ff_backoff;
-            self.ff_backoff = (self.ff_backoff * 2).min(32);
+        let Some(wake) = self.refresh_wakes() else {
             return;
         };
-        self.ff_backoff = 1;
-        let target = wake.min(cap);
-        if target > self.now {
+        let mut target = wake.min(cap);
+        if let Some(w) = self.wedge {
+            // Never skip past the wedge onset (it changes GPU gating).
+            target = target.min(w);
+        }
+        debug_assert!(target > self.now);
+        if target - self.now < MIN_JUMP_SPAN {
+            self.quiet_until = target;
+        } else {
             self.fast_forward_to(target);
+        }
+    }
+
+    /// Replay every lazily-skipped core tick up to `self.now` (before
+    /// measurement marks and result collection, which read cycle counts).
+    fn sync_cores(&mut self) {
+        if !self.fast_forward {
+            return;
+        }
+        let now = self.now;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let s = self.core_synced[i];
+            if s < now {
+                core.fast_forward(s, now);
+                self.core_synced[i] = now;
+            }
+        }
+    }
+
+    /// Liveness vouch for the watchdog: is the silent window explained by
+    /// certified quiescent waiting on a known future event? On the
+    /// event-driven path the wake calendar answers; on the pure path
+    /// (`GAT_NO_FASTFORWARD`) every layer is probed fresh.
+    fn quiescent_vouch(&mut self) -> bool {
+        if self.fast_forward {
+            self.now < self.quiet_until || self.refresh_wakes().is_some()
+        } else {
+            self.next_wake().is_some()
         }
     }
 
@@ -733,6 +972,7 @@ impl HeteroSystem {
             self.tick();
             self.try_fast_forward(end);
         }
+        self.sync_cores();
         for core in &mut self.cores {
             core.mark();
             core.set_measure_budget(self.cfg.limits.cpu_instructions);
@@ -895,9 +1135,9 @@ impl HeteroSystem {
                     if fp != wd_print {
                         wd_print = fp;
                         self.wd_next = self.now.saturating_add(self.wd_window);
-                    } else if self.next_activity().is_some() {
+                    } else if self.quiescent_vouch() {
                         // Quiescent wait on a known future event — the
-                        // fast-forward probe vouches for it; not a wedge.
+                        // wake calendar vouches for it; not a wedge.
                         self.wd_next = self.now.saturating_add(self.wd_window);
                     } else {
                         return Err(self.wedged_error());
@@ -911,6 +1151,7 @@ impl HeteroSystem {
                 self.try_fast_forward(self.cfg.limits.max_cycles);
             }
         }
+        self.sync_cores();
         crate::ffstats::record(self.now, self.ff_skipped, self.ff_spans);
         Ok(self.collect())
     }

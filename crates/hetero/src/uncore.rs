@@ -28,7 +28,6 @@ use gat_policies::{BypassAllGpuReads, FillDecision, Helm, InsertAll, LlcFillPoli
 use gat_ring::{Ring, RingTopology, StopId};
 use gat_sim::addr::line_of;
 use gat_sim::faults::DelayInjector;
-use gat_sim::hashing::FastMap;
 use gat_sim::stats::Counter;
 use gat_sim::{Cycle, DRAM_CLOCK_DIVIDER};
 
@@ -49,6 +48,82 @@ struct Txn {
     addr: u64,
     write: bool,
     stage: Stage,
+}
+
+/// Low bits of a transaction id that address the slab slot; the high bits
+/// carry a monotonic allocation sequence number.
+const SLOT_BITS: u32 = 16;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+/// Slab of in-flight transactions, keyed by the ids that travel the ring
+/// and the DRAM queues. Replaces a hash map on the hottest uncore path:
+/// a lookup is one bounds-checked index plus an id compare.
+///
+/// Ids are `seq << SLOT_BITS | slot` with `seq` incremented per insert, so
+/// they remain strictly increasing in allocation order — every id-order
+/// tie-break downstream (e.g. DRAM completion sorting) sees exactly the
+/// order the old monotonic-counter ids produced. The stored full id makes
+/// stale lookups (a slot reused after removal) miss instead of aliasing.
+#[derive(Debug, Default)]
+struct TxnSlab {
+    slots: Vec<Option<(u64, Txn)>>,
+    free: Vec<u32>,
+    seq: u64,
+    len: usize,
+}
+
+impl TxnSlab {
+    fn insert(&mut self, txn: Txn) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len();
+                assert!(s as u64 <= SLOT_MASK, "transaction slab overflow");
+                self.slots.push(None);
+                s as u32
+            }
+        };
+        let id = (self.seq << SLOT_BITS) | u64::from(slot);
+        self.seq += 1;
+        self.slots[slot as usize] = Some((id, txn));
+        self.len += 1;
+        id
+    }
+
+    fn get(&self, id: u64) -> Option<&Txn> {
+        match self.slots.get((id & SLOT_MASK) as usize) {
+            Some(Some((sid, txn))) if *sid == id => Some(txn),
+            _ => None,
+        }
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut Txn> {
+        match self.slots.get_mut((id & SLOT_MASK) as usize) {
+            Some(Some((sid, txn))) if *sid == id => Some(txn),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Txn> {
+        let s = (id & SLOT_MASK) as usize;
+        let cell = self.slots.get_mut(s)?;
+        if cell.as_ref().is_some_and(|(sid, _)| *sid == id) {
+            let (_, txn) = cell.take().unwrap();
+            self.free.push(s as u32);
+            self.len -= 1;
+            Some(txn)
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// A finished read delivered back to its requester.
@@ -98,11 +173,15 @@ pub struct Uncore {
     fill_min: Cycle,
     pub channels: Vec<DramChannel>,
     mc_retry: Vec<std::collections::VecDeque<u64>>,
-    txns: FastMap<u64, Txn>,
-    next_id: u64,
+    txns: TxnSlab,
     policy: Box<dyn LlcFillPolicy>,
     /// GPU latency tolerance sampled by the system each cycle (HeLM).
     pub gpu_tolerance: f64,
+    /// Monotonic count of accepted requests. The system's wake calendar
+    /// compares it across refreshes: new ingress invalidates a cached
+    /// uncore quiescence certification (the only external path that can
+    /// create uncore work).
+    pub ingress: u64,
     completions: Vec<UncoreCompletion>,
     back_invals: Vec<BackInval>,
     drain_buf: Vec<u64>,
@@ -185,10 +264,10 @@ impl Uncore {
             fill_min: Cycle::MAX,
             channels,
             mc_retry,
-            txns: FastMap::default(),
-            next_id: 0,
+            txns: TxnSlab::default(),
             policy,
             gpu_tolerance: 0.0,
+            ingress: 0,
             completions: Vec::new(),
             back_invals: Vec::new(),
             drain_buf: Vec::new(),
@@ -213,18 +292,14 @@ impl Uncore {
             return false;
         }
         self.to_llc_count += 1;
-        let id = self.next_id;
-        self.next_id += 1;
-        self.txns.insert(
-            id,
-            Txn {
-                requester: source,
-                token: req.token,
-                addr: line_of(req.addr),
-                write: req.write,
-                stage: Stage::ToLlc,
-            },
-        );
+        self.ingress += 1;
+        let id = self.txns.insert(Txn {
+            requester: source,
+            token: req.token,
+            addr: line_of(req.addr),
+            write: req.write,
+            stage: Stage::ToLlc,
+        });
         self.ring
             .send(now, self.stop_of(source), StopId(self.cfg.llc_stop()), id);
         true
@@ -245,7 +320,7 @@ impl Uncore {
         let mut buf = std::mem::take(&mut self.drain_buf);
         self.ring.drain_delivered(now, &mut buf);
         for &id in &buf {
-            let Some(txn) = self.txns.get(&id).copied() else {
+            let Some(txn) = self.txns.get(id).copied() else {
                 continue;
             };
             match txn.stage {
@@ -256,7 +331,7 @@ impl Uncore {
                         source: txn.requester,
                         token: txn.token,
                     });
-                    self.txns.remove(&id);
+                    self.txns.remove(id);
                 }
             }
         }
@@ -305,7 +380,7 @@ impl Uncore {
                     break;
                 }
                 self.mc_retry[ch].pop_front();
-                if let Some(txn) = self.txns.get(&id).copied() {
+                if let Some(txn) = self.txns.get(id).copied() {
                     self.send_to_dram(now, id, txn);
                 }
             }
@@ -325,13 +400,27 @@ impl Uncore {
             };
             served += 1;
             self.to_llc_count = self.to_llc_count.saturating_sub(1);
-            let Some(txn) = self.txns.get(&id).copied() else {
+            let Some(txn) = self.txns.get(id).copied() else {
                 continue;
             };
             if txn.write {
                 self.llc_write(now, id, txn);
             } else {
                 self.llc_read(now, id, txn);
+            }
+        }
+        // Next cycle's lookups: start pulling their tag sets into the
+        // host cache now, so the LLC metadata's memory latency overlaps a
+        // full simulated cycle of core/GPU work instead of stalling the
+        // lookup itself.
+        for &id in self
+            .llc_retry
+            .iter()
+            .chain(self.llc_queue.iter())
+            .take(self.cfg.llc_lookups_per_cycle as usize)
+        {
+            if let Some(t) = self.txns.get(id) {
+                self.llc.prefetch(t.addr);
             }
         }
     }
@@ -344,7 +433,7 @@ impl Uncore {
             let evicted = self.llc_fill(txn.addr, txn.requester, true);
             self.handle_eviction(now, evicted);
         }
-        self.txns.remove(&id);
+        self.txns.remove(id);
     }
 
     /// LLC fill honouring the static way-partitioning ablation.
@@ -365,7 +454,7 @@ impl Uncore {
 
     fn llc_read(&mut self, now: Cycle, id: u64, txn: Txn) {
         if self.llc.access(txn.addr, AccessKind::Read, txn.requester) {
-            self.txns.get_mut(&id).unwrap().stage = Stage::Resp;
+            self.txns.get_mut(id).unwrap().stage = Stage::Resp;
             let due = now + Cycle::from(self.cfg.llc_latency);
             self.resp_due.push((due, id));
             self.resp_min = self.resp_min.min(due);
@@ -373,7 +462,7 @@ impl Uncore {
         }
         match self.llc_mshr.allocate(txn.addr, id) {
             MshrOutcome::Primary => {
-                self.txns.get_mut(&id).unwrap().stage = Stage::ToMc;
+                self.txns.get_mut(id).unwrap().stage = Stage::ToMc;
                 let due = now + Cycle::from(self.cfg.llc_latency);
                 self.miss_due.push((due, id));
                 self.miss_min = self.miss_min.min(due);
@@ -404,7 +493,7 @@ impl Uncore {
             while i < self.resp_due.len() {
                 if self.resp_due[i].0 <= now {
                     let (_, id) = self.resp_due.swap_remove(i);
-                    if let Some(txn) = self.txns.get(&id).copied() {
+                    if let Some(txn) = self.txns.get(id).copied() {
                         self.ring
                             .send(now, llc_stop, self.stop_of(txn.requester), id);
                     }
@@ -421,7 +510,7 @@ impl Uncore {
             while i < self.miss_due.len() {
                 if self.miss_due[i].0 <= now {
                     let (_, id) = self.miss_due.swap_remove(i);
-                    if let Some(txn) = self.txns.get(&id).copied() {
+                    if let Some(txn) = self.txns.get(id).copied() {
                         let ch = self.channel_of(&txn);
                         self.ring
                             .send(now, llc_stop, StopId(self.cfg.mc_stop(ch)), id);
@@ -462,15 +551,11 @@ impl Uncore {
         }
         for c in &buf {
             if c.write {
-                self.txns.remove(&c.id);
+                self.txns.remove(c.id);
                 continue;
             }
             // Data returns to the LLC stop over the ring (MC → LLC hop).
-            let ch = self
-                .txns
-                .get(&c.id)
-                .map(|t| self.channel_of(t))
-                .unwrap_or(0);
+            let ch = self.txns.get(c.id).map(|t| self.channel_of(t)).unwrap_or(0);
             let hop = self
                 .ring
                 .topology()
@@ -483,7 +568,7 @@ impl Uncore {
     }
 
     fn finish_fill(&mut self, now: Cycle, id: u64) {
-        let Some(txn) = self.txns.get(&id).copied() else {
+        let Some(txn) = self.txns.get(id).copied() else {
             return;
         };
         // Fill decision: CPU fills always insert; GPU fills ask the policy.
@@ -508,7 +593,7 @@ impl Uncore {
         let waiters = self.llc_mshr.complete(txn.addr);
         let llc_stop = StopId(self.cfg.llc_stop());
         for wid in waiters {
-            let requester = match self.txns.get_mut(&wid) {
+            let requester = match self.txns.get_mut(wid) {
                 Some(wtxn) => {
                     wtxn.stage = Stage::Resp;
                     wtxn.requester
@@ -534,8 +619,6 @@ impl Uncore {
         }
         if ev.dirty {
             // Dirty victim goes to DRAM as a write.
-            let id = self.next_id;
-            self.next_id += 1;
             let txn = Txn {
                 requester: ev.owner,
                 token: 0,
@@ -543,8 +626,8 @@ impl Uncore {
                 write: true,
                 stage: Stage::ToMc,
             };
-            self.txns.insert(id, txn);
             let ch = self.channel_of(&txn);
+            let id = self.txns.insert(txn);
             self.ring.send(
                 now,
                 StopId(self.cfg.llc_stop()),
@@ -570,7 +653,7 @@ impl Uncore {
     /// accumulators (replayed exactly by [`Uncore::fast_forward`]): the
     /// ring drains nothing, no LLC lookup or due-list entry fires, and no
     /// DRAM channel has queued work or a due completion/refresh.
-    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
         // Undelivered completions/back-invals are consumed by the system
         // at the top of its tick.
         if !self.completions.is_empty() || !self.back_invals.is_empty() {
@@ -622,7 +705,7 @@ impl Uncore {
     }
 
     /// Batch-advance the inert span `[from, to)` (certified by
-    /// [`Uncore::next_activity`]): replay the skipped DRAM ticks' per-cycle
+    /// [`Uncore::next_wake`]): replay the skipped DRAM ticks' per-cycle
     /// accounting on every channel. A span containing a DRAM tick implies
     /// all channels were idle for it.
     pub fn fast_forward(&mut self, from: Cycle, to: Cycle, cpu_prio_boost: bool) {

@@ -19,6 +19,11 @@ pub enum RuleId {
     R5,
     /// CLI flags / `GAT_*` knobs missing from the documentation.
     R6,
+    /// Quiescence-probe style polling APIs (`next_activity` and kin) in
+    /// sim-state crates. The event calendar replaced the probe loop; new
+    /// polling entry points would quietly reintroduce the O(layers)
+    /// fast-forward scan the calendar was built to delete.
+    R7,
     /// Pragma problems: malformed, unknown rule, or unused suppression.
     Pragma,
 }
@@ -32,6 +37,7 @@ impl RuleId {
             RuleId::R4 => "R4",
             RuleId::R5 => "R5",
             RuleId::R6 => "R6",
+            RuleId::R7 => "R7",
             RuleId::Pragma => "pragma",
         }
     }
@@ -47,6 +53,7 @@ impl RuleId {
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
             _ => None,
         }
     }
@@ -66,8 +73,11 @@ impl RuleId {
             RuleId::R4 => "emit through the events/metrics layer (gat_sim::events, gat_sim::metrics)",
             RuleId::R5 => "use f64::total_cmp for ordering, or guard the comparison against NaN explicitly",
             RuleId::R6 => "document the name, or remove the dead flag/knob",
+            RuleId::R7 => {
+                "register a wake on the WakeCalendar (schedule/cancel) instead of exposing a per-cycle activity probe"
+            }
             RuleId::Pragma => {
-                "fix the pragma: gat-lint: allow(R1..R6, \"reason\"); delete it if the violation is gone"
+                "fix the pragma: gat-lint: allow(R1..R7, \"reason\"); delete it if the violation is gone"
             }
         }
     }
@@ -157,6 +167,7 @@ mod tests {
             RuleId::R4,
             RuleId::R5,
             RuleId::R6,
+            RuleId::R7,
         ] {
             assert_eq!(RuleId::from_pragma_name(r.as_str()), Some(r));
         }

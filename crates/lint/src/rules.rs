@@ -1,5 +1,6 @@
-//! The determinism rules (R1–R5) over one file's token stream, plus the
-//! raw material (flag and knob literals) for the cross-file rule R6.
+//! The determinism rules (R1–R5) and the event-scheduling rule (R7) over
+//! one file's token stream, plus the raw material (flag and knob
+//! literals) for the cross-file rule R6.
 //!
 //! Every matcher works on the comment-free token stream from
 //! [`crate::lexer`]; spans are line-granular, which is enough for a
@@ -70,7 +71,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
                 rule: RuleId::Pragma,
                 file: rel_path.into(),
                 line: p.line,
-                message: format!("pragma names unknown rule {:?} (known: R1..R6)", p.rule),
+                message: format!("pragma names unknown rule {:?} (known: R1..R7)", p.rule),
             }),
         }
     }
@@ -85,6 +86,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
         check_r3_rng(rel_path, toks, &in_test, &mut raw);
         check_r4_printing(rel_path, toks, &in_test, &mut raw);
         check_r5_nan(rel_path, toks, &in_test, &mut raw);
+        check_r7_activity_polling(rel_path, toks, &in_test, &mut raw);
     }
     dedupe(&mut raw);
     let survived = suppress(raw, &mut out.pragmas);
@@ -413,6 +415,33 @@ fn check_r5_nan(file: &str, toks: &[Token], in_test: &[bool], raw: &mut Vec<Find
                     }
                 }
             }
+        }
+    }
+}
+
+/// R7: quiescence-probe polling APIs in sim-state code. PR 7 replaced the
+/// fast-forward probe loop ("ask every layer for its next activity each
+/// cycle") with push-model wake registration on the `WakeCalendar`; a new
+/// `next_activity`-style entry point would reintroduce the O(layers) scan
+/// and silently bypass the calendar's certification invariants. The name
+/// list is exact idents, not substrings — `activity` alone (stats fields,
+/// doc examples) stays legal.
+fn check_r7_activity_polling(file: &str, toks: &[Token], in_test: &[bool], raw: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if let Some(
+            name @ ("next_activity" | "poll_activity" | "has_activity" | "activity_probe"),
+        ) = ident_at(toks, i)
+        {
+            push(
+                raw,
+                RuleId::R7,
+                file,
+                t.line,
+                format!("{name}: per-cycle activity polling was retired in favour of WakeCalendar scheduling"),
+            );
         }
     }
 }

@@ -13,6 +13,8 @@
 //! wormhole detail.
 
 use gat_sim::{faults::DelayInjector, stats::Counter, Cycle};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A stop (agent attachment point) on the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,13 +66,10 @@ impl RingTopology {
     }
 }
 
-/// An in-flight message carrying an opaque token.
-#[derive(Debug, Clone, Copy)]
-struct Flight {
-    deliver_at: Cycle,
-    token: u64,
-    seq: u64,
-}
+/// An in-flight message carrying an opaque token, min-ordered by
+/// `(deliver_at, seq)` through the [`Reverse`] wrapper in the heap — the
+/// sequence tie-break fixes delivery order for same-cycle arrivals.
+type Flight = Reverse<(Cycle, u64, u64)>;
 
 /// A ring instance that transports opaque tokens with hop latency plus
 /// injection serialization per (stop, direction).
@@ -98,13 +97,10 @@ pub struct Ring {
     inject_free: Vec<[Cycle; 2]>,
     /// Injections permitted per cycle per direction, per stop.
     widths: Vec<u32>,
-    in_flight: Vec<Flight>,
-    /// Exact earliest `deliver_at` over `in_flight` (`Cycle::MAX` when
-    /// empty) — lets the per-cycle drain and the fast-forward probe skip
-    /// the O(n) scan on cycles with nothing due.
-    next_due: Cycle,
-    /// Scratch for `drain_delivered` (kept empty between calls).
-    due_buf: Vec<Flight>,
+    /// Min-heap of in-flight messages ordered by `(deliver_at, seq)`:
+    /// the per-cycle drain pops exactly the due prefix instead of
+    /// scanning (and re-sorting) every message in transit.
+    in_flight: BinaryHeap<Flight>,
     seq: u64,
     /// Optional chaos injector: a dropped message is replayed after a NACK
     /// round-trip, which we model as an added delivery delay.
@@ -121,9 +117,7 @@ impl Ring {
             topo,
             inject_free: vec![[0, 0]; usize::from(topo.stops)],
             widths: vec![1; usize::from(topo.stops)],
-            in_flight: Vec::new(),
-            next_due: Cycle::MAX,
-            due_buf: Vec::new(),
+            in_flight: BinaryHeap::new(),
             seq: 0,
             fault: None,
             sent: Counter::new(),
@@ -174,44 +168,26 @@ impl Ring {
             deliver_at += inj.delay();
         }
         self.seq += 1;
-        self.in_flight.push(Flight {
-            deliver_at,
-            token,
-            seq: self.seq,
-        });
-        self.next_due = self.next_due.min(deliver_at);
+        self.in_flight.push(Reverse((deliver_at, self.seq, token)));
         self.sent.inc();
         deliver_at
     }
 
     /// Pop every message due at or before `now`, in delivery order.
     pub fn drain_delivered(&mut self, now: Cycle, out: &mut Vec<u64>) {
-        if now < self.next_due {
-            return; // Nothing due; skip the scan entirely.
-        }
-        let before = out.len();
-        let mut due = std::mem::take(&mut self.due_buf);
-        let mut remaining_min = Cycle::MAX;
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].deliver_at <= now {
-                due.push(self.in_flight.swap_remove(i));
-            } else {
-                remaining_min = remaining_min.min(self.in_flight[i].deliver_at);
-                i += 1;
+        while let Some(&Reverse((at, _, token))) = self.in_flight.peek() {
+            if at > now {
+                break;
             }
+            self.in_flight.pop();
+            out.push(token);
+            self.delivered.inc();
         }
-        self.next_due = remaining_min;
-        due.sort_by_key(|f| (f.deliver_at, f.seq));
-        out.extend(due.iter().map(|f| f.token));
-        due.clear();
-        self.due_buf = due;
-        self.delivered.add((out.len() - before) as u64);
     }
 
     /// Earliest pending delivery, if any (lets the driver skip idle spans).
     pub fn next_delivery(&self) -> Option<Cycle> {
-        (self.next_due != Cycle::MAX).then_some(self.next_due)
+        self.in_flight.peek().map(|&Reverse((at, _, _))| at)
     }
 
     pub fn idle(&self) -> bool {
@@ -220,7 +196,6 @@ impl Ring {
 
     pub fn reset_state(&mut self) {
         self.in_flight.clear();
-        self.next_due = Cycle::MAX;
         self.inject_free.fill([0, 0]);
     }
 

@@ -78,6 +78,117 @@ impl EventCalendar {
     }
 }
 
+/// State of one wake-calendar slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// Generation stamp; heap entries from older generations are stale.
+    gen: u64,
+    /// Currently armed wake, `None` when the source is active/cancelled.
+    armed: Option<Cycle>,
+}
+
+/// The central wake calendar for an event-driven simulation loop: a
+/// fixed set of *sources* (CPU cores, the uncore, the GPU complex, the
+/// epoch sampler), each owning at most one armed wake event.
+///
+/// Unlike [`EventCalendar`] (opaque multi-event queue), re-scheduling a
+/// source *replaces* its previous wake (dedup), and a source can cancel
+/// its wake when it turns active. Staleness is handled lazily: the heap
+/// keeps superseded entries until they surface, where a generation stamp
+/// identifies and drops them — so `schedule`/`cancel` are O(log n) and
+/// O(1) with no heap surgery.
+///
+/// Determinism: ties on the wake cycle break on the *source index*
+/// (lowest first), a config-derived order with no dependence on
+/// scheduling history. `Cycle::MAX` means "blocked on an external
+/// event": the slot arms but no heap entry is made (the wake is not a
+/// real point in time), so [`WakeCalendar::next_at`] only ever returns
+/// finite wakes.
+#[derive(Debug)]
+pub struct WakeCalendar {
+    /// Min-heap of `(at, source, gen)` via `Reverse`.
+    heap: BinaryHeap<std::cmp::Reverse<(Cycle, u32, u64)>>,
+    slots: Vec<Slot>,
+}
+
+impl WakeCalendar {
+    /// A calendar for sources `0..sources`, all initially cancelled
+    /// (active): every source must prove quiescence before it arms.
+    pub fn new(sources: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(sources),
+            slots: vec![
+                Slot {
+                    gen: 0,
+                    armed: None
+                };
+                sources
+            ],
+        }
+    }
+
+    /// Arm `source`'s wake at absolute cycle `at`, replacing any previous
+    /// wake it had (scheduled or cancelled).
+    pub fn schedule(&mut self, source: u32, at: Cycle) {
+        let slot = &mut self.slots[source as usize];
+        slot.gen += 1;
+        slot.armed = Some(at);
+        if at != Cycle::MAX {
+            self.heap.push(std::cmp::Reverse((at, source, slot.gen)));
+        }
+    }
+
+    /// Cancel `source`'s wake: the source is active (or was externally
+    /// stimulated) and no longer certifies any quiescent span.
+    pub fn cancel(&mut self, source: u32) {
+        let slot = &mut self.slots[source as usize];
+        slot.gen += 1;
+        slot.armed = None;
+    }
+
+    /// The wake `source` currently has armed, if any.
+    pub fn armed(&self, source: u32) -> Option<Cycle> {
+        self.slots[source as usize].armed
+    }
+
+    /// Drop stale heap entries (superseded generations) off the top.
+    fn settle(&mut self) {
+        while let Some(std::cmp::Reverse((at, source, gen))) = self.heap.peek().copied() {
+            let slot = &self.slots[source as usize];
+            if slot.gen == gen && slot.armed == Some(at) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Earliest armed finite wake across all sources, if any.
+    pub fn next_at(&mut self) -> Option<Cycle> {
+        self.settle();
+        self.heap.peek().map(|std::cmp::Reverse((at, _, _))| *at)
+    }
+
+    /// Pop the earliest armed wake if it is due at or before `now`,
+    /// disarming its source. Ties pop lowest source index first.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, u32)> {
+        self.settle();
+        let std::cmp::Reverse((at, source, _)) = self.heap.peek().copied()?;
+        if at > now {
+            return None;
+        }
+        self.heap.pop();
+        let slot = &mut self.slots[source as usize];
+        slot.gen += 1;
+        slot.armed = None;
+        Some((at, source))
+    }
+
+    /// Number of sources in the calendar (armed or not).
+    pub fn sources(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +224,51 @@ mod tests {
         assert_eq!(c.pop_due(49), None);
         assert_eq!(c.len(), 1);
         assert_eq!(c.pop_due(50), Some((50, 7)));
+    }
+
+    #[test]
+    fn wake_reschedule_replaces_not_duplicates() {
+        let mut w = WakeCalendar::new(3);
+        w.schedule(1, 100);
+        w.schedule(1, 40); // moved earlier: the 100 entry is stale
+        assert_eq!(w.armed(1), Some(40));
+        assert_eq!(w.next_at(), Some(40));
+        assert_eq!(w.pop_due(40), Some((40, 1)));
+        assert_eq!(w.armed(1), None);
+        // The superseded wake at 100 must not resurface.
+        assert_eq!(w.pop_due(Cycle::MAX), None);
+    }
+
+    #[test]
+    fn wake_cancel_disarms() {
+        let mut w = WakeCalendar::new(2);
+        w.schedule(0, 10);
+        w.cancel(0);
+        assert_eq!(w.armed(0), None);
+        assert_eq!(w.next_at(), None);
+        assert_eq!(w.pop_due(Cycle::MAX), None);
+    }
+
+    #[test]
+    fn wake_ties_break_on_source_index() {
+        let mut w = WakeCalendar::new(4);
+        w.schedule(3, 7);
+        w.schedule(1, 7);
+        w.schedule(2, 7);
+        assert_eq!(w.pop_due(7), Some((7, 1)));
+        assert_eq!(w.pop_due(7), Some((7, 2)));
+        assert_eq!(w.pop_due(7), Some((7, 3)));
+    }
+
+    #[test]
+    fn wake_blocked_sources_arm_without_a_heap_entry() {
+        let mut w = WakeCalendar::new(2);
+        w.schedule(0, Cycle::MAX);
+        w.schedule(1, 25);
+        assert_eq!(w.armed(0), Some(Cycle::MAX));
+        assert_eq!(w.next_at(), Some(25));
+        assert_eq!(w.pop_due(Cycle::MAX), Some((25, 1)));
+        assert_eq!(w.next_at(), None);
+        assert_eq!(w.armed(0), Some(Cycle::MAX));
     }
 }

@@ -94,6 +94,42 @@ fn motivation_config_is_ff_invariant() {
     );
 }
 
+/// Chaos runs must be just as invisible to fast-forward as clean ones:
+/// the injectors draw from their own forked RNG streams and arm wakes
+/// through the same calendar, so a DRAM-bounce + ring-drop plan has to
+/// stay byte-identical with the engine on.
+#[test]
+fn faulted_dram_and_ring_plan_is_ff_invariant() {
+    let mix = mix_m(7);
+    let mut cfg = MachineConfig::table_one(128, 9);
+    cfg.limits = tiny_limits();
+    cfg.qos = QosMode::ThrotCpuPrio;
+    cfg.sched = SchedulerKind::FrFcfsCpuPrio;
+    cfg.faults = FaultPlan::parse(
+        "dram.bounce=0.25,dram.backoff=16,dram.retries=2,ring.drop=0.1,ring.replay=48",
+    )
+    .expect("valid fault spec");
+    assert_equivalent(cfg, &mix);
+}
+
+/// GPU stall windows plus FRPU observation jitter: the stall injector
+/// wedges the GPU on a fixed period, which both creates long quiescent
+/// spans (the engine must skip them) and forces wake boundaries exactly
+/// at window edges (the engine must not skip past them).
+#[test]
+fn faulted_gpu_stall_plan_is_ff_invariant() {
+    let mix = mix_m(3);
+    let mut cfg = MachineConfig::table_one(128, 17);
+    cfg.limits = tiny_limits();
+    cfg.faults = FaultPlan::parse("gpu.stall.period=40000,gpu.stall.len=15000,frpu.jitter=0.3")
+        .expect("valid fault spec");
+    let skipped = assert_equivalent(cfg, &mix);
+    assert!(
+        skipped > 0,
+        "fast-forward never engaged across the stall windows"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -1,5 +1,5 @@
 //! Fixture suite for the determinism linter (DESIGN.md §10): one passing
-//! and one failing case per rule R1–R6, the pragma machinery, and the
+//! and one failing case per rule R1–R7, the pragma machinery, and the
 //! capstone check that the real tree is lint-clean.
 //!
 //! Fixtures are linted fully in memory via [`gat_lint::lint_sources`], so
@@ -145,6 +145,46 @@ fn r5_passes_total_cmp_and_trait_impls() {
     let f = lint_sim(
         "impl PartialOrd for Ev {\n    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> { Some(self.cmp(o)) }\n}\n",
     );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- R7: activity-polling APIs ----------------------------------------
+
+#[test]
+fn r7_flags_next_activity_style_polling() {
+    let f = lint_sim(
+        "impl Core {\n    pub fn next_activity(&self, now: u64) -> Option<u64> { None }\n}\n",
+    );
+    assert_eq!(rules(&f), vec!["R7"]);
+    assert_eq!(f[0].line, 2);
+    assert!(f[0].message.contains("next_activity"));
+    // Call sites are as illegal as definitions: polling creeps back in
+    // through callers first.
+    let f = lint_sim("pub fn ff(c: &Core, now: u64) { let _ = c.poll_activity(now); }");
+    assert_eq!(rules(&f), vec!["R7"]);
+    let f = lint_sim("pub fn probe(u: &Uncore) -> bool { u.has_activity() }");
+    assert_eq!(rules(&f), vec!["R7"]);
+}
+
+#[test]
+fn r7_passes_calendar_scheduling_and_plain_activity_words() {
+    // The sanctioned replacement: push-model wake registration.
+    let f = lint_sim(
+        "pub fn arm(cal: &mut WakeCalendar, src: usize, at: u64) { cal.schedule(src, at); }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // `activity` as a plain word (stats fields, docs) is not a probe API.
+    let f = lint_sim("pub struct Stats { pub activity: u64 }\npub fn last_activity_cycle(s: &Stats) -> u64 { s.activity }\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r7_is_suppressible_with_a_pragma_and_exempt_in_tests() {
+    let f = lint_sim(
+        "// gat-lint: allow(R7, \"transitional shim until the GPU queue model lands\")\npub fn next_activity() {}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    let f = lint_sim("#[cfg(test)]\nmod tests {\n    fn next_activity() -> u64 { 0 }\n}\n");
     assert!(f.is_empty(), "{f:?}");
 }
 

@@ -1,0 +1,179 @@
+//! Model-based property tests for the central [`WakeCalendar`] behind
+//! the event-driven fast-forward loop: against a naive one-slot-per-source
+//! reference, no wake is ever lost or duplicated, re-scheduling a source
+//! replaces (never accumulates) its wake, pops come out monotonically in
+//! `(cycle, source)` order, and `Cycle::MAX` "blocked" arms never fire.
+
+use gat::sim::calendar::WakeCalendar;
+use gat::sim::Cycle;
+use proptest::prelude::*;
+
+const SOURCES: u32 = 6;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule { source: u32, at: Cycle },
+    Cancel { source: u32 },
+    PopDue { now: Cycle },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The discriminant weights schedules (finite and blocked) against
+    // cancels and pops roughly 4:1:2.
+    (0u8..7, 0..SOURCES, 0u64..200, 0u64..220).prop_map(|(kind, source, at, now)| match kind {
+        0..=2 => Op::Schedule { source, at },
+        3 => Op::Schedule {
+            source,
+            at: Cycle::MAX,
+        },
+        4 => Op::Cancel { source },
+        _ => Op::PopDue { now },
+    })
+}
+
+/// The reference model: one armed wake per source, popped by scanning.
+/// Deliberately naive — correctness is obvious by inspection, which is
+/// the point of checking the lazy-deletion heap against it.
+struct Model {
+    armed: Vec<Option<Cycle>>,
+}
+
+impl Model {
+    fn new(n: usize) -> Self {
+        Self {
+            armed: vec![None; n],
+        }
+    }
+
+    fn schedule(&mut self, source: u32, at: Cycle) {
+        self.armed[source as usize] = Some(at);
+    }
+
+    fn cancel(&mut self, source: u32) {
+        self.armed[source as usize] = None;
+    }
+
+    /// Earliest finite armed wake; `Cycle::MAX` means "blocked on an
+    /// external event" and is not a real point in time.
+    fn next_at(&self) -> Option<Cycle> {
+        self.armed
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&at| at != Cycle::MAX)
+            .min()
+    }
+
+    fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, u32)> {
+        let (source, at) = self
+            .armed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.filter(|&at| at != Cycle::MAX).map(|at| (i, at)))
+            .min_by_key(|&(i, at)| (at, i))?;
+        if at > now {
+            return None;
+        }
+        self.armed[source] = None;
+        Some((at, source as u32))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every observable (`armed`, `next_at`, `pop_due`) agrees with the
+    /// naive model after every operation in an arbitrary interleaving of
+    /// schedules, cancels, and pops.
+    #[test]
+    fn calendar_matches_naive_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut cal = WakeCalendar::new(SOURCES as usize);
+        let mut model = Model::new(SOURCES as usize);
+        for op in &ops {
+            match *op {
+                Op::Schedule { source, at } => {
+                    cal.schedule(source, at);
+                    model.schedule(source, at);
+                }
+                Op::Cancel { source } => {
+                    cal.cancel(source);
+                    model.cancel(source);
+                }
+                Op::PopDue { now } => {
+                    prop_assert_eq!(cal.pop_due(now), model.pop_due(now),
+                        "pop_due({}) diverged", now);
+                }
+            }
+            prop_assert_eq!(cal.next_at(), model.next_at());
+            for s in 0..SOURCES {
+                prop_assert_eq!(cal.armed(s), model.armed[s as usize],
+                    "armed({}) diverged", s);
+            }
+        }
+    }
+
+    /// Draining the calendar pops every armed finite wake exactly once,
+    /// in monotonically non-decreasing `(cycle, source)` order, with ties
+    /// breaking on the lowest source index.
+    #[test]
+    fn drain_is_monotonic_and_complete(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut cal = WakeCalendar::new(SOURCES as usize);
+        let mut model = Model::new(SOURCES as usize);
+        for op in &ops {
+            match *op {
+                Op::Schedule { source, at } => {
+                    cal.schedule(source, at);
+                    model.schedule(source, at);
+                }
+                Op::Cancel { source } => {
+                    cal.cancel(source);
+                    model.cancel(source);
+                }
+                Op::PopDue { now } => {
+                    cal.pop_due(now);
+                    model.pop_due(now);
+                }
+            }
+        }
+        let expected: usize = model
+            .armed
+            .iter()
+            .flatten()
+            .filter(|&&at| at != Cycle::MAX)
+            .count();
+        let mut popped = Vec::new();
+        while let Some(p) = cal.pop_due(Cycle::MAX) {
+            popped.push(p);
+        }
+        prop_assert_eq!(popped.len(), expected, "lost or duplicated wakes");
+        for w in popped.windows(2) {
+            prop_assert!((w[0].0, w[0].1) < (w[1].0, w[1].1),
+                "pops out of order: {:?} then {:?}", w[0], w[1]);
+        }
+        let mut sources: Vec<u32> = popped.iter().map(|p| p.1).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        prop_assert_eq!(sources.len(), popped.len(), "a source popped twice");
+        // Blocked (Cycle::MAX) arms must survive the drain unfired.
+        for s in 0..SOURCES {
+            if model.armed[s as usize] == Some(Cycle::MAX) {
+                prop_assert_eq!(cal.armed(s), Some(Cycle::MAX));
+            }
+        }
+    }
+
+    /// A burst of re-schedules on one source leaves exactly the last one
+    /// armed — superseded heap entries never resurface as extra pops.
+    #[test]
+    fn reschedule_dedups(ats in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut cal = WakeCalendar::new(1);
+        for &at in &ats {
+            cal.schedule(0, at);
+        }
+        let last = *ats.last().unwrap();
+        prop_assert_eq!(cal.next_at(), Some(last));
+        prop_assert_eq!(cal.pop_due(Cycle::MAX), Some((last, 0)));
+        prop_assert_eq!(cal.pop_due(Cycle::MAX), None, "stale wake resurfaced");
+        prop_assert_eq!(cal.next_at(), None);
+    }
+}

@@ -3,7 +3,10 @@
 //! conservation.
 
 use gat::cache::Source;
-use gat::dram::{DramAddressMap, DramChannel, DramRequest, DramTiming, SchedCtx, SchedulerKind};
+use gat::dram::{
+    DramAddressMap, DramChannel, DramRequest, DramTiming, ReqInfo, SchedCtx, Scheduler,
+    SchedulerKind, Sms,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -56,8 +59,92 @@ fn drive(
     done
 }
 
+/// SMS stripped of its [`Scheduler::pure_when_starved`] claim: the
+/// channel must then rebuild the view and call `select` on every busy
+/// cycle, including provably-starved ones the skip would elide.
+struct UnskippedSms(Sms);
+
+impl Scheduler for UnskippedSms {
+    fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize> {
+        self.0.select(reqs, now, ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "SMS-unskipped"
+    }
+
+    fn pure_when_starved(&self) -> bool {
+        false
+    }
+}
+
+/// Drive a channel through `reqs` with enqueue gaps (so starved windows
+/// actually form) and return every completion as `(id, done_at)`.
+fn drive_gapped(
+    sched: Box<dyn Scheduler>,
+    reqs: &[(u64, bool, bool, u8)], // (addr seed, write, is_gpu, gap)
+) -> Vec<(u64, u64)> {
+    let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 32, sched);
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    for (i, &(seed, write, gpu, gap)) in reqs.iter().enumerate() {
+        let addr = (seed % (1 << 20)) * 64;
+        let addr = if MAP.decompose(addr).channel == 0 {
+            addr
+        } else {
+            addr + 64
+        };
+        // The gap lets in-flight bursts land and banks go cold, so the
+        // next arrivals hit genuine starved stretches (tRP/tRCD waits).
+        for _ in 0..gap {
+            ch.tick(now, SchedCtx::default());
+            ch.drain_completions(now, &mut out);
+            now += 1;
+        }
+        while !ch.can_accept() {
+            ch.tick(now, SchedCtx::default());
+            ch.drain_completions(now, &mut out);
+            now += 1;
+            assert!(now < 1_000_000, "wedged while enqueuing");
+        }
+        ch.enqueue(
+            DramRequest {
+                id: i as u64,
+                addr,
+                write,
+                source: if gpu { Source::Gpu } else { Source::Cpu(0) },
+            },
+            MAP.decompose(addr),
+            now,
+        );
+    }
+    while ch.busy() {
+        ch.tick(now, SchedCtx::default());
+        ch.drain_completions(now, &mut out);
+        now += 1;
+        assert!(now < 10_000_000, "wedged while draining");
+    }
+    out.into_iter().map(|c| (c.id, c.done_at)).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The starved-skip fast path must be invisible: SMS with
+    /// `pure_when_starved` (channel skips starved cycles) and the same
+    /// SMS forced to tick every cycle see identical RNG streams and
+    /// produce byte-identical completion schedules.
+    #[test]
+    fn sms_starved_skip_is_equivalent(
+        reqs in prop::collection::vec(
+            (any::<u64>(), any::<bool>(), any::<bool>(), 0u8..120), 1..60),
+        p in prop::sample::select(vec![0.0, 0.5, 0.9, 1.0]),
+        seed in any::<u64>(),
+    ) {
+        let skipped = drive_gapped(Box::new(Sms::new(p, seed)), &reqs);
+        let unskipped = drive_gapped(Box::new(UnskippedSms(Sms::new(p, seed))), &reqs);
+        prop_assert_eq!(skipped, unskipped, "starved-skip changed the schedule");
+    }
 
     /// FR-FCFS: every request completes exactly once, at a time that is
     /// at least the minimum service latency.
