@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gat_cache::{AccessKind, CacheConfig, ReplacementPolicy, SetAssocCache, Source};
 use gat_core::{AccessThrottler, FrameRateEstimator, FrpuConfig};
-use gat_dram::{DramAddressMap, DramChannel, DramRequest, DramTiming, FrFcfs, SchedCtx};
+use gat_dram::{DramAddressMap, DramChannel, DramRequest, DramTiming, SchedCtx, SchedulerKind};
 use gat_ring::{Ring, RingTopology, StopId};
 use gat_sim::rng::SimRng;
 use std::hint::black_box;
@@ -53,7 +53,12 @@ fn bench_dram(c: &mut Criterion) {
     let map = DramAddressMap::table_one();
     g.bench_function("streaming_channel", |b| {
         b.iter(|| {
-            let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 64, Box::new(FrFcfs));
+            let mut ch = DramChannel::new(
+                DramTiming::ddr3_2133(),
+                8,
+                64,
+                SchedulerKind::FrFcfs.build(0),
+            );
             let mut out = Vec::new();
             let mut now = 0u64;
             for i in 0..64u64 {

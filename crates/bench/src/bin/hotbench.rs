@@ -2,8 +2,8 @@
 //! engine buys on the figure drivers, and record the trajectory.
 //!
 //! ```text
-//! hotbench [--quick] [--gate] [--out PATH] [--drivers a,b,c]
-//!          [--scale N] [--frames N] [--instr N] [--seed N]
+//! hotbench [--quick] [--gate] [--out PATH] [--baseline PATH] [--band F]
+//!          [--drivers a,b,c] [--scale N] [--frames N] [--instr N] [--seed N]
 //! ```
 //!
 //! Each driver is run twice at `threads = 1`: once with fast-forward
@@ -12,12 +12,20 @@
 //! so the wall-clock ratio is a pure measurement of the engine. Results
 //! are written as JSONL (default `BENCH_hotpath.json`): one meta line,
 //! then one line per driver with wall-clock seconds, cycles simulated,
-//! cycles skipped, and cycles per second for both loops.
+//! cycles skipped, and cycles per second for both loops. The out file is
+//! a *trajectory*: an existing file is appended to, not overwritten, so
+//! successive recording runs accumulate one meta+rows block each.
 //!
-//! `--gate` turns the run into a pass/fail check: if fast-forward is
-//! slower than the cycle-by-cycle loop on any driver beyond the noise
-//! band, the process exits with code 3 (a typed [`CliError::Gate`])
-//! after writing the JSONL, so CI can both fail and keep the evidence.
+//! `--gate` turns the run into a pass/fail check with two criteria, both
+//! exiting with code 3 (a typed [`CliError::Gate`]) after writing the
+//! JSONL so CI can fail and keep the evidence:
+//! 1. fast-forward must not be slower than the cycle-by-cycle loop on
+//!    any driver beyond a fixed noise band, and
+//! 2. each driver's `ff_cycles_per_s` must stay within `--band` (default
+//!    ±10%) of the last trajectory point recorded at the same config in
+//!    the `--baseline` file (default `BENCH_hotpath.json`). Drivers with
+//!    no matching recorded point are reported and skipped, so the gate
+//!    degrades gracefully on fresh checkouts and config sweeps.
 
 use std::time::Instant;
 
@@ -26,8 +34,8 @@ use gat_hetero::experiments::ExpConfig;
 use gat_hetero::ffstats;
 use gat_sim::json::{validate_json_line, Obj};
 
-const USAGE: &str = "hotbench [--quick] [--gate] [--out PATH] [--drivers a,b,c] \
-     [--scale N] [--frames N] [--instr N] [--seed N]";
+const USAGE: &str = "hotbench [--quick] [--gate] [--out PATH] [--baseline PATH] [--band F] \
+     [--drivers a,b,c] [--scale N] [--frames N] [--instr N] [--seed N]";
 
 /// `--gate` noise band: fast-forward counts as a regression only when it
 /// is slower than the cycle-by-cycle loop by more than this fraction
@@ -35,6 +43,13 @@ const USAGE: &str = "hotbench [--quick] [--gate] [--out PATH] [--drivers a,b,c] 
 /// from tripping on scheduler jitter).
 const GATE_NOISE_FRAC: f64 = 0.05;
 const GATE_NOISE_ABS_S: f64 = 0.25;
+
+/// `--gate` trajectory band: default relative slack when comparing a
+/// driver's `ff_cycles_per_s` against the last recorded trajectory point
+/// at the same config. Overridable with `--band` because wall-clock
+/// throughput on a shared 1-vCPU box can swing well past 10% from
+/// hypervisor steal time alone.
+const GATE_TRAJECTORY_BAND: f64 = 0.10;
 
 /// Pre-optimization wall-clock seconds for each figure driver, recorded
 /// with the strict cycle-by-cycle loop at the default hotbench config
@@ -74,6 +89,57 @@ fn run_once(id: &str, cfg: &ExpConfig) -> Sample {
     }
 }
 
+/// Extract a scalar field from one flat JSONL line produced by [`Obj`].
+///
+/// Good enough on purpose: hotbench lines are flat objects whose string
+/// values (driver ids, bench names) never contain escapes, commas or
+/// braces, so scanning to the next `,`/`}` after the key is exact. Not a
+/// general JSON parser and must not grow into one.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Config fingerprint of a `bench_meta` line, used to decide whether a
+/// recorded trajectory block is comparable to the current run.
+fn meta_fingerprint(line: &str) -> Option<String> {
+    let mut fp = String::new();
+    for key in ["scale", "frames", "instr", "seed", "threads", "quick"] {
+        fp.push_str(json_field(line, key)?);
+        fp.push(';');
+    }
+    Some(fp)
+}
+
+/// Scan a trajectory file (JSONL: repeated meta+rows blocks) and return
+/// the *last* recorded `ff_cycles_per_s` per driver among blocks whose
+/// meta matches `want_fp`. Later blocks shadow earlier ones, so the map
+/// is "the most recent trajectory point at this config".
+fn last_recorded_point(text: &str, want_fp: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut block_matches = false;
+    for line in text.lines() {
+        match json_field(line, "type") {
+            Some("bench_meta") => {
+                block_matches = meta_fingerprint(line).as_deref() == Some(want_fp);
+            }
+            Some("hotbench") if block_matches => {
+                if let (Some(driver), Some(cps)) = (
+                    json_field(line, "driver"),
+                    json_field(line, "ff_cycles_per_s").and_then(|v| v.parse::<f64>().ok()),
+                ) {
+                    out.insert(driver.to_string(), cps);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 fn main() {
     if let Err(e) = real_main() {
         fail("hotbench", e);
@@ -93,7 +159,9 @@ fn real_main() -> Result<(), CliError> {
     cfg.limits.gpu_frames = 4;
     cfg.limits.cpu_instructions = 200_000;
     let mut out_path = String::from("BENCH_hotpath.json");
-    let mut drivers: Vec<String> = ["fig1+2", "fig3", "fig8", "fig9+10+11"]
+    let mut baseline_path = String::from("BENCH_hotpath.json");
+    let mut band = GATE_TRAJECTORY_BAND;
+    let mut drivers: Vec<String> = ["fig1+2", "fig3", "fig8", "fig9+10+11", "fig12", "fig13+14"]
         .iter()
         .map(|s| s.to_string())
         .collect();
@@ -118,6 +186,17 @@ fn real_main() -> Result<(), CliError> {
                     .ok_or_else(|| CliError::Usage(format!("{key} needs a value\n{USAGE}")))?;
                 match key {
                     "--out" => out_path = val.clone(),
+                    "--baseline" => baseline_path = val.clone(),
+                    "--band" => {
+                        band = val.parse().map_err(|_| {
+                            CliError::Usage(format!("--band wants a fraction, got {val:?}"))
+                        })?;
+                        if !(0.0..1.0).contains(&band) {
+                            return Err(CliError::Usage(format!(
+                                "--band must be in [0, 1), got {band}"
+                            )));
+                        }
+                    }
                     "--drivers" => drivers = val.split(',').map(|s| s.trim().to_string()).collect(),
                     "--scale" => cfg.scale = parse_num(key, val)?,
                     "--frames" => cfg.limits.gpu_frames = parse_num(key, val)?,
@@ -164,6 +243,21 @@ fn real_main() -> Result<(), CliError> {
             .bool("quick", quick)
             .finish(),
     );
+    // Trajectory gate reference: the last recorded point per driver at
+    // exactly this config (empty when the baseline file is absent or has
+    // no comparable block — the gate then only checks ff-vs-baseline).
+    let recorded_points = if gate {
+        let fp = meta_fingerprint(&lines[0]).expect("hotbench meta line must fingerprint");
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => last_recorded_point(&text, &fp),
+            Err(_) => {
+                eprintln!("# gate: no baseline trajectory at {baseline_path}; skipping cycles/s comparison");
+                std::collections::BTreeMap::new()
+            }
+        }
+    } else {
+        std::collections::BTreeMap::new()
+    };
 
     for id in &drivers {
         eprintln!("# {id}: cycle-by-cycle baseline ...");
@@ -178,6 +272,7 @@ fn real_main() -> Result<(), CliError> {
             "{id}: fast-forward changed the figure tables"
         );
         let speedup = base.wall_s / ff.wall_s;
+        let ff_cps = ff.simulated as f64 / ff.wall_s;
         let skip_pct = 100.0 * ff.skipped as f64 / ff.simulated.max(1) as f64;
         eprintln!(
             "# {id}: {:.2}s -> {:.2}s ({speedup:.2}x), {:.1}% of {} cycles skipped in {} spans",
@@ -193,7 +288,7 @@ fn real_main() -> Result<(), CliError> {
             .u64("cycles_skipped", ff.skipped)
             .f64("skip_pct", skip_pct)
             .f64("baseline_cycles_per_s", base.simulated as f64 / base.wall_s)
-            .f64("ff_cycles_per_s", ff.simulated as f64 / ff.wall_s);
+            .f64("ff_cycles_per_s", ff_cps);
         if at_recorded_config {
             if let Some(&(_, rec)) = RECORDED_BASELINE_S.iter().find(|(d, _)| d == id) {
                 let vs = rec / ff.wall_s;
@@ -204,22 +299,52 @@ fn real_main() -> Result<(), CliError> {
             }
         }
         lines.push(obj.finish());
-        if gate && ff.wall_s > base.wall_s * (1.0 + GATE_NOISE_FRAC) + GATE_NOISE_ABS_S {
-            regressions.push(format!(
-                "{id}: fast-forward {:.2}s vs cycle-by-cycle {:.2}s",
-                ff.wall_s, base.wall_s
-            ));
+        if gate {
+            if ff.wall_s > base.wall_s * (1.0 + GATE_NOISE_FRAC) + GATE_NOISE_ABS_S {
+                regressions.push(format!(
+                    "{id}: fast-forward {:.2}s vs cycle-by-cycle {:.2}s",
+                    ff.wall_s, base.wall_s
+                ));
+            }
+            match recorded_points.get(id.as_str()) {
+                Some(&rec) => {
+                    eprintln!(
+                        "# {id}: trajectory {:.0} cycles/s vs recorded {rec:.0} ({:.2}x, band -{:.0}%)",
+                        ff_cps,
+                        ff_cps / rec,
+                        band * 100.0
+                    );
+                    if ff_cps < rec * (1.0 - band) {
+                        regressions.push(format!(
+                            "{id}: ff_cycles_per_s {ff_cps:.0} below recorded {rec:.0} minus {:.0}% band",
+                            band * 100.0
+                        ));
+                    }
+                }
+                None => eprintln!("# {id}: no recorded trajectory point at this config"),
+            }
         }
     }
 
-    let mut out = String::new();
+    // The out file is a trajectory: keep every previously recorded block
+    // and append this run's meta+rows as a new one.
+    let mut out = match std::fs::read_to_string(&out_path) {
+        Ok(prev) if !prev.is_empty() => {
+            let mut p = prev;
+            if !p.ends_with('\n') {
+                p.push('\n');
+            }
+            p
+        }
+        _ => String::new(),
+    };
     for line in &lines {
         validate_json_line(line).expect("hotbench emitted invalid JSON");
         out.push_str(line);
         out.push('\n');
     }
     std::fs::write(&out_path, &out).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
-    eprintln!("# wrote {out_path}");
+    eprintln!("# appended trajectory point to {out_path}");
     if !regressions.is_empty() {
         return Err(CliError::Gate(regressions.join("; ")));
     }

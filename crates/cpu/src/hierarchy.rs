@@ -101,8 +101,8 @@ pub struct CpuHierarchy {
     streams: [StreamEntry; STREAM_TABLE],
     stream_stamp: u64,
     last_block: u64,
-    /// Posted write-backs that could not enter the uncore yet.
-    writeback_buf: Vec<u64>,
+    /// Posted write-backs that could not enter the uncore yet (FIFO).
+    writeback_buf: std::collections::VecDeque<u64>,
     pub loads: Counter,
     pub stores: Counter,
     pub wb_sent: Counter,
@@ -143,7 +143,7 @@ impl CpuHierarchy {
             streams: [StreamEntry::default(); STREAM_TABLE],
             stream_stamp: 0,
             last_block: u64::MAX,
-            writeback_buf: Vec::new(),
+            writeback_buf: std::collections::VecDeque::new(),
             loads: Counter::new(),
             stores: Counter::new(),
             wb_sent: Counter::new(),
@@ -363,7 +363,7 @@ impl CpuHierarchy {
     }
 
     fn queue_writeback(&mut self, addr: u64) {
-        self.writeback_buf.push(line_of(addr));
+        self.writeback_buf.push_back(line_of(addr));
     }
 
     /// The block read for `token` returned. Fills L2 then L1 and appends
@@ -423,7 +423,7 @@ impl CpuHierarchy {
 
     /// Retry queued write-backs into the uncore; call once per cycle.
     pub fn flush_writebacks(&mut self, now: Cycle, port: &mut dyn MemPort) {
-        while let Some(&addr) = self.writeback_buf.first() {
+        while let Some(&addr) = self.writeback_buf.front() {
             let ok = port.try_request(
                 now,
                 BlockReq {
@@ -433,7 +433,7 @@ impl CpuHierarchy {
                 },
             );
             if ok {
-                self.writeback_buf.remove(0);
+                self.writeback_buf.pop_front();
                 self.wb_sent.inc();
             } else {
                 break;

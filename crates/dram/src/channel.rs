@@ -8,13 +8,27 @@
 //! constraints (tRCD, tRP, tCCD, tRAS, write recovery/turnaround, tRRD
 //! across banks) and single-burst occupancy of the 64-bit data bus are all
 //! enforced through ready-time bookkeeping.
+//!
+//! Queue organization (DESIGN.md §11): pending requests live in a
+//! generational [`Slab`] and are threaded onto per-bank intrusive FIFO
+//! lists in insertion order. FR-FCFS-equivalent policies (the common case
+//! — every figure driver's baseline) are served by a per-bank fast path
+//! that skips whole banks whose earliest command time has not arrived and
+//! scans only the issuable banks, instead of materializing a [`ReqInfo`]
+//! for every queued request every cycle. Policies with global state (SMS
+//! batching, priority boosts) still get the full [`ReqInfo`] view, built
+//! from the same lists. Note that insertion order is *not* arrival-stamp
+//! order at the rare points where the stamp's 12-bit per-cycle sequence
+//! wraps, so pick logic always compares stamps rather than trusting list
+//! position.
 
 use crate::energy::{DramEnergy, DramEnergyModel};
 use crate::mapping::DramCoord;
-use crate::sched::{ReqInfo, SchedCtx, Scheduler};
+use crate::sched::{ReqInfo, SchedCtx, SchedulerImpl};
 use crate::timing::DramTiming;
 use gat_cache::Source;
 use gat_sim::faults::DelayInjector;
+use gat_sim::slab::{Slab, SlabHandle};
 use gat_sim::stats::{Counter, Log2Histogram, RunningStat};
 
 /// A block-granular memory request entering the controller.
@@ -37,11 +51,19 @@ pub struct Completion {
     pub done_at: u64,
 }
 
+/// Sentinel for "no slab handle" in intrusive links.
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     req: DramRequest,
     coord: DramCoord,
     arrival: u64,
+    /// Next request in the same bank's FIFO (raw [`SlabHandle`]; [`NIL`]
+    /// at the tail). Lists are insertion-ordered; arrival stamps along a
+    /// list are *almost* monotonic but can dip where the stamp's 12-bit
+    /// sequence field wraps (see `enqueue`), so consumers compare stamps.
+    next: u32,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,6 +77,23 @@ struct Bank {
     read_after_write_ready: u64,
     /// Earliest cycle a PRE may follow the last write (write recovery).
     pre_after_write_ready: u64,
+}
+
+/// Head/tail of one bank's intrusive pending-request FIFO (raw slab
+/// handles, [`NIL`] when empty).
+#[derive(Debug, Clone, Copy)]
+struct BankQueue {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for BankQueue {
+    fn default() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+        }
+    }
 }
 
 /// Aggregate channel statistics; the per-source byte counters feed the
@@ -114,29 +153,39 @@ const WRITE_DRAIN_LO: usize = 8;
 pub struct DramChannel {
     timing: DramTiming,
     banks: Vec<Bank>,
-    queue: Vec<Pending>,
+    /// In-flight request arena; entries are threaded onto `bank_q`.
+    slab: Slab<Pending>,
+    /// Per-bank FIFO list heads/tails (parallel to `banks`).
+    bank_q: Vec<BankQueue>,
+    /// Live queued requests across all banks.
+    len: usize,
     capacity: usize,
     bus_free_at: u64,
     /// Earliest cycle the next ACT on any bank may issue (tRRD spacing).
     act_any_ready: u64,
-    scheduler: Box<dyn Scheduler>,
+    scheduler: SchedulerImpl,
     completions: Vec<Completion>,
     /// Exact earliest `done_at` over `completions` (`u64::MAX` when
     /// empty) — O(1) drain early-out and quiescence-probe horizon.
     done_min: u64,
-    /// Scratch for the per-tick scheduler view (kept empty between ticks).
+    /// Scratch for the generic-policy scheduler view (kept empty between
+    /// ticks; unused on the FR-FCFS fast path).
     info_buf: Vec<ReqInfo>,
+    /// Slab handles parallel to `info_buf` (maps a `select` index back to
+    /// the picked entry).
+    handle_buf: Vec<SlabHandle>,
     arrivals: u64,
-    /// Queued writes (kept in lockstep with `queue` so the per-tick
+    /// Queued writes (kept in lockstep with the queue so the per-tick
     /// write-drain hysteresis needs no queue pass).
     queued_writes: usize,
     /// The scheduler is known to return `None` before this cycle: no
     /// eligible request's bank can start a first command earlier, the
-    /// queue is unchanged, and the policy is [`Scheduler::pure_when_starved`].
-    /// Cleared on enqueue, refresh, and reset; never set for impure
-    /// policies, so they still see every cycle.
+    /// queue is unchanged, and the policy is
+    /// [`SchedulerImpl::pure_when_starved`]. Cleared on enqueue, refresh,
+    /// and reset; never set for impure policies, so they still see every
+    /// cycle.
     starved_until: u64,
-    /// Cached [`Scheduler::pure_when_starved`] for the installed policy.
+    /// Cached [`SchedulerImpl::pure_when_starved`] for the installed policy.
     sched_starved_skip: bool,
     /// Currently in a write-drain burst.
     draining_writes: bool,
@@ -159,13 +208,15 @@ impl DramChannel {
         timing: DramTiming,
         banks: u32,
         queue_capacity: usize,
-        scheduler: Box<dyn Scheduler>,
+        scheduler: SchedulerImpl,
     ) -> Self {
         let sched_starved_skip = scheduler.pure_when_starved();
         Self {
             timing,
             banks: vec![Bank::default(); banks as usize],
-            queue: Vec::with_capacity(queue_capacity),
+            slab: Slab::with_capacity(queue_capacity),
+            bank_q: vec![BankQueue::default(); banks as usize],
+            len: 0,
             capacity: queue_capacity,
             bus_free_at: 0,
             act_any_ready: 0,
@@ -173,6 +224,7 @@ impl DramChannel {
             completions: Vec::new(),
             done_min: u64::MAX,
             info_buf: Vec::new(),
+            handle_buf: Vec::new(),
             arrivals: 0,
             queued_writes: 0,
             starved_until: 0,
@@ -207,16 +259,16 @@ impl DramChannel {
 
     /// Room for another request?
     pub fn can_accept(&self) -> bool {
-        self.queue.len() < self.capacity
+        self.len < self.capacity
     }
 
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// Any queued work or undelivered completions?
     pub fn busy(&self) -> bool {
-        !self.queue.is_empty() || !self.completions.is_empty()
+        self.len > 0 || !self.completions.is_empty()
     }
 
     pub fn scheduler_name(&self) -> &'static str {
@@ -229,66 +281,233 @@ impl DramChannel {
     /// Panics if the queue is full.
     pub fn enqueue(&mut self, req: DramRequest, coord: DramCoord, now: u64) {
         assert!(self.can_accept(), "DRAM queue overflow");
-        // `arrivals` gives a strict total order even for same-cycle pushes.
+        // The low 12 bits sequence same-cycle pushes. The field wraps mod
+        // 4096, so once per 4096 enqueues a later same-cycle push can get
+        // a *smaller* stamp than its predecessor — the historical tie
+        // order the goldens pin. Pick logic therefore compares stamps and
+        // never assumes list position implies stamp order.
         let arrival = now * 4096 + (self.arrivals & 0xFFF);
         self.arrivals += 1;
         self.queued_writes += usize::from(req.write);
         // A new arrival can change the starved verdict (it may be
         // issuable at once, or flip write eligibility).
         self.starved_until = 0;
-        self.queue.push(Pending {
+        let h = self.slab.alloc(Pending {
             req,
             coord,
             arrival,
+            next: NIL,
         });
+        let q = &mut self.bank_q[coord.bank as usize];
+        if q.tail == NIL {
+            q.head = h.raw();
+        } else {
+            self.slab[SlabHandle::from_raw(q.tail)].next = h.raw();
+        }
+        q.tail = h.raw();
+        self.len += 1;
     }
 
-    /// Build the scheduler's view of the queue into `out`. Returns the
-    /// earliest `issuable_at` over *eligible* requests (`u64::MAX` if
-    /// none is eligible) — the first cycle the starved verdict can flip
-    /// without a queue or bank-state change.
-    fn req_infos(&self, now: u64, writes_eligible: bool, out: &mut Vec<ReqInfo>) -> u64 {
-        let mut eligible_ready = u64::MAX;
-        out.extend(self.queue.iter().map(|p| {
-            let bank = &self.banks[p.coord.bank as usize];
-            let (row_hit, issuable_at) = match bank.open_row {
-                Some(r) if r == p.coord.row => {
-                    let mut at = bank.cmd_ready;
-                    if !p.req.write {
-                        at = at.max(bank.read_after_write_ready);
+    /// Unlink `h` from its bank FIFO and release its slab slot, returning
+    /// the entry. The walk is bounded by the bank's queue length (short:
+    /// the whole channel holds at most `capacity` requests across all
+    /// banks).
+    fn remove(&mut self, h: SlabHandle) -> Pending {
+        let bank = self.slab[h].coord.bank as usize;
+        let q = &mut self.bank_q[bank];
+        let raw = h.raw();
+        if q.head == raw {
+            let next = self.slab[h].next;
+            q.head = next;
+            if next == NIL {
+                q.tail = NIL;
+            }
+        } else {
+            let mut prev = q.head;
+            loop {
+                let prev_next = self.slab[SlabHandle::from_raw(prev)].next;
+                assert_ne!(prev_next, NIL, "request not on its bank list");
+                if prev_next == raw {
+                    let next = self.slab[h].next;
+                    self.slab[SlabHandle::from_raw(prev)].next = next;
+                    if next == NIL {
+                        q.tail = prev;
                     }
-                    (true, at)
+                    break;
                 }
-                Some(_) => {
-                    // Conflict: PRE first, gated by tRAS and write recovery.
-                    let at = bank
-                        .cmd_ready
-                        .max(bank.pre_ready)
-                        .max(bank.pre_after_write_ready);
-                    (false, at)
-                }
-                None => {
-                    let at = bank.cmd_ready.max(self.act_any_ready);
-                    (false, at)
-                }
-            };
-            let eligible = !p.req.write || writes_eligible;
-            if eligible {
-                eligible_ready = eligible_ready.min(issuable_at);
+                prev = prev_next;
             }
-            ReqInfo {
-                is_gpu: p.req.source.is_gpu(),
-                source_id: p.req.source.encode(),
-                is_write: p.req.write,
-                arrival: p.arrival,
-                row_hit,
-                issuable: issuable_at <= now,
-                eligible,
-                bank: p.coord.bank,
-                row: p.coord.row,
+        }
+        self.len -= 1;
+        let p = self.slab.free(h);
+        self.queued_writes -= usize::from(p.req.write);
+        p
+    }
+
+    /// Build the generic scheduler's view of the queue into
+    /// `info_buf`/`handle_buf` (bank-major, arrival order within a bank).
+    /// Returns the earliest `issuable_at` over *eligible* requests
+    /// (`u64::MAX` if none is eligible) — the first cycle the starved
+    /// verdict can flip without a queue or bank-state change.
+    fn build_req_infos(&mut self, now: u64, writes_eligible: bool) -> u64 {
+        let mut eligible_ready = u64::MAX;
+        for (bi, q) in self.bank_q.iter().enumerate() {
+            let bank = &self.banks[bi];
+            let mut cursor = q.head;
+            while cursor != NIL {
+                let h = SlabHandle::from_raw(cursor);
+                let p = &self.slab[h];
+                let (row_hit, issuable_at) = match bank.open_row {
+                    Some(r) if r == p.coord.row => {
+                        let mut at = bank.cmd_ready;
+                        if !p.req.write {
+                            at = at.max(bank.read_after_write_ready);
+                        }
+                        (true, at)
+                    }
+                    Some(_) => {
+                        // Conflict: PRE first, gated by tRAS and write recovery.
+                        let at = bank
+                            .cmd_ready
+                            .max(bank.pre_ready)
+                            .max(bank.pre_after_write_ready);
+                        (false, at)
+                    }
+                    None => {
+                        let at = bank.cmd_ready.max(self.act_any_ready);
+                        (false, at)
+                    }
+                };
+                let eligible = !p.req.write || writes_eligible;
+                if eligible {
+                    eligible_ready = eligible_ready.min(issuable_at);
+                }
+                self.info_buf.push(ReqInfo {
+                    is_gpu: p.req.source.is_gpu(),
+                    source_id: p.req.source.encode(),
+                    is_write: p.req.write,
+                    arrival: p.arrival,
+                    row_hit,
+                    issuable: issuable_at <= now,
+                    eligible,
+                    bank: p.coord.bank,
+                    row: p.coord.row,
+                });
+                self.handle_buf.push(h);
+                cursor = p.next;
             }
-        }));
+        }
         eligible_ready
+    }
+
+    /// FR-FCFS pick straight off the per-bank lists: the oldest issuable
+    /// eligible request, row hits first — exactly `fr_fcfs_pick` over the
+    /// full [`ReqInfo`] view, without building it. Banks where no command
+    /// class can start this cycle are skipped in O(1) (`cmd_ready` gates
+    /// every class); issuable banks are walked in full, comparing arrival
+    /// stamps directly. The walk must NOT stop at the first candidate:
+    /// the per-cycle sequence bits of the arrival stamp wrap every 4096
+    /// arrivals, so a bank FIFO is insertion-ordered but not strictly
+    /// stamp-ordered across a wrap, and the pick contract is "smallest
+    /// stamp", not "first queued".
+    fn frfcfs_fast_pick(&self, now: u64, writes_eligible: bool) -> Option<SlabHandle> {
+        let mut best_hit: Option<(u64, u32)> = None; // (arrival, raw handle)
+        let mut best_miss: Option<(u64, u32)> = None;
+        for (bi, q) in self.bank_q.iter().enumerate() {
+            if q.head == NIL {
+                continue;
+            }
+            let bank = &self.banks[bi];
+            if bank.cmd_ready > now {
+                continue;
+            }
+            match bank.open_row {
+                None => {
+                    // Closed bank: every request is an ACT→CAS, gated by
+                    // the cross-bank tRRD window.
+                    if self.act_any_ready > now {
+                        continue;
+                    }
+                    let mut cursor = q.head;
+                    while cursor != NIL {
+                        let p = &self.slab[SlabHandle::from_raw(cursor)];
+                        if (!p.req.write || writes_eligible)
+                            && best_miss.is_none_or(|(arr, _)| p.arrival < arr)
+                        {
+                            best_miss = Some((p.arrival, cursor));
+                        }
+                        cursor = p.next;
+                    }
+                }
+                Some(open) => {
+                    // Row hit: writes wait only on cmd_ready (checked
+                    // above); reads also on tWTR. Conflicts additionally
+                    // wait on tRAS and write recovery before the PRE.
+                    let hit_read_ok = bank.read_after_write_ready <= now;
+                    let conflict_ok = bank.pre_ready.max(bank.pre_after_write_ready) <= now;
+                    if !conflict_ok && !hit_read_ok && !writes_eligible {
+                        // Reads: hits blocked by tWTR, conflicts by PRE
+                        // gating; writes ineligible — nothing can issue.
+                        continue;
+                    }
+                    let mut cursor = q.head;
+                    while cursor != NIL {
+                        let p = &self.slab[SlabHandle::from_raw(cursor)];
+                        if !p.req.write || writes_eligible {
+                            if p.coord.row == open {
+                                if (p.req.write || hit_read_ok)
+                                    && best_hit.is_none_or(|(arr, _)| p.arrival < arr)
+                                {
+                                    best_hit = Some((p.arrival, cursor));
+                                }
+                            } else if conflict_ok
+                                && best_miss.is_none_or(|(arr, _)| p.arrival < arr)
+                            {
+                                best_miss = Some((p.arrival, cursor));
+                            }
+                        }
+                        cursor = p.next;
+                    }
+                }
+            }
+        }
+        // Row hits beat non-hits globally; within a class, oldest first.
+        best_hit
+            .or(best_miss)
+            .map(|(_, raw)| SlabHandle::from_raw(raw))
+    }
+
+    /// Earliest `issuable_at` over eligible queued requests (`u64::MAX`
+    /// if none is eligible). Only consulted on the tick that enters a
+    /// starved span, so the full walk amortizes over the skipped cycles.
+    fn eligible_ready(&self, writes_eligible: bool) -> u64 {
+        let mut ready = u64::MAX;
+        for (bi, q) in self.bank_q.iter().enumerate() {
+            let bank = &self.banks[bi];
+            let mut cursor = q.head;
+            while cursor != NIL {
+                let p = &self.slab[SlabHandle::from_raw(cursor)];
+                if !p.req.write || writes_eligible {
+                    let at = match bank.open_row {
+                        Some(r) if r == p.coord.row => {
+                            let mut at = bank.cmd_ready;
+                            if !p.req.write {
+                                at = at.max(bank.read_after_write_ready);
+                            }
+                            at
+                        }
+                        Some(_) => bank
+                            .cmd_ready
+                            .max(bank.pre_ready)
+                            .max(bank.pre_after_write_ready),
+                        None => bank.cmd_ready.max(self.act_any_ready),
+                    };
+                    ready = ready.min(at);
+                }
+                cursor = p.next;
+            }
+        }
+        ready
     }
 
     /// Issue a REF when due: precharge all banks and hold the rank for
@@ -327,7 +546,7 @@ impl DramChannel {
         }
         self.energy.background_pj += self.energy_model.background_pj_per_cycle;
         self.refresh_if_due(now);
-        if self.queue.is_empty() {
+        if self.len == 0 {
             return;
         }
         self.stats.busy_cycles.inc();
@@ -345,7 +564,7 @@ impl DramChannel {
         // writes).
         debug_assert_eq!(
             self.queued_writes,
-            self.queue.iter().filter(|p| p.req.write).count()
+            self.slab.iter().filter(|(_, p)| p.req.write).count()
         );
         let writes = self.queued_writes;
         if writes >= WRITE_DRAIN_HI {
@@ -353,22 +572,34 @@ impl DramChannel {
         } else if writes <= WRITE_DRAIN_LO {
             self.draining_writes = false;
         }
-        let writes_eligible = self.draining_writes || writes == self.queue.len();
-        let mut infos = std::mem::take(&mut self.info_buf);
-        let eligible_ready = self.req_infos(now, writes_eligible, &mut infos);
-        let picked = self.scheduler.select(&infos, now, ctx);
+        let writes_eligible = self.draining_writes || writes == self.len;
+        if self.scheduler.frfcfs_equivalent(ctx) {
+            match self.frfcfs_fast_pick(now, writes_eligible) {
+                Some(h) => {
+                    let p = self.remove(h);
+                    self.issue(p, now);
+                }
+                None if self.sched_starved_skip => {
+                    self.starved_until = self.eligible_ready(writes_eligible);
+                }
+                None => {}
+            }
+            return;
+        }
+        let eligible_ready = self.build_req_infos(now, writes_eligible);
+        let picked = self.scheduler.select(&self.info_buf, now, ctx);
         if let Some(idx) = picked {
             debug_assert!(
-                infos[idx].issuable,
+                self.info_buf[idx].issuable,
                 "scheduler picked a non-issuable request"
             );
         }
-        infos.clear();
-        self.info_buf = infos;
+        let picked = picked.map(|idx| self.handle_buf[idx]);
+        self.info_buf.clear();
+        self.handle_buf.clear();
         match picked {
-            Some(idx) => {
-                let p = self.queue.swap_remove(idx);
-                self.queued_writes -= usize::from(p.req.write);
+            Some(h) => {
+                let p = self.remove(h);
                 self.issue(p, now);
             }
             None if self.sched_starved_skip => {
@@ -490,7 +721,7 @@ impl DramChannel {
     /// channel must be ticked every DRAM cycle (the scheduler may issue,
     /// and some schedulers consult an RNG).
     pub fn has_queued_requests(&self) -> bool {
-        !self.queue.is_empty()
+        self.len > 0
     }
 
     /// Earliest DRAM cycle at which an *idle* (empty-queue) channel next
@@ -509,7 +740,7 @@ impl DramChannel {
     /// flip mid-span: it only changes at QoS evaluations, which are hard
     /// wake-ups.
     pub fn fast_forward_idle(&mut self, d: u64, cpu_prio_boost: bool) {
-        debug_assert!(self.queue.is_empty());
+        debug_assert!(self.len == 0);
         debug_assert_eq!(cpu_prio_boost, self.last_prio_boost);
         self.stats.ticks.add(d);
         if cpu_prio_boost {
@@ -520,9 +751,44 @@ impl DramChannel {
         }
     }
 
+    /// Validate queue bookkeeping against the slab (GAT_PARANOIA sweeps):
+    /// every slab entry is on exactly one bank list, counts agree, and
+    /// each bank list is ordered by arrival *cycle* (stamps themselves may
+    /// dip within a cycle where the 12-bit sequence field wraps).
+    pub fn check_queue_invariants(&self) {
+        self.slab.validate();
+        assert_eq!(self.slab.len(), self.len, "queue length drift");
+        let mut on_lists = 0usize;
+        for (bi, q) in self.bank_q.iter().enumerate() {
+            let mut cursor = q.head;
+            let mut last_cycle = 0u64;
+            let mut last = NIL;
+            while cursor != NIL {
+                let p = self
+                    .slab
+                    .get(SlabHandle::from_raw(cursor))
+                    .expect("bank list points at freed slot");
+                assert_eq!(p.coord.bank as usize, bi, "request on wrong bank list");
+                assert!(
+                    p.arrival / 4096 >= last_cycle,
+                    "bank list out of arrival-cycle order"
+                );
+                last_cycle = p.arrival / 4096;
+                on_lists += 1;
+                assert!(on_lists <= self.len, "bank list cycle");
+                last = cursor;
+                cursor = p.next;
+            }
+            assert_eq!(q.tail, last, "bank tail out of sync");
+        }
+        assert_eq!(on_lists, self.len, "slab entry missing from bank lists");
+    }
+
     /// Drop all queued and in-flight state (phase boundaries).
     pub fn reset_state(&mut self) {
-        self.queue.clear();
+        self.slab.clear();
+        self.bank_q.fill(BankQueue::default());
+        self.len = 0;
         self.queued_writes = 0;
         self.starved_until = 0;
         self.completions.clear();
@@ -537,7 +803,7 @@ impl DramChannel {
 impl std::fmt::Debug for DramChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DramChannel")
-            .field("queue", &self.queue.len())
+            .field("queue", &self.len)
             .field("scheduler", &self.scheduler.name())
             .finish()
     }
@@ -547,12 +813,17 @@ impl std::fmt::Debug for DramChannel {
 mod tests {
     use super::*;
     use crate::mapping::DramAddressMap;
-    use crate::sched::FrFcfs;
+    use crate::sched::SchedulerKind;
 
     const MAP: DramAddressMap = DramAddressMap::table_one();
 
     fn channel() -> DramChannel {
-        DramChannel::new(DramTiming::ddr3_2133(), 8, 64, Box::new(FrFcfs))
+        DramChannel::new(
+            DramTiming::ddr3_2133(),
+            8,
+            64,
+            SchedulerKind::FrFcfs.build(0),
+        )
     }
 
     fn read(id: u64, addr: u64) -> DramRequest {
@@ -575,6 +846,7 @@ mod tests {
             now += 1;
             assert!(now < start + 100_000, "channel wedged");
         }
+        ch.check_queue_invariants();
         out
     }
 
@@ -762,7 +1034,12 @@ mod tests {
 
     #[test]
     fn queue_capacity_enforced() {
-        let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 2, Box::new(FrFcfs));
+        let mut ch = DramChannel::new(
+            DramTiming::ddr3_2133(),
+            8,
+            2,
+            SchedulerKind::FrFcfs.build(0),
+        );
         assert!(ch.can_accept());
         ch.enqueue(read(1, 0), MAP.decompose(0), 0);
         ch.enqueue(read(2, 64), MAP.decompose(64), 0);
@@ -910,5 +1187,108 @@ mod tests {
         for w in done.windows(2) {
             assert!(w[0].done_at <= w[1].done_at);
         }
+    }
+
+    /// The FR-FCFS fast path and the generic `ReqInfo` path must produce
+    /// byte-identical completion schedules. On a CPU-only load,
+    /// StaticCpuPrio degenerates to plain FR-FCFS but always runs the
+    /// generic path — so FR-FCFS (fast path) vs StaticCpuPrio (generic)
+    /// on the same request stream pins the equivalence.
+    #[test]
+    fn fast_path_matches_generic_path() {
+        let drive = |sched: SchedulerImpl| {
+            let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 64, sched);
+            let mut out = Vec::new();
+            let mut now = 0u64;
+            for i in 0..200u64 {
+                let addr = (i * 3571 % 4096) * 128;
+                while !ch.can_accept() {
+                    ch.tick(now, SchedCtx::default());
+                    ch.drain_completions(now, &mut out);
+                    now += 1;
+                }
+                ch.enqueue(
+                    DramRequest {
+                        id: i,
+                        addr,
+                        write: i % 5 == 0,
+                        source: Source::Cpu((i % 4) as u8),
+                    },
+                    MAP.decompose(addr),
+                    now,
+                );
+                ch.check_queue_invariants();
+            }
+            while ch.busy() {
+                ch.tick(now, SchedCtx::default());
+                ch.drain_completions(now, &mut out);
+                now += 1;
+                assert!(now < 1_000_000, "wedged");
+            }
+            out.iter().map(|c| (c.id, c.done_at)).collect::<Vec<_>>()
+        };
+        // CPU-only load: StaticCpuPrio's CPU-first pass over the generic
+        // path is exactly fr_fcfs_pick, i.e. the fast path's semantics.
+        let fast = drive(SchedulerKind::FrFcfs.build(0));
+        let generic = drive(SchedulerKind::StaticCpuPrio.build(0));
+        assert_eq!(fast, generic, "fast path diverged from generic path");
+    }
+
+    /// The arrival stamp's 12-bit sequence field wraps every 4096
+    /// enqueues, so a burst straddling the wrap gives a later-enqueued
+    /// request a *smaller* stamp than its same-cycle predecessors. The
+    /// historical FR-FCFS order is min-stamp, not queue position — pin
+    /// that both the fast path and the generic path honor it.
+    #[test]
+    fn arrival_sequence_wrap_keeps_min_stamp_order() {
+        let drive = |sched: SchedulerImpl| {
+            let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 64, sched);
+            let coord = |row: u64| DramCoord {
+                channel: 0,
+                bank: 0,
+                row,
+                col: 0,
+            };
+            let mut out = Vec::new();
+            let mut now = 0u64;
+            // Burn the arrivals counter up to 4094 with row-hit filler so
+            // the interesting burst straddles the 4095 -> 0 wrap.
+            let mut sent = 0u64;
+            while sent < 4094 {
+                while sent < 4094 && ch.can_accept() {
+                    ch.enqueue(read(u64::MAX, 0), coord(0), now);
+                    sent += 1;
+                }
+                while ch.busy() {
+                    ch.tick(now, SchedCtx::default());
+                    ch.drain_completions(now, &mut out);
+                    now += 1;
+                    assert!(now < 1_000_000, "wedged");
+                }
+            }
+            out.clear();
+            // Same-cycle burst of three row conflicts on one bank with
+            // sequence numbers 4094, 4095, 0 — the last enqueue carries
+            // the smallest stamp.
+            for (id, row) in [(0u64, 1u64), (1, 2), (2, 3)] {
+                ch.enqueue(read(id, 0), coord(row), now);
+            }
+            ch.check_queue_invariants();
+            while ch.busy() {
+                ch.tick(now, SchedCtx::default());
+                ch.drain_completions(now, &mut out);
+                now += 1;
+                assert!(now < 1_000_000, "wedged");
+            }
+            out.iter().map(|c| c.id).collect::<Vec<_>>()
+        };
+        let fast = drive(SchedulerKind::FrFcfs.build(0));
+        assert_eq!(
+            fast,
+            vec![2, 0, 1],
+            "wrapped-stamp request must issue first (oldest by stamp)"
+        );
+        let generic = drive(SchedulerKind::StaticCpuPrio.build(0));
+        assert_eq!(fast, generic, "fast path diverged from generic at wrap");
     }
 }

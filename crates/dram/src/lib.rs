@@ -34,6 +34,7 @@ pub use channel::{Completion, DramChannel, DramRequest, DramStats};
 pub use energy::{DramEnergy, DramEnergyModel};
 pub use mapping::{ChannelInterleave, DramAddressMap};
 pub use sched::{
-    DynPrio, FrFcfs, FrFcfsCpuPrio, ReqInfo, SchedCtx, Scheduler, SchedulerKind, Sms, StaticCpuPrio,
+    DynPrio, FrFcfs, FrFcfsCpuPrio, ReqInfo, SchedCtx, SchedulerImpl, SchedulerKind, Sms,
+    StaticCpuPrio,
 };
 pub use timing::DramTiming;

@@ -6,6 +6,14 @@
 //! readiness precomputed by the channel) plus the dynamic [`SchedCtx`]
 //! signals from the QoS controller, and returns the index of the request
 //! to service.
+//!
+//! Dispatch is a closed [`SchedulerImpl`] enum rather than a
+//! `Box<dyn Scheduler>` (DESIGN.md §11): the policy set is fixed by the
+//! paper, the channel tick is the hottest loop in the simulator, and the
+//! enum lets the channel ask *which* policy is installed — the FR-FCFS
+//! fast path in `channel.rs` bypasses [`ReqInfo`] materialization
+//! entirely whenever the installed policy is FR-FCFS-equivalent under
+//! the current [`SchedCtx`].
 
 use gat_sim::rng::SimRng;
 
@@ -57,27 +65,6 @@ impl ReqInfo {
     }
 }
 
-/// A DRAM scheduling policy.
-pub trait Scheduler: Send {
-    /// Pick the queue index to service this cycle, or `None` to idle.
-    fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize>;
-    /// Display name for reports.
-    fn name(&self) -> &'static str;
-    /// True when the policy is *inert under starvation*: on any cycle
-    /// where no request is both issuable and eligible, `select` returns
-    /// `None` without mutating internal state (no RNG draws, no
-    /// cursors). The channel uses this to skip rebuilding the scheduler
-    /// view on cycles where the starved outcome provably repeats (no
-    /// bank can start a first command yet and the queue is unchanged).
-    /// Work conservation is *not* required: SMS still idles through
-    /// batch formation on non-starved cycles, but it defers its policy
-    /// coin until a request is actually issuable, so starved cycles are
-    /// pure for every shipped policy.
-    fn pure_when_starved(&self) -> bool {
-        false
-    }
-}
-
 /// Which scheduler to construct (plumbing for experiment configs).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchedulerKind {
@@ -94,13 +81,13 @@ pub enum SchedulerKind {
 
 impl SchedulerKind {
     /// Instantiate the scheduler; `seed` feeds SMS's policy coin.
-    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+    pub fn build(self, seed: u64) -> SchedulerImpl {
         match self {
-            SchedulerKind::FrFcfs => Box::new(FrFcfs),
-            SchedulerKind::FrFcfsCpuPrio => Box::new(FrFcfsCpuPrio),
-            SchedulerKind::Sms(p) => Box::new(Sms::new(p, seed)),
-            SchedulerKind::DynPrio => Box::new(DynPrio),
-            SchedulerKind::StaticCpuPrio => Box::new(StaticCpuPrio),
+            SchedulerKind::FrFcfs => SchedulerImpl::FrFcfs(FrFcfs),
+            SchedulerKind::FrFcfsCpuPrio => SchedulerImpl::FrFcfsCpuPrio(FrFcfsCpuPrio),
+            SchedulerKind::Sms(p) => SchedulerImpl::Sms(Sms::new(p, seed)),
+            SchedulerKind::DynPrio => SchedulerImpl::DynPrio(DynPrio),
+            SchedulerKind::StaticCpuPrio => SchedulerImpl::StaticCpuPrio(StaticCpuPrio),
         }
     }
 
@@ -111,6 +98,90 @@ impl SchedulerKind {
             SchedulerKind::Sms(p) => format!("SMS-{p}"),
             SchedulerKind::DynPrio => "DynPrio".into(),
             SchedulerKind::StaticCpuPrio => "StaticCPUprio".into(),
+        }
+    }
+}
+
+/// A constructed DRAM scheduling policy, dispatched by `match` instead of
+/// a vtable. The set is closed (the paper's comparison policies), so enum
+/// dispatch costs one predictable branch where `Box<dyn Scheduler>` paid
+/// an indirect call plus a pointer chase on every channel tick.
+#[derive(Debug)]
+pub enum SchedulerImpl {
+    FrFcfs(FrFcfs),
+    FrFcfsCpuPrio(FrFcfsCpuPrio),
+    Sms(Sms),
+    DynPrio(DynPrio),
+    StaticCpuPrio(StaticCpuPrio),
+    /// Test-harness variant: SMS with its starved-skip claim stripped, so
+    /// the channel rebuilds the scheduler view and calls `select` on
+    /// every busy cycle. Exists for the starved-skip equivalence property
+    /// test (`tests/proptest_dram.rs`); never constructed by
+    /// [`SchedulerKind::build`].
+    SmsUnskipped(Sms),
+}
+
+impl SchedulerImpl {
+    /// SMS without the starved-skip (see the variant docs).
+    pub fn sms_unskipped(p_sjf: f64, seed: u64) -> Self {
+        SchedulerImpl::SmsUnskipped(Sms::new(p_sjf, seed))
+    }
+
+    /// Pick the queue index to service this cycle, or `None` to idle.
+    #[inline]
+    pub fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize> {
+        match self {
+            SchedulerImpl::FrFcfs(s) => s.select(reqs, now, ctx),
+            SchedulerImpl::FrFcfsCpuPrio(s) => s.select(reqs, now, ctx),
+            SchedulerImpl::Sms(s) | SchedulerImpl::SmsUnskipped(s) => s.select(reqs, now, ctx),
+            SchedulerImpl::DynPrio(s) => s.select(reqs, now, ctx),
+            SchedulerImpl::StaticCpuPrio(s) => s.select(reqs, now, ctx),
+        }
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerImpl::FrFcfs(s) => s.name(),
+            SchedulerImpl::FrFcfsCpuPrio(s) => s.name(),
+            SchedulerImpl::Sms(s) => s.name(),
+            SchedulerImpl::SmsUnskipped(_) => "SMS-unskipped",
+            SchedulerImpl::DynPrio(s) => s.name(),
+            SchedulerImpl::StaticCpuPrio(s) => s.name(),
+        }
+    }
+
+    /// True when the policy is *inert under starvation*: on any cycle
+    /// where no request is both issuable and eligible, `select` returns
+    /// `None` without mutating internal state (no RNG draws, no
+    /// cursors). The channel uses this to skip rebuilding the scheduler
+    /// view on cycles where the starved outcome provably repeats (no
+    /// bank can start a first command yet and the queue is unchanged).
+    /// Work conservation is *not* required: SMS still idles through
+    /// batch formation on non-starved cycles, but it defers its policy
+    /// coin until a request is actually issuable, so starved cycles are
+    /// pure for every shipped policy.
+    pub fn pure_when_starved(&self) -> bool {
+        !matches!(self, SchedulerImpl::SmsUnskipped(_))
+    }
+
+    /// True when, under `ctx`, `select` is exactly baseline FR-FCFS:
+    /// stateless, and picking the oldest issuable+eligible request with
+    /// row hits preferred (`fr_fcfs_pick` over the whole queue). The
+    /// channel then skips both the [`ReqInfo`] rebuild *and* the `select`
+    /// call, running its intrusive per-bank fast path instead.
+    #[inline]
+    pub fn frfcfs_equivalent(&self, ctx: SchedCtx) -> bool {
+        match self {
+            SchedulerImpl::FrFcfs(_) => true,
+            // Without the boost line asserted, CPU-prio *is* the baseline.
+            SchedulerImpl::FrFcfsCpuPrio(_) => !ctx.cpu_prio_boost,
+            // DynPrio in its neutral band (lagging but not urgent) is the
+            // baseline too.
+            SchedulerImpl::DynPrio(_) => !ctx.gpu_urgent && !ctx.gpu_ahead,
+            SchedulerImpl::Sms(_)
+            | SchedulerImpl::SmsUnskipped(_)
+            | SchedulerImpl::StaticCpuPrio(_) => false,
         }
     }
 }
@@ -137,17 +208,13 @@ fn fr_fcfs_pick(reqs: &[ReqInfo], pred: impl Fn(&ReqInfo) -> bool) -> Option<usi
 #[derive(Debug, Default)]
 pub struct FrFcfs;
 
-impl Scheduler for FrFcfs {
-    fn select(&mut self, reqs: &[ReqInfo], _now: u64, _ctx: SchedCtx) -> Option<usize> {
+impl FrFcfs {
+    pub fn select(&mut self, reqs: &[ReqInfo], _now: u64, _ctx: SchedCtx) -> Option<usize> {
         fr_fcfs_pick(reqs, |_| true)
     }
 
-    fn name(&self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         "FR-FCFS"
-    }
-
-    fn pure_when_starved(&self) -> bool {
-        true
     }
 }
 
@@ -162,8 +229,8 @@ pub struct FrFcfsCpuPrio;
 /// deprioritized GPU traffic cannot pile up and clog the queue.
 const BOOST_AGE_CAP: u64 = 256;
 
-impl Scheduler for FrFcfsCpuPrio {
-    fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize> {
+impl FrFcfsCpuPrio {
+    pub fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize> {
         if ctx.cpu_prio_boost {
             // Keep row-buffer locality first (losing it would cost more
             // than the priority gains), break ties CPU-first, then oldest.
@@ -187,13 +254,22 @@ impl Scheduler for FrFcfsCpuPrio {
         }
     }
 
-    fn name(&self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         "FR-FCFS+CPUprio"
     }
+}
 
-    fn pure_when_starved(&self) -> bool {
-        true
-    }
+/// One leading same-row batch in SMS stage 1.
+#[derive(Debug, Clone, Copy)]
+struct SmsBatch {
+    src: u8,
+    /// Queue index of the batch head (the source's oldest request).
+    head: usize,
+    len: usize,
+    head_arrival: u64,
+    /// The source's row run has already broken (a request to another row
+    /// waits behind the batch).
+    closed: bool,
 }
 
 /// Staged memory scheduler (Ausavarungnirun et al., ISCA 2012).
@@ -212,6 +288,12 @@ pub struct Sms {
     age_limit: u64,
     rr_next: u8,
     rng: SimRng,
+    // Per-select scratch (kept across calls so batch formation allocates
+    // only while the high-water mark still grows; contents never carry
+    // state between calls).
+    scratch_idxs: Vec<u32>,
+    scratch_batches: Vec<SmsBatch>,
+    scratch_ready: Vec<SmsBatch>,
 }
 
 impl Sms {
@@ -226,49 +308,54 @@ impl Sms {
             // every other consumer of the same seed.
             // gat-lint: allow(R3, "config-time seeding of the SMS policy coin; stream is namespaced by fork label")
             rng: SimRng::new(seed).fork("sms"),
+            scratch_idxs: Vec::new(),
+            scratch_batches: Vec::new(),
+            scratch_ready: Vec::new(),
         }
     }
 
-    /// Leading same-row batch for each distinct source present in the
-    /// queue: `(source_id, head queue index, batch len, head arrival,
-    /// closed-by-row-break)`.
-    fn batches(&self, reqs: &[ReqInfo]) -> Vec<(u8, usize, usize, u64, bool)> {
-        // Sources are few (≤ 5); linear scans are cheap at queue sizes ≤ 64.
-        let mut sources: Vec<u8> = Vec::with_capacity(5);
-        for r in reqs {
-            if r.eligible && !sources.contains(&r.source_id) {
-                sources.push(r.source_id);
-            }
-        }
-        sources.sort_unstable();
-        let mut out = Vec::with_capacity(sources.len());
-        for src in sources {
-            // The source's requests in arrival order.
-            let mut idxs: Vec<usize> = (0..reqs.len())
-                .filter(|&i| reqs[i].source_id == src && reqs[i].eligible)
-                .collect();
-            idxs.sort_by_key(|&i| reqs[i].arrival);
-            let head = idxs[0];
+    /// Build the leading same-row batch for each distinct source present
+    /// in the queue into `scratch_batches`, ordered by source id.
+    fn form_batches(&mut self, reqs: &[ReqInfo]) {
+        // One (source, arrival)-ordered index sort replaces the old
+        // per-source scans; arrivals are unique so the order is total.
+        self.scratch_idxs.clear();
+        self.scratch_idxs
+            .extend((0..reqs.len() as u32).filter(|&i| reqs[i as usize].eligible));
+        self.scratch_idxs
+            .sort_unstable_by_key(|&i| (reqs[i as usize].source_id, reqs[i as usize].arrival));
+        self.scratch_batches.clear();
+        let mut cursor = 0;
+        while cursor < self.scratch_idxs.len() {
+            let src = reqs[self.scratch_idxs[cursor] as usize].source_id;
+            let group_end = cursor
+                + self.scratch_idxs[cursor..]
+                    .iter()
+                    .take_while(|&&i| reqs[i as usize].source_id == src)
+                    .count();
+            let head = self.scratch_idxs[cursor] as usize;
             let (hb, hr) = (reqs[head].bank, reqs[head].row);
             let mut len = 0;
-            for &i in &idxs {
-                if reqs[i].bank == hb && reqs[i].row == hr && len < self.batch_cap {
+            for &i in &self.scratch_idxs[cursor..group_end] {
+                let r = &reqs[i as usize];
+                if r.bank == hb && r.row == hr && len < self.batch_cap {
                     len += 1;
                 } else {
                     break;
                 }
             }
-            // A batch also closes when the source's row run has already
-            // broken (a request to another row waits behind it).
-            let closed = idxs.len() > len;
-            out.push((src, head, len, reqs[head].arrival, closed));
+            self.scratch_batches.push(SmsBatch {
+                src,
+                head,
+                len,
+                head_arrival: reqs[head].arrival,
+                closed: group_end - cursor > len,
+            });
+            cursor = group_end;
         }
-        out
     }
-}
 
-impl Scheduler for Sms {
-    fn select(&mut self, reqs: &[ReqInfo], now: u64, _ctx: SchedCtx) -> Option<usize> {
+    pub fn select(&mut self, reqs: &[ReqInfo], now: u64, _ctx: SchedCtx) -> Option<usize> {
         if reqs.is_empty() {
             return None;
         }
@@ -280,17 +367,19 @@ impl Scheduler for Sms {
         if !reqs.iter().any(|r| r.issuable && r.eligible) {
             return None;
         }
-        let batches = self.batches(reqs);
-        let ready: Vec<&(u8, usize, usize, u64, bool)> = batches
-            .iter()
-            .filter(|&&(_, _, len, head_arrival, closed)| {
-                len >= self.batch_cap
-                    || closed
-                    || now.saturating_sub(head_arrival / 4096) >= self.age_limit
-            })
-            .collect();
+        self.form_batches(reqs);
+        let (age_limit, batch_cap) = (self.age_limit, self.batch_cap);
+        self.scratch_ready.clear();
+        for b in &self.scratch_batches {
+            if b.len >= batch_cap
+                || b.closed
+                || now.saturating_sub(b.head_arrival / 4096) >= age_limit
+            {
+                self.scratch_ready.push(*b);
+            }
+        }
         // Anti-deadlock: with a nearly full queue, serve like FR-FCFS.
-        if ready.is_empty() {
+        if self.scratch_ready.is_empty() {
             if reqs.len() >= 56 {
                 return fr_fcfs_pick(reqs, |_| true);
             }
@@ -298,36 +387,35 @@ impl Scheduler for Sms {
         }
         let choice = if self.rng.chance(self.p_sjf) {
             // Shortest batch first; ties to the oldest head.
-            ready
+            self.scratch_ready
                 .iter()
-                .min_by_key(|&&&(_, _, len, arr, _)| (len, arr))
+                .min_by_key(|b| (b.len, b.head_arrival))
                 .copied()
         } else {
             // Round-robin over source ids.
             let mut pick = None;
             for off in 0..=u8::MAX {
                 let want = self.rr_next.wrapping_add(off);
-                if let Some(b) = ready.iter().find(|&&&(src, _, _, _, _)| src == want) {
+                if let Some(b) = self.scratch_ready.iter().find(|b| b.src == want) {
                     pick = Some(*b);
                     self.rr_next = want.wrapping_add(1);
                     break;
                 }
             }
-            pick.or_else(|| ready.first().copied())
+            pick.or_else(|| self.scratch_ready.first().copied())
         }?;
-        let (_, head, _, _, _) = *choice;
-        if reqs[head].issuable {
-            Some(head)
+        if reqs[choice.head].issuable {
+            Some(choice.head)
         } else {
             None
         }
     }
 
-    fn name(&self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         "SMS"
     }
 
-    fn pure_when_starved(&self) -> bool {
+    pub fn pure_when_starved(&self) -> bool {
         // Sound since the starved early-return above fires before the
         // policy coin or `rr_next` can move.
         true
@@ -340,17 +428,13 @@ impl Scheduler for Sms {
 #[derive(Debug, Default)]
 pub struct StaticCpuPrio;
 
-impl Scheduler for StaticCpuPrio {
-    fn select(&mut self, reqs: &[ReqInfo], _now: u64, _ctx: SchedCtx) -> Option<usize> {
+impl StaticCpuPrio {
+    pub fn select(&mut self, reqs: &[ReqInfo], _now: u64, _ctx: SchedCtx) -> Option<usize> {
         fr_fcfs_pick(reqs, |r| !r.is_gpu).or_else(|| fr_fcfs_pick(reqs, |r| r.is_gpu))
     }
 
-    fn name(&self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         "StaticCPUprio"
-    }
-
-    fn pure_when_starved(&self) -> bool {
-        true
     }
 }
 
@@ -360,8 +444,8 @@ impl Scheduler for StaticCpuPrio {
 #[derive(Debug, Default)]
 pub struct DynPrio;
 
-impl Scheduler for DynPrio {
-    fn select(&mut self, reqs: &[ReqInfo], _now: u64, ctx: SchedCtx) -> Option<usize> {
+impl DynPrio {
+    pub fn select(&mut self, reqs: &[ReqInfo], _now: u64, ctx: SchedCtx) -> Option<usize> {
         if ctx.gpu_urgent {
             // Deadline endangered: express lane for the GPU.
             fr_fcfs_pick(reqs, |r| r.is_gpu).or_else(|| fr_fcfs_pick(reqs, |r| !r.is_gpu))
@@ -374,12 +458,8 @@ impl Scheduler for DynPrio {
         }
     }
 
-    fn name(&self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         "DynPrio"
-    }
-
-    fn pure_when_starved(&self) -> bool {
-        true
     }
 }
 
@@ -604,6 +684,8 @@ mod tests {
     #[test]
     fn sms_is_pure_when_starved() {
         assert!(Sms::new(0.9, 1).pure_when_starved());
+        assert!(SchedulerKind::Sms(0.9).build(1).pure_when_starved());
+        assert!(!SchedulerImpl::sms_unskipped(0.9, 1).pure_when_starved());
     }
 
     #[test]
@@ -618,6 +700,60 @@ mod tests {
             let s = k.build(7);
             assert!(!s.name().is_empty());
             assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn frfcfs_equivalence_tracks_ctx() {
+        let neutral = SchedCtx::default();
+        let boosted = SchedCtx {
+            cpu_prio_boost: true,
+            ..Default::default()
+        };
+        let urgent = SchedCtx {
+            gpu_urgent: true,
+            ..Default::default()
+        };
+        assert!(SchedulerKind::FrFcfs.build(1).frfcfs_equivalent(boosted));
+        let cpuprio = SchedulerKind::FrFcfsCpuPrio.build(1);
+        assert!(cpuprio.frfcfs_equivalent(neutral));
+        assert!(!cpuprio.frfcfs_equivalent(boosted));
+        let dynprio = SchedulerKind::DynPrio.build(1);
+        assert!(dynprio.frfcfs_equivalent(neutral));
+        assert!(!dynprio.frfcfs_equivalent(urgent));
+        assert!(!SchedulerKind::Sms(0.5).build(1).frfcfs_equivalent(neutral));
+        assert!(!SchedulerKind::StaticCpuPrio
+            .build(1)
+            .frfcfs_equivalent(neutral));
+    }
+
+    /// The enum dispatch and the direct struct calls must agree — the
+    /// devirtualization is pure plumbing.
+    #[test]
+    fn enum_dispatch_matches_direct_calls() {
+        let reqs = [
+            req(false, 10, false, true),
+            req(true, 20, true, true),
+            req(false, 5, true, true),
+        ];
+        let ctx = SchedCtx::default();
+        assert_eq!(
+            SchedulerKind::FrFcfs.build(3).select(&reqs, 100, ctx),
+            FrFcfs.select(&reqs, 100, ctx)
+        );
+        assert_eq!(
+            SchedulerKind::StaticCpuPrio
+                .build(3)
+                .select(&reqs, 100, ctx),
+            StaticCpuPrio.select(&reqs, 100, ctx)
+        );
+        let mut a = SchedulerKind::Sms(0.7).build(11);
+        let mut b = Sms::new(0.7, 11);
+        for step in 0..32 {
+            assert_eq!(
+                a.select(&reqs, 1000 + step, ctx),
+                b.select(&reqs, 1000 + step, ctx)
+            );
         }
     }
 }

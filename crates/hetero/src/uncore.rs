@@ -173,6 +173,9 @@ pub struct Uncore {
     fill_min: Cycle,
     pub channels: Vec<DramChannel>,
     mc_retry: Vec<std::collections::VecDeque<u64>>,
+    /// Entries across all `mc_retry` queues; the per-cycle retry sweep is
+    /// skipped entirely while this is zero (the common case).
+    mc_retry_total: usize,
     txns: TxnSlab,
     policy: Box<dyn LlcFillPolicy>,
     /// GPU latency tolerance sampled by the system each cycle (HeLM).
@@ -186,6 +189,8 @@ pub struct Uncore {
     back_invals: Vec<BackInval>,
     drain_buf: Vec<u64>,
     comp_buf: Vec<Completion>,
+    /// Reused MSHR waiter scratch for `finish_fill` (restored empty).
+    waiter_buf: Vec<u64>,
     pub stats: UncoreStats,
 }
 
@@ -264,6 +269,7 @@ impl Uncore {
             fill_min: Cycle::MAX,
             channels,
             mc_retry,
+            mc_retry_total: 0,
             txns: TxnSlab::default(),
             policy,
             gpu_tolerance: 0.0,
@@ -272,6 +278,7 @@ impl Uncore {
             back_invals: Vec::new(),
             drain_buf: Vec::new(),
             comp_buf: Vec::new(),
+            waiter_buf: Vec::new(),
             stats: UncoreStats::default(),
             cfg: cfg.clone(),
         }
@@ -360,6 +367,7 @@ impl Uncore {
             );
         } else {
             self.mc_retry[ch].push_back(id);
+            self.mc_retry_total += 1;
         }
     }
 
@@ -374,12 +382,16 @@ impl Uncore {
     }
 
     fn retry_mc(&mut self, now: Cycle) {
+        if self.mc_retry_total == 0 {
+            return;
+        }
         for ch in 0..self.channels.len() {
             while let Some(&id) = self.mc_retry[ch].front() {
                 if !self.channels[ch].can_accept() {
                     break;
                 }
                 self.mc_retry[ch].pop_front();
+                self.mc_retry_total -= 1;
                 if let Some(txn) = self.txns.get(id).copied() {
                     self.send_to_dram(now, id, txn);
                 }
@@ -589,10 +601,13 @@ impl Uncore {
             let evicted = self.llc_fill(txn.addr, txn.requester, false);
             self.handle_eviction(now, evicted);
         }
-        // Wake all waiters (primary included).
-        let waiters = self.llc_mshr.complete(txn.addr);
+        // Wake all waiters (primary included). Reused scratch, restored
+        // empty below — the per-fill `Vec` this replaces was the last
+        // steady-state allocation on the fill path.
+        let mut waiters = std::mem::take(&mut self.waiter_buf);
+        self.llc_mshr.complete_into(txn.addr, &mut waiters);
         let llc_stop = StopId(self.cfg.llc_stop());
-        for wid in waiters {
+        for &wid in &waiters {
             let requester = match self.txns.get_mut(wid) {
                 Some(wtxn) => {
                     wtxn.stage = Stage::Resp;
@@ -603,6 +618,8 @@ impl Uncore {
             let dst = self.stop_of(requester);
             self.ring.send(now, llc_stop, dst, wid);
         }
+        waiters.clear();
+        self.waiter_buf = waiters;
     }
 
     fn handle_eviction(&mut self, now: Cycle, evicted: Option<gat_cache::Evicted>) {
@@ -774,6 +791,8 @@ impl Uncore {
                     ch.queue_capacity()
                 ));
             }
+            // Slab/intrusive-list structural sweep (panics on violation).
+            ch.check_queue_invariants();
         }
         Ok(())
     }

@@ -13,6 +13,8 @@
 //! | R4   | `println!`-family output from library code                  |
 //! | R5   | NaN-unsafe `partial_cmp().unwrap()` / float sorts           |
 //! | R6   | bench `--flag`s absent from README.md; `GAT_*` knobs absent from DESIGN.md |
+//! | R7   | `next_activity`-style per-cycle polling APIs (the WakeCalendar replaced them) |
+//! | R8   | per-tick heap allocation (`Vec::new`, `vec!`, `Box::new`, `.collect::<Vec<..>>()`) in tick-path modules |
 //!
 //! Findings are suppressible with a justified pragma —
 //! `// gat-lint: allow(R2, "why")` (line scope) or `allow-file` — and a

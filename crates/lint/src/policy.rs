@@ -43,6 +43,23 @@ pub const RNG_MODULES: &[&str] = &[
     "crates/hetero/src/system.rs",
 ];
 
+/// Modules on the per-cycle tick path, subject to the allocation rule
+/// R8. These are the layers the busy-path overhaul (DESIGN.md §11) moved
+/// onto slabs, intrusive lists and reused scratch buffers; a heap
+/// allocation reappearing in one of them is per-tick cost until proven
+/// otherwise with a reasoned pragma. Constructors (`fn new`) are exempt
+/// inside these files — pools are *supposed* to allocate at setup.
+pub const TICK_PATH_MODULES: &[&str] = &[
+    "crates/cache/src/mshr.rs",
+    "crates/cpu/src/hierarchy.rs",
+    "crates/dram/src/channel.rs",
+    "crates/dram/src/sched.rs",
+    "crates/gpu/src/caches.rs",
+    "crates/hetero/src/uncore.rs",
+    "crates/ring/src/lib.rs",
+    "crates/sim/src/slab.rs",
+];
+
 /// Directory holding the bench binaries whose `--flag` vocabulary rule
 /// R6 cross-checks against README.md.
 pub const BENCH_BIN_DIR: &str = "crates/bench/src/bin";
@@ -95,6 +112,11 @@ pub fn is_rng_module(rel_path: &str) -> bool {
     RNG_MODULES.contains(&rel_path)
 }
 
+/// Is this file on the per-cycle tick path (rule R8 applies)?
+pub fn is_tick_path_module(rel_path: &str) -> bool {
+    TICK_PATH_MODULES.contains(&rel_path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,7 +139,11 @@ mod tests {
 
     #[test]
     fn approved_modules_are_inside_the_sim_boundary() {
-        for m in ENV_KNOB_MODULES.iter().chain(RNG_MODULES) {
+        for m in ENV_KNOB_MODULES
+            .iter()
+            .chain(RNG_MODULES)
+            .chain(TICK_PATH_MODULES)
+        {
             assert_eq!(classify(m), FileClass::SimLib, "{m} must be SimLib");
         }
     }

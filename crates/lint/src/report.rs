@@ -24,6 +24,13 @@ pub enum RuleId {
     /// polling entry points would quietly reintroduce the O(layers)
     /// fast-forward scan the calendar was built to delete.
     R7,
+    /// Per-tick heap allocation (`Vec::new`, `vec![..]`, `Box::new`,
+    /// `.collect::<Vec<..>>()`) in a tick-path module. PR 8 moved the
+    /// busy-path request state onto slabs, intrusive lists and reused
+    /// scratch buffers; a fresh allocation on the tick path silently
+    /// re-opens that per-cycle cost. Constructors (`fn new`) are exempt —
+    /// setup-time allocation is the point of a pool.
+    R8,
     /// Pragma problems: malformed, unknown rule, or unused suppression.
     Pragma,
 }
@@ -38,6 +45,7 @@ impl RuleId {
             RuleId::R5 => "R5",
             RuleId::R6 => "R6",
             RuleId::R7 => "R7",
+            RuleId::R8 => "R8",
             RuleId::Pragma => "pragma",
         }
     }
@@ -54,6 +62,7 @@ impl RuleId {
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
             "R7" => Some(RuleId::R7),
+            "R8" => Some(RuleId::R8),
             _ => None,
         }
     }
@@ -76,8 +85,11 @@ impl RuleId {
             RuleId::R7 => {
                 "register a wake on the WakeCalendar (schedule/cancel) instead of exposing a per-cycle activity probe"
             }
+            RuleId::R8 => {
+                "reuse a struct-owned scratch buffer or slab handle; allocation belongs in the constructor, not the tick"
+            }
             RuleId::Pragma => {
-                "fix the pragma: gat-lint: allow(R1..R7, \"reason\"); delete it if the violation is gone"
+                "fix the pragma: gat-lint: allow(R1..R8, \"reason\"); delete it if the violation is gone"
             }
         }
     }
@@ -168,6 +180,7 @@ mod tests {
             RuleId::R5,
             RuleId::R6,
             RuleId::R7,
+            RuleId::R8,
         ] {
             assert_eq!(RuleId::from_pragma_name(r.as_str()), Some(r));
         }

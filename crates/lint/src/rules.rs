@@ -1,6 +1,6 @@
-//! The determinism rules (R1–R5) and the event-scheduling rule (R7) over
-//! one file's token stream, plus the raw material (flag and knob
-//! literals) for the cross-file rule R6.
+//! The determinism rules (R1–R5), the event-scheduling rule (R7) and the
+//! tick-path allocation rule (R8) over one file's token stream, plus the
+//! raw material (flag and knob literals) for the cross-file rule R6.
 //!
 //! Every matcher works on the comment-free token stream from
 //! [`crate::lexer`]; spans are line-granular, which is enough for a
@@ -71,7 +71,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
                 rule: RuleId::Pragma,
                 file: rel_path.into(),
                 line: p.line,
-                message: format!("pragma names unknown rule {:?} (known: R1..R7)", p.rule),
+                message: format!("pragma names unknown rule {:?} (known: R1..R8)", p.rule),
             }),
         }
     }
@@ -87,6 +87,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
         check_r4_printing(rel_path, toks, &in_test, &mut raw);
         check_r5_nan(rel_path, toks, &in_test, &mut raw);
         check_r7_activity_polling(rel_path, toks, &in_test, &mut raw);
+        check_r8_tick_alloc(rel_path, toks, &in_test, &mut raw);
     }
     dedupe(&mut raw);
     let survived = suppress(raw, &mut out.pragmas);
@@ -446,6 +447,95 @@ fn check_r7_activity_polling(file: &str, toks: &[Token], in_test: &[bool], raw: 
     }
 }
 
+/// R8: heap allocation in a tick-path module (`policy::TICK_PATH_MODULES`).
+/// The busy-path overhaul (DESIGN.md §11) hoisted per-cycle allocation
+/// into constructor-time pools — slabs, intrusive free lists, reused
+/// scratch buffers — so a `Vec::new`/`vec![..]`/`Box::new`/
+/// `.collect::<Vec<..>>()` reappearing here is per-tick churn until a
+/// reasoned pragma says otherwise. Bodies of `fn new` are exempt: that is
+/// where pool allocation belongs.
+fn check_r8_tick_alloc(file: &str, toks: &[Token], in_test: &[bool], raw: &mut Vec<Finding>) {
+    if !policy::is_tick_path_module(file) {
+        return;
+    }
+    let in_ctor = ctor_mask(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] || in_ctor[i] {
+            continue;
+        }
+        let what = if path_step(toks, i, "Vec", "new") {
+            Some("Vec::new()")
+        } else if path_step(toks, i, "Box", "new") {
+            Some("Box::new(..)")
+        } else if ident_at(toks, i) == Some("vec")
+            && is_punct(toks, i + 1, '!')
+            && (is_punct(toks, i + 2, '[') || is_punct(toks, i + 2, '('))
+        {
+            Some("vec![..]")
+        } else if is_punct(toks, i, '.')
+            && ident_at(toks, i + 1) == Some("collect")
+            && is_punct(toks, i + 2, ':')
+            && is_punct(toks, i + 3, ':')
+            && is_punct(toks, i + 4, '<')
+            && ident_at(toks, i + 5) == Some("Vec")
+        {
+            Some(".collect::<Vec<..>>()")
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            push(
+                raw,
+                RuleId::R8,
+                file,
+                t.line,
+                format!("per-tick heap allocation ({what}) in a tick-path module"),
+            );
+        }
+    }
+}
+
+/// Per-token "is inside a `fn new` body" mask (R8's constructor
+/// exemption). Scans for `fn new`, skips the signature to the opening
+/// brace (or a terminating `;` for trait declarations), and masks the
+/// braced body.
+fn ctor_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident_at(toks, i) != Some("fn") || ident_at(toks, i + 1) != Some("new") {
+            i += 1;
+            continue;
+        }
+        let mut k = i + 2;
+        let mut body_end = i + 1;
+        // Depth guard: `;` inside `[u8; 4]`-style parameter types must
+        // not terminate the signature scan early.
+        let mut depth = 0i32;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct('(' | '[') => depth += 1,
+                Tok::Punct(')' | ']') => depth -= 1,
+                Tok::Punct(';') if depth == 0 => {
+                    body_end = k;
+                    break;
+                }
+                Tok::Punct('{') if depth == 0 => {
+                    body_end = matching(toks, k, '{', '}').unwrap_or(toks.len() - 1);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(body_end + 1).skip(i) {
+            *m = true;
+        }
+        i = body_end + 1;
+    }
+    mask
+}
+
 /// Sort by position and drop same-rule/same-line duplicates (a single
 /// expression can trip one matcher several times).
 fn dedupe(raw: &mut Vec<Finding>) {
@@ -575,5 +665,79 @@ pub fn f() -> std::time::Instant { std::time::Instant::now() }
     fn unknown_rule_in_pragma_is_a_finding() {
         let l = lint_file(SIM_PATH, "// gat-lint: allow(R42, \"nope\")\n");
         assert_eq!(rules_of(&l), vec!["pragma"]);
+    }
+
+    const TICK_PATH: &str = "crates/dram/src/channel.rs";
+
+    #[test]
+    fn r8_flags_each_allocation_form_on_the_tick_path() {
+        let src = r#"
+            pub fn tick(&mut self) {
+                let a: Vec<u64> = Vec::new();
+                let b = vec![0u8; 4];
+                let c = Box::new(7u64);
+                let d = a.iter().copied().collect::<Vec<_>>();
+            }
+        "#;
+        let l = lint_file(TICK_PATH, src);
+        assert_eq!(
+            rules_of(&l),
+            vec!["R8", "R8", "R8", "R8"],
+            "{:?}",
+            l.findings
+        );
+    }
+
+    #[test]
+    fn r8_is_scoped_to_tick_path_modules_only() {
+        let src =
+            "pub fn tick(&mut self) { let _ = Vec::<u64>::new(); let x: Vec<u64> = Vec::new(); }";
+        assert!(lint_file("crates/hetero/src/config.rs", src)
+            .findings
+            .is_empty());
+        assert_eq!(rules_of(&lint_file(TICK_PATH, src)), vec!["R8"]);
+    }
+
+    #[test]
+    fn r8_exempts_constructors_and_tests() {
+        let src = r#"
+            impl Pool {
+                pub fn new(n: usize) -> Self {
+                    Self { slots: vec![0; n], spill: Vec::new() }
+                }
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let _ = Vec::<u64>::new();
+                    let _ = vec![1, 2, 3];
+                }
+            }
+        "#;
+        let l = lint_file(TICK_PATH, src);
+        assert!(l.findings.is_empty(), "{:?}", l.findings);
+    }
+
+    #[test]
+    fn r8_constructor_exemption_ends_with_the_body() {
+        let src = r#"
+            pub fn new(xs: [u8; 4]) -> Self { Self { xs, q: Vec::new() } }
+            pub fn drain(&mut self) -> Vec<u64> { self.q.drain(..).collect::<Vec<_>>() }
+        "#;
+        let l = lint_file(TICK_PATH, src);
+        assert_eq!(rules_of(&l), vec!["R8"], "{:?}", l.findings);
+        assert_eq!(l.findings[0].line, 3);
+    }
+
+    #[test]
+    fn r8_suppressible_with_a_reasoned_pragma() {
+        let src = "\
+// gat-lint: allow(R8, \"cold diagnostic path, runs once per dump\")
+pub fn dump(&self) -> Vec<u64> { self.q.iter().copied().collect::<Vec<_>>() }
+";
+        let l = lint_file(TICK_PATH, src);
+        assert!(l.findings.is_empty(), "{:?}", l.findings);
+        assert!(l.pragmas[0].used);
     }
 }

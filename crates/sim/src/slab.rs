@@ -1,0 +1,349 @@
+//! Generational slab arena for tick-path request state (DESIGN.md §11).
+//!
+//! Busy-path components (DRAM channel queues, MSHR waiter chains, ring
+//! slots) used to keep per-request state in ad-hoc `Vec`s that were
+//! compacted, re-sorted, or re-scanned every tick. This module provides
+//! the shared allocation substrate that replaces them: a flat arena with
+//! stable [`SlabHandle`] indices, LIFO free-list reuse (hot slots stay
+//! cache-resident), and a generation counter per slot so a stale handle
+//! can never silently alias a recycled entry.
+//!
+//! Design points, pinned by the unit and property tests below:
+//!
+//! - **Stable `u32` handles.** A handle packs `slot` (low
+//!   [`SLOT_BITS`] bits) and a per-slot generation (high bits). Handles
+//!   stay valid across other allocs/frees; they are `Copy` and fit in the
+//!   intrusive link fields of the structures stored in the slab.
+//! - **Generation checking.** [`Slab::get`]/[`Slab::get_mut`] return
+//!   `None` for any handle whose generation does not match the slot's
+//!   current generation — i.e. after the entry was freed, even if the
+//!   slot has since been reused. Indexing (`slab[h]`) panics on a stale
+//!   handle. `GAT_PARANOIA` sweeps call [`Slab::validate`] for full
+//!   structural checks (free-list integrity, live count).
+//! - **Deterministic iteration.** [`Slab::iter`] walks slots in index
+//!   order, so any consumer that iterates the arena observes a
+//!   reproducible order independent of alloc/free history interleaving
+//!   with respect to map iteration order or pointer values.
+//! - **No per-tick allocation.** `alloc` only grows the backing `Vec`
+//!   when the free list is empty; steady-state churn reuses slots.
+
+/// Bits of a handle reserved for the slot index. 2^20 = 1M concurrent
+/// entries, far above any queue bound in the simulator (the largest user,
+/// the DRAM channel, is capacity-limited to well under 2^10).
+pub const SLOT_BITS: u32 = 20;
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+/// Generations wrap modulo 2^12; a handle only aliases after the exact
+/// same slot is freed and reallocated 4096 times while the stale handle
+/// is still live, which the paranoia sweeps would catch long before.
+const GEN_MASK: u32 = u32::MAX >> SLOT_BITS;
+const NIL: u32 = u32::MAX;
+
+/// Stable, copyable reference to a live slab entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlabHandle(u32);
+
+impl SlabHandle {
+    /// The packed `slot | generation << SLOT_BITS` representation, for
+    /// embedding in intrusive link words.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`SlabHandle::raw`]. The value is only
+    /// meaningful for the slab that produced it.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Slot index within the arena (stable for the entry's lifetime).
+    #[inline]
+    pub fn slot(self) -> usize {
+        (self.0 & SLOT_MASK) as usize
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        self.0 >> SLOT_BITS
+    }
+}
+
+struct Entry<T> {
+    /// Current generation of this slot; a handle matches only if its
+    /// generation equals this value *and* the slot is occupied.
+    generation: u32,
+    /// `NIL` when occupied; otherwise the next slot on the free list.
+    next_free: u32,
+    val: Option<T>,
+}
+
+/// Flat generational arena. See module docs for the contract.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free_head: u32,
+    live: u32,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+
+    /// Pre-size the arena so the first `cap` allocations never touch the
+    /// allocator (construction-time call; the tick path only reuses).
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut s = Self::new();
+        s.entries.reserve(cap);
+        s
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever created (live + free-listed).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert `val`, reusing the most recently freed slot when one
+    /// exists (LIFO keeps the hot end of the arena in cache).
+    pub fn alloc(&mut self, val: T) -> SlabHandle {
+        self.live += 1;
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let e = &mut self.entries[slot as usize];
+            self.free_head = e.next_free;
+            e.next_free = NIL;
+            debug_assert!(e.val.is_none(), "free-listed slot was occupied");
+            e.val = Some(val);
+            return SlabHandle(slot | (e.generation << SLOT_BITS));
+        }
+        let slot = u32::try_from(self.entries.len()).expect("slab slot overflow");
+        assert!(slot <= SLOT_MASK, "slab exceeded 2^{SLOT_BITS} slots");
+        self.entries.push(Entry {
+            generation: 0,
+            next_free: NIL,
+            val: Some(val),
+        });
+        SlabHandle(slot)
+    }
+
+    /// Remove the entry behind `h` and return it. Panics on a stale or
+    /// already-freed handle — a double free is always a simulator bug.
+    pub fn free(&mut self, h: SlabHandle) -> T {
+        let slot = h.slot();
+        let e = &mut self.entries[slot];
+        assert!(
+            e.generation == h.generation() && e.val.is_some(),
+            "slab free of stale handle {:#x} (slot {} gen {})",
+            h.raw(),
+            slot,
+            e.generation,
+        );
+        let val = e.val.take().expect("checked occupied above");
+        // Bump the generation on free so every outstanding handle to the
+        // old entry is invalidated immediately (wrapping within GEN_MASK).
+        e.generation = (e.generation + 1) & GEN_MASK;
+        e.next_free = self.free_head;
+        self.free_head = slot as u32;
+        self.live -= 1;
+        val
+    }
+
+    /// Generation-checked access: `None` when `h` is stale.
+    #[inline]
+    pub fn get(&self, h: SlabHandle) -> Option<&T> {
+        let e = self.entries.get(h.slot())?;
+        if e.generation == h.generation() {
+            e.val.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Generation-checked mutable access: `None` when `h` is stale.
+    #[inline]
+    pub fn get_mut(&mut self, h: SlabHandle) -> Option<&mut T> {
+        let e = self.entries.get_mut(h.slot())?;
+        if e.generation == h.generation() {
+            e.val.as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Live entries in slot (index) order — the deterministic iteration
+    /// order the golden snapshots rely on.
+    pub fn iter(&self) -> impl Iterator<Item = (SlabHandle, &T)> {
+        self.entries.iter().enumerate().filter_map(|(slot, e)| {
+            e.val
+                .as_ref()
+                .map(|v| (SlabHandle(slot as u32 | (e.generation << SLOT_BITS)), v))
+        })
+    }
+
+    /// Drop every live entry and reset the free list. Slot generations
+    /// are preserved so handles from before the clear stay invalid.
+    pub fn clear(&mut self) {
+        self.free_head = NIL;
+        self.live = 0;
+        // Rebuild the free list back-to-front so allocation after a clear
+        // starts from slot 0 — keeps post-reset runs byte-identical to
+        // fresh-construction runs.
+        for slot in (0..self.entries.len()).rev() {
+            let e = &mut self.entries[slot];
+            if e.val.take().is_some() {
+                e.generation = (e.generation + 1) & GEN_MASK;
+            }
+            e.next_free = self.free_head;
+            self.free_head = slot as u32;
+        }
+    }
+
+    /// Full structural sweep for `GAT_PARANOIA` runs: the free list must
+    /// be acyclic, cover exactly the vacant slots, and the live count
+    /// must match the occupied slots.
+    pub fn validate(&self) {
+        // gat-lint: allow(R8, "GAT_PARANOIA diagnostic sweep, not on the normal tick path")
+        let mut seen = vec![false; self.entries.len()];
+        let mut cursor = self.free_head;
+        let mut free_count = 0usize;
+        while cursor != NIL {
+            let slot = cursor as usize;
+            assert!(slot < self.entries.len(), "free list points past arena");
+            assert!(!seen[slot], "free list cycle at slot {slot}");
+            assert!(
+                self.entries[slot].val.is_none(),
+                "occupied slot {slot} on free list"
+            );
+            seen[slot] = true;
+            free_count += 1;
+            cursor = self.entries[slot].next_free;
+        }
+        let occupied = self.entries.iter().filter(|e| e.val.is_some()).count();
+        assert_eq!(occupied, self.live as usize, "live-count drift");
+        assert_eq!(
+            free_count + occupied,
+            self.entries.len(),
+            "free list leaked {} slot(s)",
+            self.entries.len() - free_count - occupied,
+        );
+    }
+}
+
+impl<T> std::ops::Index<SlabHandle> for Slab<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, h: SlabHandle) -> &T {
+        self.get(h).expect("slab index with stale handle")
+    }
+}
+
+impl<T> std::ops::IndexMut<SlabHandle> for Slab<T> {
+    #[inline]
+    fn index_mut(&mut self, h: SlabHandle) -> &mut T {
+        self.get_mut(h).expect("slab index with stale handle")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_free_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.alloc(10u64);
+        let b = s.alloc(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&10));
+        assert_eq!(s[b], 20);
+        *s.get_mut(a).unwrap() = 11;
+        assert_eq!(s.free(a), 11);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None, "freed handle must go stale");
+        s.validate();
+    }
+
+    #[test]
+    fn recycled_slot_gets_new_generation() {
+        let mut s = Slab::new();
+        let a = s.alloc(1u32);
+        s.free(a);
+        let b = s.alloc(2);
+        // LIFO reuse: same slot, different generation.
+        assert_eq!(a.slot(), b.slot());
+        assert_ne!(a.raw(), b.raw());
+        assert_eq!(s.get(a), None, "stale handle aliased recycled slot");
+        assert_eq!(s.get(b), Some(&2));
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn double_free_panics() {
+        let mut s = Slab::new();
+        let a = s.alloc(5u8);
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered() {
+        let mut s = Slab::new();
+        let h: Vec<_> = (0..6).map(|i| s.alloc(i)).collect();
+        s.free(h[1]);
+        s.free(h[4]);
+        let vals: Vec<i32> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![0, 2, 3, 5]);
+        // Refill: LIFO free list hands back slot 4 then slot 1, but
+        // iteration stays slot-ordered regardless.
+        s.alloc(40);
+        s.alloc(10);
+        let vals: Vec<i32> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![0, 10, 2, 3, 40, 5]);
+        s.validate();
+    }
+
+    #[test]
+    fn clear_resets_allocation_order() {
+        let mut s = Slab::new();
+        let old: Vec<_> = (0..4).map(|i| s.alloc(i)).collect();
+        s.clear();
+        assert!(s.is_empty());
+        for &h in &old {
+            assert_eq!(s.get(h), None, "pre-clear handle survived clear");
+        }
+        let a = s.alloc(99);
+        assert_eq!(a.slot(), 0, "post-clear allocation must restart at slot 0");
+        s.validate();
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.alloc(7u16);
+        let back = SlabHandle::from_raw(a.raw());
+        assert_eq!(s.get(back), Some(&7));
+    }
+}

@@ -1,5 +1,5 @@
 //! Fixture suite for the determinism linter (DESIGN.md §10): one passing
-//! and one failing case per rule R1–R7, the pragma machinery, and the
+//! and one failing case per rule R1–R8, the pragma machinery, and the
 //! capstone check that the real tree is lint-clean.
 //!
 //! Fixtures are linted fully in memory via [`gat_lint::lint_sources`], so
@@ -185,6 +185,59 @@ fn r7_is_suppressible_with_a_pragma_and_exempt_in_tests() {
     );
     assert!(f.is_empty(), "{f:?}");
     let f = lint_sim("#[cfg(test)]\nmod tests {\n    fn next_activity() -> u64 { 0 }\n}\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- R8: per-tick heap allocation --------------------------------------
+
+/// Lint one synthetic file at a tick-path module path (rule R8 applies).
+fn lint_tick_path(src: &str) -> Vec<Finding> {
+    let files = vec![SourceFile {
+        path: "crates/dram/src/channel.rs".into(),
+        text: src.into(),
+    }];
+    lint_sources(&files, "", "")
+}
+
+#[test]
+fn r8_flags_per_tick_allocation_in_tick_path_modules() {
+    let cases = [
+        "pub fn tick(&mut self) { self.q = Vec::new(); }",
+        "pub fn tick(&mut self) { let scratch = vec![0u64; 8]; }",
+        "pub fn tick(&mut self) { self.policy = Box::new(FrFcfs); }",
+        "pub fn drain(&mut self) { let ids = self.q.iter().map(|p| p.id).collect::<Vec<_>>(); }",
+    ];
+    for src in cases {
+        let f = lint_tick_path(src);
+        assert_eq!(rules(&f), vec!["R8"], "fixture: {src}");
+        assert!(f[0].message.contains("per-tick heap allocation"));
+    }
+}
+
+#[test]
+fn r8_does_not_apply_outside_the_tick_path_list() {
+    // The same allocation in a non-tick-path sim module is fine: R8 is a
+    // budget rule for the hot layers, not a workspace-wide ban.
+    let f = lint_sim("pub fn build(&mut self) { self.q = Vec::new(); }");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r8_exempts_constructors_tests_and_reasoned_pragmas() {
+    // `fn new` is where pool allocation belongs.
+    let f = lint_tick_path(
+        "impl Channel {\n    pub fn new(banks: usize) -> Self {\n        Self { banks: vec![Bank::default(); banks], completions: Vec::new() }\n    }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // Test harness code allocates freely.
+    let f = lint_tick_path(
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = Vec::<u64>::new(); }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // A cold path keeps its allocation with a justification.
+    let f = lint_tick_path(
+        "// gat-lint: allow(R8, \"diagnostic dump, runs once per failure\")\npub fn dump(&self) -> Vec<u64> { self.q.iter().map(|p| p.id).collect::<Vec<_>>() }\n",
+    );
     assert!(f.is_empty(), "{f:?}");
 }
 

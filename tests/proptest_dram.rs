@@ -4,8 +4,7 @@
 
 use gat::cache::Source;
 use gat::dram::{
-    DramAddressMap, DramChannel, DramRequest, DramTiming, ReqInfo, SchedCtx, Scheduler,
-    SchedulerKind, Sms,
+    DramAddressMap, DramChannel, DramRequest, DramTiming, SchedCtx, SchedulerImpl, SchedulerKind,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -59,29 +58,10 @@ fn drive(
     done
 }
 
-/// SMS stripped of its [`Scheduler::pure_when_starved`] claim: the
-/// channel must then rebuild the view and call `select` on every busy
-/// cycle, including provably-starved ones the skip would elide.
-struct UnskippedSms(Sms);
-
-impl Scheduler for UnskippedSms {
-    fn select(&mut self, reqs: &[ReqInfo], now: u64, ctx: SchedCtx) -> Option<usize> {
-        self.0.select(reqs, now, ctx)
-    }
-
-    fn name(&self) -> &'static str {
-        "SMS-unskipped"
-    }
-
-    fn pure_when_starved(&self) -> bool {
-        false
-    }
-}
-
 /// Drive a channel through `reqs` with enqueue gaps (so starved windows
 /// actually form) and return every completion as `(id, done_at)`.
 fn drive_gapped(
-    sched: Box<dyn Scheduler>,
+    sched: SchedulerImpl,
     reqs: &[(u64, bool, bool, u8)], // (addr seed, write, is_gpu, gap)
 ) -> Vec<(u64, u64)> {
     let mut ch = DramChannel::new(DramTiming::ddr3_2133(), 8, 32, sched);
@@ -141,8 +121,8 @@ proptest! {
         p in prop::sample::select(vec![0.0, 0.5, 0.9, 1.0]),
         seed in any::<u64>(),
     ) {
-        let skipped = drive_gapped(Box::new(Sms::new(p, seed)), &reqs);
-        let unskipped = drive_gapped(Box::new(UnskippedSms(Sms::new(p, seed))), &reqs);
+        let skipped = drive_gapped(SchedulerKind::Sms(p).build(seed), &reqs);
+        let unskipped = drive_gapped(SchedulerImpl::sms_unskipped(p, seed), &reqs);
         prop_assert_eq!(skipped, unskipped, "starved-skip changed the schedule");
     }
 
