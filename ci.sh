@@ -12,9 +12,10 @@ echo "== static analysis: fmt --check =="
 cargo fmt --check
 
 echo "== static analysis: gat-lint (workspace determinism linter) =="
-# Rules R1-R8: hash-order, ambient nondeterminism, RNG discipline,
+# Rules R1-R9: hash-order, ambient nondeterminism, RNG discipline,
 # library printing, NaN-unsafe ordering, docs/source drift, activity
-# polling, and per-tick heap allocation in tick-path modules.
+# polling, per-tick heap allocation in tick-path modules, and panic
+# capture outside the gat-serve supervisor.
 cargo run --release -q -p gat-lint
 
 echo "== static analysis: clippy -D warnings =="
@@ -59,6 +60,44 @@ if ! grep -q '"type":"watchdog_dump"' <<<"$wd_out"; then
 fi
 echo "watchdog smoke: wedge caught with exit 3 + watchdog_dump diagnostic"
 
+echo "== gat-serve fixture batch: typed outcomes + cache round trip =="
+# The batch engine must turn every failure class in the fixture batch
+# into a typed outcome and still exit 0, and a rerun against the same
+# cache must be served entirely from it, byte-identically (DESIGN.md
+# §12).
+rm -rf /tmp/gat_serve_ci
+mkdir -p /tmp/gat_serve_ci
+timeout 600 cargo run --release -q -p gat-bench --bin gat-serve -- \
+    --jobs crates/bench/fixtures/batch_smoke.jsonl \
+    --out /tmp/gat_serve_ci/cold.jsonl --cache /tmp/gat_serve_ci/cache \
+    --dump-dir /tmp/gat_serve_ci/dumps --shards 2
+for want in \
+    '"id":"healthy","outcome":"ok"' \
+    '"id":"wedge","outcome":"wedged"' \
+    '"id":"overbudget","outcome":"budget_exceeded","attempts":1,"budget":"cycles"' \
+    '"id":"toobig","outcome":"budget_exceeded","attempts":0,"budget":"mem"' \
+    '"id":"panic","outcome":"panicked"' \
+    '"id":"stubborn","outcome":"wedged","attempts":3' \
+    '"type":"job_spec_error"'; do
+    if ! grep -qF "$want" /tmp/gat_serve_ci/cold.jsonl; then
+        echo "gat-serve smoke: missing $want in the batch output" >&2
+        exit 1
+    fi
+done
+timeout 600 cargo run --release -q -p gat-bench --bin gat-serve -- \
+    --jobs crates/bench/fixtures/batch_smoke.jsonl \
+    --out /tmp/gat_serve_ci/warm.jsonl --cache /tmp/gat_serve_ci/cache \
+    --dump-dir /tmp/gat_serve_ci/dumps --shards 2
+if ! grep -qF '"cache_hits":6,"cache_stores":0' /tmp/gat_serve_ci/warm.jsonl; then
+    echo "gat-serve smoke: warm rerun was not served entirely from cache" >&2
+    grep '"type":"batch_summary"' /tmp/gat_serve_ci/warm.jsonl >&2 || true
+    exit 1
+fi
+# Everything but the per-run summary counters must be byte-identical.
+diff <(grep -v '"type":"batch_summary"' /tmp/gat_serve_ci/cold.jsonl) \
+     <(grep -v '"type":"batch_summary"' /tmp/gat_serve_ci/warm.jsonl)
+echo "gat-serve smoke: 6 typed outcomes + 1 spec error, warm run 100% cached"
+
 echo "== paranoia invariant sweep (10 min cap) =="
 # Run the golden snapshot under GAT_PARANOIA=1: every tick re-checks the
 # MSHR/ATU/queue/epoch invariants and the bytes must not change.
@@ -71,11 +110,14 @@ echo "== hotbench smoke + perf gates (10 min cap) =="
 # stays within the band of the last quick-config trajectory point in
 # BENCH_hotpath.json. Either regression exits 3. The band is wider than
 # the tool's ±10% default because this 1-vCPU box sees >10% wall-clock
-# swings from hypervisor steal time alone.
+# swings from hypervisor steal time alone. A green gate records its own
+# trajectory point into the committed baseline (--record), so the
+# comparison window tracks the latest known-good run; a red gate leaves
+# the baseline untouched.
 rm -f /tmp/gat_hotbench_smoke.json
 timeout 600 cargo run --release -p gat-bench --bin hotbench -- \
     --quick --gate --band 0.35 --baseline BENCH_hotpath.json \
-    --out /tmp/gat_hotbench_smoke.json
+    --out /tmp/gat_hotbench_smoke.json --record BENCH_hotpath.json
 
 if [[ -z "${SKIP_IGNORED:-}" ]]; then
     # One representative heavyweight driver (18 smoke simulations), capped

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! hotbench [--quick] [--gate] [--out PATH] [--baseline PATH] [--band F]
-//!          [--drivers a,b,c] [--scale N] [--frames N] [--instr N] [--seed N]
+//!          [--record PATH] [--drivers a,b,c] [--scale N] [--frames N]
+//!          [--instr N] [--seed N]
 //! ```
 //!
 //! Each driver is run twice at `threads = 1`: once with fast-forward
@@ -26,6 +27,12 @@
 //!    the `--baseline` file (default `BENCH_hotpath.json`). Drivers with
 //!    no matching recorded point are reported and skipped, so the gate
 //!    degrades gracefully on fresh checkouts and config sweeps.
+//!
+//! `--record PATH` (requires `--gate`) additionally appends this run's
+//! meta+rows block to PATH — but only when the gate passes. CI points it
+//! at the checked-in trajectory so every green gate run automatically
+//! becomes the next baseline point, while red runs leave the recorded
+//! history untouched.
 
 use std::time::Instant;
 
@@ -35,7 +42,7 @@ use gat_hetero::ffstats;
 use gat_sim::json::{validate_json_line, Obj};
 
 const USAGE: &str = "hotbench [--quick] [--gate] [--out PATH] [--baseline PATH] [--band F] \
-     [--drivers a,b,c] [--scale N] [--frames N] [--instr N] [--seed N]";
+     [--record PATH] [--drivers a,b,c] [--scale N] [--frames N] [--instr N] [--seed N]";
 
 /// `--gate` noise band: fast-forward counts as a regression only when it
 /// is slower than the cycle-by-cycle loop by more than this fraction
@@ -160,6 +167,7 @@ fn real_main() -> Result<(), CliError> {
     cfg.limits.cpu_instructions = 200_000;
     let mut out_path = String::from("BENCH_hotpath.json");
     let mut baseline_path = String::from("BENCH_hotpath.json");
+    let mut record_path: Option<String> = None;
     let mut band = GATE_TRAJECTORY_BAND;
     let mut drivers: Vec<String> = ["fig1+2", "fig3", "fig8", "fig9+10+11", "fig12", "fig13+14"]
         .iter()
@@ -187,6 +195,7 @@ fn real_main() -> Result<(), CliError> {
                 match key {
                     "--out" => out_path = val.clone(),
                     "--baseline" => baseline_path = val.clone(),
+                    "--record" => record_path = Some(val.clone()),
                     "--band" => {
                         band = val.parse().map_err(|_| {
                             CliError::Usage(format!("--band wants a fraction, got {val:?}"))
@@ -212,6 +221,11 @@ fn real_main() -> Result<(), CliError> {
         if !is_known_figure(id) {
             return Err(CliError::Usage(format!("unknown driver {id:?}")));
         }
+    }
+    if record_path.is_some() && !gate {
+        return Err(CliError::Usage(
+            "--record only makes sense with --gate (it records green gate runs)".into(),
+        ));
     }
     cfg.validate()
         .map_err(|e| CliError::Config(e.to_string()))?;
@@ -326,9 +340,24 @@ fn real_main() -> Result<(), CliError> {
         }
     }
 
-    // The out file is a trajectory: keep every previously recorded block
-    // and append this run's meta+rows as a new one.
-    let mut out = match std::fs::read_to_string(&out_path) {
+    append_trajectory(&out_path, &lines)?;
+    eprintln!("# appended trajectory point to {out_path}");
+    if !regressions.is_empty() {
+        return Err(CliError::Gate(regressions.join("; ")));
+    }
+    // Green gate: also append to the recorded trajectory, so passing CI
+    // runs keep the baseline current without a manual recording step.
+    if let Some(rec) = &record_path {
+        append_trajectory(rec, &lines)?;
+        eprintln!("# gate green: recorded trajectory point in {rec}");
+    }
+    Ok(())
+}
+
+/// Append one meta+rows block to a trajectory file: keep every
+/// previously recorded block and add this run's as a new one.
+fn append_trajectory(path: &str, lines: &[String]) -> Result<(), CliError> {
+    let mut out = match std::fs::read_to_string(path) {
         Ok(prev) if !prev.is_empty() => {
             let mut p = prev;
             if !p.ends_with('\n') {
@@ -338,15 +367,10 @@ fn real_main() -> Result<(), CliError> {
         }
         _ => String::new(),
     };
-    for line in &lines {
+    for line in lines {
         validate_json_line(line).expect("hotbench emitted invalid JSON");
         out.push_str(line);
         out.push('\n');
     }
-    std::fs::write(&out_path, &out).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
-    eprintln!("# appended trajectory point to {out_path}");
-    if !regressions.is_empty() {
-        return Err(CliError::Gate(regressions.join("; ")));
-    }
-    Ok(())
+    std::fs::write(path, &out).map_err(|e| CliError::Io(format!("{path}: {e}")))
 }

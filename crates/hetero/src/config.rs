@@ -254,6 +254,38 @@ impl MachineConfig {
         Ok(())
     }
 
+    /// Coarse upper-bound estimate of the allocation high-water mark (in
+    /// bytes) of one `HeteroSystem` built from this config.
+    ///
+    /// The batch job engine (`gat-serve`) uses this for *admission
+    /// control* against a per-job memory budget: a deterministic
+    /// reject-before-run beats an OOM kill mid-batch. The model is
+    /// deliberately simple and conservative — tag/state arrays scale with
+    /// cache geometry (the simulator stores metadata, not data lines),
+    /// request structures with queue/MSHR depths, and the workload
+    /// footprint with the GPU work scale. It only needs to be monotone in
+    /// the config knobs and right to within a small factor.
+    pub fn estimated_mem_bytes(&self) -> u64 {
+        const BLOCK: u64 = 64;
+        // ~32 bytes of tag + replacement + ownership state per block.
+        let cache_blocks = self.llc_bytes / BLOCK
+            + u64::from(self.num_cpus) * (self.hierarchy.l1_bytes + self.hierarchy.l2_bytes)
+                / BLOCK;
+        let cache_state = cache_blocks * 32;
+        // Request slab entries, MSHRs, DRAM queues, ring flights: each
+        // entry is a few pointers plus timing state.
+        let queue_state = (self.llc_mshrs as u64
+            + self.llc_queue as u64
+            + self.mc_queue as u64 * u64::from(self.dram_map.channels))
+            * 256;
+        // Per-frame GPU work lists and the synthetic workload tables grow
+        // with the work scale.
+        let workload = u64::from(self.scale) * 16 * 1024;
+        // Event ring, metrics registry, per-core OOO windows: flat cost.
+        let fixed = 16 << 20;
+        cache_state + queue_state + workload + fixed
+    }
+
     /// Ring stop index for CPU core `i` (cores, GPU, LLC, MC0, MC1).
     pub fn cpu_stop(&self, core: u8) -> u8 {
         assert!(core < self.num_cpus);
@@ -311,6 +343,22 @@ mod tests {
     #[test]
     fn motivation_machine_has_one_core() {
         assert_eq!(MachineConfig::motivation(16, 2).num_cpus, 1);
+    }
+
+    #[test]
+    fn mem_estimate_is_monotone_in_the_big_knobs() {
+        let base = MachineConfig::table_one(64, 1).estimated_mem_bytes();
+        assert!(base > 16 << 20, "estimate below the fixed floor: {base}");
+
+        let mut big_llc = MachineConfig::table_one(64, 1);
+        big_llc.llc_bytes *= 4;
+        assert!(big_llc.estimated_mem_bytes() > base);
+
+        let big_scale = MachineConfig::table_one(1024, 1);
+        assert!(big_scale.estimated_mem_bytes() > base);
+
+        // Deterministic: same config, same estimate.
+        assert_eq!(MachineConfig::table_one(64, 1).estimated_mem_bytes(), base);
     }
 
     #[test]

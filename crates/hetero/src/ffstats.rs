@@ -29,3 +29,20 @@ pub fn take() -> (u64, u64, u64) {
         SPANS.swap(0, Ordering::Relaxed),
     )
 }
+
+/// Read `(simulated, skipped, spans)` without resetting.
+///
+/// This module is the *only* process-global mutable state in the sim
+/// crates, and its totals are cumulative across every system that ever
+/// ran in the process. A long-running job engine must therefore never
+/// attribute these numbers to a single job — use
+/// [`crate::HeteroSystem::ff_run_stats`] for per-job accounting — and
+/// must not call [`take`] (which would silently zero another consumer's
+/// window). `snapshot` is the read for whole-process observability.
+pub fn snapshot() -> (u64, u64, u64) {
+    (
+        SIMULATED.load(Ordering::Relaxed),
+        SKIPPED.load(Ordering::Relaxed),
+        SPANS.load(Ordering::Relaxed),
+    )
+}

@@ -304,6 +304,22 @@ impl HeteroSystem {
         self.ff_skipped
     }
 
+    /// Per-instance fast-forward accounting `(simulated, skipped, spans)`
+    /// for this system's run so far.
+    ///
+    /// This is the per-job state-reconstruction hook for batch engines:
+    /// every piece of sticky run state — the watchdog progress
+    /// fingerprint, the QoS controller's fail-open degradation latch
+    /// ([`Self::qos_degraded`]), and these fast-forward counters — lives
+    /// on the `HeteroSystem` instance, so a fresh system per job starts
+    /// from a fully reconstructed state with no cross-job carryover. The
+    /// one exception is the process-wide [`crate::ffstats`] sums, which
+    /// are cumulative by design; per-job consumers must read *this*
+    /// accessor instead.
+    pub fn ff_run_stats(&self) -> (u64, u64, u64) {
+        (self.now, self.ff_skipped, self.ff_spans)
+    }
+
     pub fn now(&self) -> Cycle {
         self.now
     }
@@ -1372,7 +1388,7 @@ mod tests {
                 // Warm-up ends at 60_000; the first deadline after it must
                 // fire, so the trip lands within two windows of the mark.
                 assert!(
-                    cycle >= 60_000 && cycle <= 60_000 + 2 * 50_000,
+                    (60_000..=60_000 + 2 * 50_000).contains(&cycle),
                     "tripped at {cycle}"
                 );
                 assert!(diagnostic.contains("watchdog_dump"), "{diagnostic}");

@@ -15,6 +15,7 @@
 //! | R6   | bench `--flag`s absent from README.md; `GAT_*` knobs absent from DESIGN.md |
 //! | R7   | `next_activity`-style per-cycle polling APIs (the WakeCalendar replaced them) |
 //! | R8   | per-tick heap allocation (`Vec::new`, `vec!`, `Box::new`, `.collect::<Vec<..>>()`) in tick-path modules |
+//! | R9   | `catch_unwind` / `panic::set_hook` / `panic::take_hook` outside the serve supervisor (all scanned crates) |
 //!
 //! Findings are suppressible with a justified pragma —
 //! `// gat-lint: allow(R2, "why")` (line scope) or `allow-file` — and a

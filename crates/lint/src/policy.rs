@@ -23,12 +23,14 @@ pub const SIM_CRATES: &[&str] = &[
 ];
 
 /// Crates scanned for tokens but exempt from R1–R5: `bench` is CLI
-/// tooling (it is still the source of R6's `--flag` inventory), and the
-/// shim crates reimplement external APIs whose contracts require ambient
-/// reads (criterion times wall-clock by definition; proptest honours
-/// `PROPTEST_CASES`). `lint` polices the others and is not itself
-/// simulator state.
-pub const TOOL_CRATES: &[&str] = &["bench", "lint", "proptest", "criterion"];
+/// tooling (it is still the source of R6's `--flag` inventory), `serve`
+/// is the batch job engine (threads and wall deadlines are its job; its
+/// determinism is pinned by output byte-identity tests, not by these
+/// rules), and the shim crates reimplement external APIs whose contracts
+/// require ambient reads (criterion times wall-clock by definition;
+/// proptest honours `PROPTEST_CASES`). `lint` polices the others and is
+/// not itself simulator state.
+pub const TOOL_CRATES: &[&str] = &["bench", "serve", "lint", "proptest", "criterion"];
 
 /// The one module allowed to read `GAT_*` environment knobs (rule R2).
 pub const ENV_KNOB_MODULES: &[&str] = &["crates/sim/src/knobs.rs"];
@@ -59,6 +61,13 @@ pub const TICK_PATH_MODULES: &[&str] = &[
     "crates/ring/src/lib.rs",
     "crates/sim/src/slab.rs",
 ];
+
+/// The one module allowed to capture panic flow — `catch_unwind`,
+/// `panic::set_hook`, `panic::take_hook` (rule R9). The serve
+/// supervisor's per-job isolation boundary is where a panicking job
+/// becomes a typed `Panicked` outcome; everywhere else a swallowed panic
+/// is silently-corrupt simulator state.
+pub const PANIC_ISOLATION_MODULES: &[&str] = &["crates/serve/src/supervisor.rs"];
 
 /// Directory holding the bench binaries whose `--flag` vocabulary rule
 /// R6 cross-checks against README.md.
@@ -96,10 +105,15 @@ pub fn classify(rel_path: &str) -> FileClass {
     if SIM_CRATES.contains(&krate) {
         return FileClass::SimLib;
     }
-    if krate == "bench" {
+    if krate == "bench" || krate == "serve" {
         return FileClass::ToolLib;
     }
     FileClass::Skip
+}
+
+/// Is this file the approved panic-isolation boundary (rule R9)?
+pub fn is_panic_isolation_module(rel_path: &str) -> bool {
+    PANIC_ISOLATION_MODULES.contains(&rel_path)
 }
 
 /// Is this file the approved environment-knob module?
@@ -130,6 +144,10 @@ mod tests {
             FileClass::BenchBin
         );
         assert_eq!(classify("crates/bench/src/lib.rs"), FileClass::ToolLib);
+        assert_eq!(
+            classify("crates/serve/src/supervisor.rs"),
+            FileClass::ToolLib
+        );
         assert_eq!(classify("crates/lint/src/main.rs"), FileClass::Skip);
         assert_eq!(classify("crates/criterion/src/lib.rs"), FileClass::Skip);
         assert_eq!(classify("crates/bench/benches/figures.rs"), FileClass::Skip);
@@ -145,6 +163,12 @@ mod tests {
             .chain(TICK_PATH_MODULES)
         {
             assert_eq!(classify(m), FileClass::SimLib, "{m} must be SimLib");
+        }
+        // The panic-isolation exemption only means something if the
+        // module is actually scanned.
+        for m in PANIC_ISOLATION_MODULES {
+            assert_eq!(classify(m), FileClass::ToolLib, "{m} must be scanned");
+            assert!(is_panic_isolation_module(m));
         }
     }
 }

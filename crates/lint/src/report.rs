@@ -31,6 +31,12 @@ pub enum RuleId {
     /// re-opens that per-cycle cost. Constructors (`fn new`) are exempt —
     /// setup-time allocation is the point of a pool.
     R8,
+    /// Panic-flow capture (`catch_unwind`, `panic::set_hook`,
+    /// `panic::take_hook`) outside the serve supervisor. The batch
+    /// engine's job isolation boundary is the one sanctioned place to
+    /// swallow a panic; anywhere else it converts an invariant violation
+    /// into silently-wrong simulator state.
+    R9,
     /// Pragma problems: malformed, unknown rule, or unused suppression.
     Pragma,
 }
@@ -46,6 +52,7 @@ impl RuleId {
             RuleId::R6 => "R6",
             RuleId::R7 => "R7",
             RuleId::R8 => "R8",
+            RuleId::R9 => "R9",
             RuleId::Pragma => "pragma",
         }
     }
@@ -63,6 +70,7 @@ impl RuleId {
             "R6" => Some(RuleId::R6),
             "R7" => Some(RuleId::R7),
             "R8" => Some(RuleId::R8),
+            "R9" => Some(RuleId::R9),
             _ => None,
         }
     }
@@ -88,8 +96,11 @@ impl RuleId {
             RuleId::R8 => {
                 "reuse a struct-owned scratch buffer or slab handle; allocation belongs in the constructor, not the tick"
             }
+            RuleId::R9 => {
+                "let the panic propagate (or return a typed error); per-job isolation lives in gat-serve's supervisor"
+            }
             RuleId::Pragma => {
-                "fix the pragma: gat-lint: allow(R1..R8, \"reason\"); delete it if the violation is gone"
+                "fix the pragma: gat-lint: allow(R1..R9, \"reason\"); delete it if the violation is gone"
             }
         }
     }
@@ -181,10 +192,11 @@ mod tests {
             RuleId::R6,
             RuleId::R7,
             RuleId::R8,
+            RuleId::R9,
         ] {
             assert_eq!(RuleId::from_pragma_name(r.as_str()), Some(r));
         }
         assert_eq!(RuleId::from_pragma_name("pragma"), None);
-        assert_eq!(RuleId::from_pragma_name("R9"), None);
+        assert_eq!(RuleId::from_pragma_name("R10"), None);
     }
 }

@@ -1,6 +1,7 @@
-//! The determinism rules (R1–R5), the event-scheduling rule (R7) and the
-//! tick-path allocation rule (R8) over one file's token stream, plus the
-//! raw material (flag and knob literals) for the cross-file rule R6.
+//! The determinism rules (R1–R5), the event-scheduling rule (R7), the
+//! tick-path allocation rule (R8) and the panic-isolation rule (R9) over
+//! one file's token stream, plus the raw material (flag and knob
+//! literals) for the cross-file rule R6.
 //!
 //! Every matcher works on the comment-free token stream from
 //! [`crate::lexer`]; spans are line-granular, which is enough for a
@@ -71,7 +72,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
                 rule: RuleId::Pragma,
                 file: rel_path.into(),
                 line: p.line,
-                message: format!("pragma names unknown rule {:?} (known: R1..R8)", p.rule),
+                message: format!("pragma names unknown rule {:?} (known: R1..R9)", p.rule),
             }),
         }
     }
@@ -89,6 +90,9 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
         check_r7_activity_polling(rel_path, toks, &in_test, &mut raw);
         check_r8_tick_alloc(rel_path, toks, &in_test, &mut raw);
     }
+    // R9 runs for every scanned class — a stray catch_unwind in bench or
+    // serve code hides job corruption just as well as one in a sim crate.
+    check_r9_panic_capture(rel_path, toks, &in_test, &mut raw);
     dedupe(&mut raw);
     let survived = suppress(raw, &mut out.pragmas);
     out.findings.extend(survived);
@@ -495,6 +499,42 @@ fn check_r8_tick_alloc(file: &str, toks: &[Token], in_test: &[bool], raw: &mut V
     }
 }
 
+/// R9: panic-flow capture outside the approved isolation boundary
+/// (`policy::PANIC_ISOLATION_MODULES` — the serve supervisor). Matches
+/// the `catch_unwind` ident anywhere (free fn, `panic::catch_unwind`,
+/// future-style `.catch_unwind()`) plus `panic::set_hook` /
+/// `panic::take_hook` path steps. Test-gated code is exempt: harnesses
+/// legitimately observe panics (`#[should_panic]` machinery, proptest
+/// shrinking), and the contract polices shipped behaviour.
+fn check_r9_panic_capture(file: &str, toks: &[Token], in_test: &[bool], raw: &mut Vec<Finding>) {
+    if policy::is_panic_isolation_module(file) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if ident_at(toks, i) == Some("catch_unwind") {
+            push(
+                raw,
+                RuleId::R9,
+                file,
+                t.line,
+                "catch_unwind outside the serve supervisor's isolation boundary".into(),
+            );
+        }
+        if path_step(toks, i, "panic", "set_hook") || path_step(toks, i, "panic", "take_hook") {
+            push(
+                raw,
+                RuleId::R9,
+                file,
+                t.line,
+                "panic hook manipulation outside the serve supervisor".into(),
+            );
+        }
+    }
+}
+
 /// Per-token "is inside a `fn new` body" mask (R8's constructor
 /// exemption). Scans for `fn new`, skips the signature to the opening
 /// brace (or a terminating `;` for trait declarations), and masks the
@@ -737,6 +777,75 @@ pub fn f() -> std::time::Instant { std::time::Instant::now() }
 pub fn dump(&self) -> Vec<u64> { self.q.iter().copied().collect::<Vec<_>>() }
 ";
         let l = lint_file(TICK_PATH, src);
+        assert!(l.findings.is_empty(), "{:?}", l.findings);
+        assert!(l.pragmas[0].used);
+    }
+
+    #[test]
+    fn r9_flags_panic_capture_in_every_scanned_class() {
+        let src = r#"
+            pub fn shield(f: impl FnOnce()) {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            }
+        "#;
+        for path in [
+            "crates/hetero/src/fixture.rs",
+            "crates/serve/src/pool.rs",
+            "crates/bench/src/bin/fixture.rs",
+        ] {
+            let l = lint_file(path, src);
+            assert!(
+                l.findings.iter().any(|f| f.rule == RuleId::R9),
+                "{path}: {:?}",
+                l.findings
+            );
+        }
+        let hooks = r#"
+            pub fn install() {
+                let prev = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |i| prev(i)));
+            }
+        "#;
+        let l = lint_file("crates/serve/src/pool.rs", hooks);
+        assert_eq!(
+            l.findings.iter().filter(|f| f.rule == RuleId::R9).count(),
+            2,
+            "{:?}",
+            l.findings
+        );
+    }
+
+    #[test]
+    fn r9_exempts_the_supervisor_and_test_code() {
+        let src = r#"
+            pub fn isolate(f: impl FnOnce()) {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let prev = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |i| prev(i)));
+            }
+        "#;
+        let l = lint_file("crates/serve/src/supervisor.rs", src);
+        assert!(l.findings.is_empty(), "{:?}", l.findings);
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn observes_a_panic() {
+                    let _ = std::panic::catch_unwind(|| panic!("x"));
+                }
+            }
+        "#;
+        let l = lint_file("crates/hetero/src/fixture.rs", test_src);
+        assert!(l.findings.is_empty(), "{:?}", l.findings);
+    }
+
+    #[test]
+    fn r9_suppressible_with_a_reasoned_pragma() {
+        let src = "\
+// gat-lint: allow(R9, \"FFI boundary must not unwind\")
+pub fn guard(f: impl FnOnce()) { let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)); }
+";
+        let l = lint_file("crates/bench/src/lib.rs", src);
         assert!(l.findings.is_empty(), "{:?}", l.findings);
         assert!(l.pragmas[0].used);
     }

@@ -1,0 +1,161 @@
+//! Content-addressed result cache.
+//!
+//! Keyed by `JobSpec::content_hash()` — a stable hash of the canonical
+//! spec encoding (config + seed + budgets + id) and the engine's code
+//! version. A hit replays the job's exact emission bytes (outcome line,
+//! payload lines, diagnostic dump) without running anything, which makes
+//! repeated sweeps free and lets a killed batch resume where it died.
+//!
+//! Entries are one JSON object per file, `<key>.json` in the cache
+//! directory. Anything unreadable or schema-mismatched is a miss, never
+//! an error: a corrupt cache costs time, not correctness.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::spec::SPEC_SCHEMA;
+use gat_sim::json::{parse_json_object, Obj};
+
+/// A replayable cached job: the exact bytes the sinks saw, plus the
+/// diagnostic dump (if the job wedged or tripped an invariant) so the
+/// dump file can be re-materialised under the current dump directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedJob {
+    pub id: String,
+    pub outcome_tag: String,
+    pub lines: String,
+    pub diagnostic: Option<String>,
+}
+
+/// On-disk cache handle. `None` directory = caching disabled (every
+/// lookup misses, every store is a no-op).
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A disabled cache: all lookups miss, all stores are dropped.
+    pub fn disabled() -> Self {
+        ResultCache { dir: None }
+    }
+
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Look up a job by content hash. Corrupt or mismatched entries are
+    /// silently misses.
+    pub fn lookup(&self, key: &str) -> Option<CachedJob> {
+        let text = fs::read_to_string(self.entry_path(key)?).ok()?;
+        let fields = parse_json_object(&text).ok()?;
+        let get_str = |k: &str| {
+            fields
+                .iter()
+                .find(|(fk, _)| fk == k)
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_string)
+        };
+        let schema = fields
+            .iter()
+            .find(|(fk, _)| fk == "schema")
+            .and_then(|(_, v)| v.as_u64())?;
+        if schema != u64::from(SPEC_SCHEMA) {
+            return None;
+        }
+        let diagnostic = get_str("diagnostic").filter(|d| !d.is_empty());
+        Some(CachedJob {
+            id: get_str("id")?,
+            outcome_tag: get_str("outcome")?,
+            lines: get_str("lines")?,
+            diagnostic,
+        })
+    }
+
+    /// Persist a finished job under its content hash. Write is
+    /// atomic-by-rename so a killed batch never leaves a torn entry.
+    pub fn store(&self, key: &str, job: &CachedJob) -> std::io::Result<()> {
+        let Some(path) = self.entry_path(key) else {
+            return Ok(());
+        };
+        let body = Obj::new()
+            .str("type", "cache_entry")
+            .u64("schema", u64::from(SPEC_SCHEMA))
+            .str("key", key)
+            .str("id", &job.id)
+            .str("outcome", &job.outcome_tag)
+            .str("lines", &job.lines)
+            .str("diagnostic", job.diagnostic.as_deref().unwrap_or(""))
+            .finish();
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gat_serve_cache_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let job = CachedJob {
+            id: "j1".into(),
+            outcome_tag: "wedged".into(),
+            lines: "{\"type\":\"job_outcome\"}\n".into(),
+            diagnostic: Some("{\"type\":\"watchdog_dump\"}\n".into()),
+        };
+        assert!(cache.lookup("abc").is_none());
+        cache.store("abc", &job).unwrap();
+        assert_eq!(cache.lookup("abc"), Some(job));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmpdir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        fs::write(dir.join("bad.json"), "not json at all").unwrap();
+        assert!(cache.lookup("bad").is_none());
+        fs::write(
+            dir.join("old.json"),
+            "{\"schema\":999,\"id\":\"x\",\"outcome\":\"ok\",\"lines\":\"\"}",
+        )
+        .unwrap();
+        assert!(cache.lookup("old").is_none(), "schema mismatch must miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let cache = ResultCache::disabled();
+        let job = CachedJob {
+            id: "j".into(),
+            outcome_tag: "ok".into(),
+            lines: String::new(),
+            diagnostic: None,
+        };
+        cache.store("k", &job).unwrap();
+        assert!(cache.lookup("k").is_none());
+        assert!(!cache.enabled());
+    }
+}

@@ -1,0 +1,208 @@
+//! The closed failure taxonomy: every job ends in exactly one
+//! [`JobOutcome`], and every outcome renders as one `job_outcome` JSONL
+//! line. Healthy jobs additionally carry the same two payload lines the
+//! one-shot `runsim --json` CLI writes, byte for byte.
+
+use gat_sim::json::Obj;
+
+/// Which budget a [`JobOutcome::BudgetExceeded`] job blew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Hit the cycle budget (`budget.cycles` or `limits.max_cycles`).
+    Cycles,
+    /// Missed the supervisor's wall-clock deadline (`budget.wall_ms`).
+    Wall,
+    /// Rejected at admission: the configuration's estimated footprint
+    /// exceeds `budget.mem_mb`.
+    Mem,
+}
+
+impl BudgetKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetKind::Cycles => "cycles",
+            BudgetKind::Wall => "wall",
+            BudgetKind::Mem => "mem",
+        }
+    }
+}
+
+/// How one job ended. The taxonomy is closed: the engine never exits
+/// non-zero because a *job* failed — failure is data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Ran to completion with healthy QoS.
+    Ok,
+    /// Ran to completion but the QoS controller latched its degraded
+    /// fallback ([`gat_hetero::HeteroSystem::qos_degraded`]). The result
+    /// payload is still emitted — degraded numbers are numbers.
+    Degraded,
+    /// A budget stopped the run. `detail` is human-oriented context.
+    BudgetExceeded { which: BudgetKind, detail: String },
+    /// The liveness watchdog declared the machine wedged; the diagnostic
+    /// dump was written to `dump` (per-job path, empty if dumps are off).
+    Wedged {
+        cycle: u64,
+        window: u64,
+        dump: String,
+    },
+    /// A paranoia invariant check failed.
+    Invariant { component: String, detail: String },
+    /// The job panicked inside the supervisor's isolation boundary.
+    Panicked { message: String },
+}
+
+impl JobOutcome {
+    /// Short machine-readable tag (the `outcome` field of the JSONL line).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok => "ok",
+            JobOutcome::Degraded => "degraded",
+            JobOutcome::BudgetExceeded { .. } => "budget_exceeded",
+            JobOutcome::Wedged { .. } => "wedged",
+            JobOutcome::Invariant { .. } => "invariant",
+            JobOutcome::Panicked { .. } => "panicked",
+        }
+    }
+
+    /// Did the run produce a result payload worth emitting?
+    pub fn has_payload(&self) -> bool {
+        matches!(self, JobOutcome::Ok | JobOutcome::Degraded)
+    }
+
+    /// Render the `job_outcome` JSONL line for job `id` after `attempts`
+    /// total attempts (1 = no retries).
+    pub fn to_json(&self, id: &str, attempts: u32) -> String {
+        let o = Obj::new()
+            .str("type", "job_outcome")
+            .str("id", id)
+            .str("outcome", self.tag())
+            .u64("attempts", u64::from(attempts));
+        match self {
+            JobOutcome::Ok | JobOutcome::Degraded => o.finish(),
+            JobOutcome::BudgetExceeded { which, detail } => o
+                .str("budget", which.as_str())
+                .str("detail", detail)
+                .finish(),
+            JobOutcome::Wedged {
+                cycle,
+                window,
+                dump,
+            } => o
+                .u64("cycle", *cycle)
+                .u64("window", *window)
+                .str("dump", dump)
+                .finish(),
+            JobOutcome::Invariant { component, detail } => {
+                o.str("component", component).str("detail", detail).finish()
+            }
+            JobOutcome::Panicked { message } => o.str("message", message).finish(),
+        }
+    }
+
+    /// Whether the result block may go into the content-addressed cache.
+    /// Wall-clock outcomes are the one nondeterministic leaf in the
+    /// taxonomy — the same job can beat the deadline on an idle machine
+    /// and miss it on a loaded one — so they are never persisted.
+    pub fn cacheable(&self) -> bool {
+        !matches!(
+            self,
+            JobOutcome::BudgetExceeded {
+                which: BudgetKind::Wall,
+                ..
+            }
+        )
+    }
+}
+
+/// One job's complete emission: the outcome line plus payload lines
+/// (`run_result` + `registry_snapshot` for Ok/Degraded, a diagnostic
+/// echo for others where available). `lines` is what sinks receive and
+/// what the cache stores, newline-terminated per line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobBlock {
+    pub id: String,
+    pub outcome: JobOutcome,
+    pub lines: String,
+}
+
+impl JobBlock {
+    pub fn new(id: &str, outcome: JobOutcome, attempts: u32, payload: Option<String>) -> Self {
+        let mut lines = outcome.to_json(id, attempts);
+        lines.push('\n');
+        if let Some(p) = payload {
+            debug_assert!(outcome.has_payload());
+            lines.push_str(&p);
+        }
+        JobBlock {
+            id: id.to_string(),
+            outcome,
+            lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_tags_and_renders() {
+        let cases: Vec<(JobOutcome, &str)> = vec![
+            (JobOutcome::Ok, "ok"),
+            (JobOutcome::Degraded, "degraded"),
+            (
+                JobOutcome::BudgetExceeded {
+                    which: BudgetKind::Cycles,
+                    detail: "limit 100".into(),
+                },
+                "budget_exceeded",
+            ),
+            (
+                JobOutcome::Wedged {
+                    cycle: 5,
+                    window: 2,
+                    dump: "d.jsonl".into(),
+                },
+                "wedged",
+            ),
+            (
+                JobOutcome::Invariant {
+                    component: "llc".into(),
+                    detail: "x".into(),
+                },
+                "invariant",
+            ),
+            (
+                JobOutcome::Panicked {
+                    message: "boom".into(),
+                },
+                "panicked",
+            ),
+        ];
+        for (o, tag) in cases {
+            assert_eq!(o.tag(), tag);
+            let line = o.to_json("j1", 1);
+            gat_sim::json::validate_json_line(&line).unwrap();
+            assert!(line.contains(&format!("\"outcome\":\"{tag}\"")));
+        }
+    }
+
+    #[test]
+    fn wall_budget_is_the_only_uncacheable_outcome() {
+        let wall = JobOutcome::BudgetExceeded {
+            which: BudgetKind::Wall,
+            detail: String::new(),
+        };
+        assert!(!wall.cacheable());
+        let cyc = JobOutcome::BudgetExceeded {
+            which: BudgetKind::Cycles,
+            detail: String::new(),
+        };
+        assert!(cyc.cacheable());
+        assert!(JobOutcome::Panicked {
+            message: "m".into()
+        }
+        .cacheable());
+    }
+}

@@ -1,0 +1,122 @@
+//! End-of-batch accounting: outcome histogram, cache traffic, retry
+//! totals, and per-sink loss counters, rendered as one `batch_summary`
+//! JSONL line. Deliberately contains no wall-clock fields — the summary
+//! participates in byte-identity checks across reruns.
+
+use gat_sim::json::{Arr, Obj};
+
+/// Aggregate counters for one batch run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BatchSummary {
+    pub jobs: u64,
+    pub ok: u64,
+    pub degraded: u64,
+    pub budget_exceeded: u64,
+    pub wedged: u64,
+    pub invariant: u64,
+    pub panicked: u64,
+    pub spec_errors: u64,
+    pub cache_hits: u64,
+    pub cache_stores: u64,
+    /// Total attempts beyond the first, across all jobs (retry pressure).
+    pub retries: u64,
+    /// `(sink name, emitted, lost)` per configured sink.
+    pub sink_losses: Vec<(String, u64, u64)>,
+}
+
+impl BatchSummary {
+    /// Record one finished job by its outcome tag.
+    pub fn count(&mut self, outcome_tag: &str) {
+        self.jobs += 1;
+        match outcome_tag {
+            "ok" => self.ok += 1,
+            "degraded" => self.degraded += 1,
+            "budget_exceeded" => self.budget_exceeded += 1,
+            "wedged" => self.wedged += 1,
+            "invariant" => self.invariant += 1,
+            "panicked" => self.panicked += 1,
+            // The taxonomy is closed; an unknown tag is an engine bug and
+            // the histogram makes it visible instead of absorbing it.
+            other => panic!("unknown outcome tag {other:?}"),
+        }
+    }
+
+    /// Every job ended as `ok` or `degraded` and nothing was lost or
+    /// malformed — the engine's definition of a clean batch (exit 0 is
+    /// broader: the engine also exits 0 when failures were all *typed*).
+    pub fn all_healthy(&self) -> bool {
+        self.spec_errors == 0
+            && self.ok + self.degraded == self.jobs
+            && self.sink_losses.iter().all(|(_, _, lost)| *lost == 0)
+    }
+
+    /// Render the `batch_summary` JSONL line.
+    pub fn to_json(&self) -> String {
+        let mut sinks = Arr::new();
+        for (name, emitted, lost) in &self.sink_losses {
+            sinks = sinks.raw(
+                &Obj::new()
+                    .str("sink", name)
+                    .u64("emitted", *emitted)
+                    .u64("lost", *lost)
+                    .finish(),
+            );
+        }
+        Obj::new()
+            .str("type", "batch_summary")
+            .u64("jobs", self.jobs)
+            .u64("ok", self.ok)
+            .u64("degraded", self.degraded)
+            .u64("budget_exceeded", self.budget_exceeded)
+            .u64("wedged", self.wedged)
+            .u64("invariant", self.invariant)
+            .u64("panicked", self.panicked)
+            .u64("spec_errors", self.spec_errors)
+            .u64("cache_hits", self.cache_hits)
+            .u64("cache_stores", self.cache_stores)
+            .u64("retries", self.retries)
+            .raw("sinks", &sinks.finish())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_every_tag() {
+        let mut s = BatchSummary::default();
+        for tag in [
+            "ok",
+            "degraded",
+            "budget_exceeded",
+            "wedged",
+            "invariant",
+            "panicked",
+        ] {
+            s.count(tag);
+        }
+        assert_eq!(s.jobs, 6);
+        assert_eq!(s.ok + s.degraded, 2);
+        assert!(!s.all_healthy());
+        gat_sim::json::validate_json_line(&s.to_json()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown outcome tag")]
+    fn unknown_tag_is_an_engine_bug() {
+        BatchSummary::default().count("mystery");
+    }
+
+    #[test]
+    fn clean_batch_is_healthy() {
+        let mut s = BatchSummary::default();
+        s.count("ok");
+        s.count("degraded");
+        s.sink_losses.push(("vec".into(), 2, 0));
+        assert!(s.all_healthy());
+        s.sink_losses.push(("jsonl:x".into(), 1, 1));
+        assert!(!s.all_healthy());
+    }
+}

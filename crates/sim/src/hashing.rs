@@ -62,6 +62,20 @@ pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
 /// Drop-in `HashSet` with the fast deterministic hasher.
 pub type FastSet<K> = HashSet<K, FastBuildHasher>;
 
+/// Stable 64-bit content hash (FNV-1a) for persisted keys: job-spec
+/// hashes, result-cache file names. Unlike [`FastHasher`] — whose mixing
+/// is an internal detail free to change — this function is a *format*:
+/// cache entries written by one build must stay addressable by the next,
+/// so the algorithm is fixed and byte-position-sensitive.
+pub fn stable_hash64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +100,16 @@ mod tests {
             low_bits.len() > 32,
             "low bucket bits collapse: {low_bits:?}"
         );
+    }
+
+    #[test]
+    fn stable_hash_is_a_fixed_format() {
+        // Pinned values: changing the algorithm invalidates every
+        // content-addressed cache entry ever written, so a change here
+        // must be deliberate (and bump the serve cache schema).
+        assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(stable_hash64(b"ab"), stable_hash64(b"ba"));
     }
 
     #[test]

@@ -210,3 +210,89 @@ proptest! {
         prop_assert_eq!(&on.0, &off.0, "event stream diverged FF on/off");
     }
 }
+
+/// Serve-layer chaos (DESIGN.md §12): a batch mixing healthy, faulted,
+/// budget-exhausted and panicking jobs must yield exactly one expected
+/// typed `JobOutcome` per job, with byte-identical emission across
+/// reruns and across worker shard counts. The engine's job is to turn
+/// every kind of trouble into ordered, typed, reproducible data.
+#[test]
+fn serve_batch_types_every_failure_and_stays_byte_identical() {
+    const BATCH: &str = concat!(
+        r#"{"id":"healthy","game":"DOOM3","cpus":[470],"instr":20000,"frames":1,"warmup":10000}"#,
+        "\n",
+        r#"{"id":"wedge","game":"DOOM3","cpus":[],"scale":64,"seed":3,"frames":50,"instr":0,"warmup":0,"faults":"wedge=100000","watchdog":50000}"#,
+        "\n",
+        r#"{"id":"overbudget","game":"DOOM3","cpus":[470],"warmup":0,"budget":{"cycles":30000}}"#,
+        "\n",
+        r#"{"id":"toobig","game":"DOOM3","budget":{"mem_mb":1}}"#,
+        "\n",
+        r#"{"id":"boom","game":"DOOM3","fixture":"panic"}"#,
+        "\n",
+    );
+    struct Tap(std::rc::Rc<std::cell::RefCell<Vec<String>>>);
+    impl gat_serve::Sink for Tap {
+        fn name(&self) -> &str {
+            "tap"
+        }
+        fn emit(&mut self, block: &str) -> bool {
+            self.0.borrow_mut().push(block.to_string());
+            true
+        }
+        fn flush(&mut self) -> bool {
+            true
+        }
+    }
+    let run = |shards: usize| -> Vec<String> {
+        let captured = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let items = gat_serve::parse_batch(BATCH);
+        let opts = gat_serve::EngineOptions {
+            shards,
+            cache: gat_serve::ResultCache::disabled(),
+            dump_dir: None,
+        };
+        let mut sinks = vec![gat_serve::SinkSlot::new(Box::new(Tap(captured.clone())))];
+        let summary = gat_serve::run_batch(&items, &opts, &mut sinks);
+        assert_eq!(summary.jobs, 5);
+        assert_eq!(
+            (
+                summary.ok,
+                summary.wedged,
+                summary.budget_exceeded,
+                summary.panicked
+            ),
+            (1, 1, 2, 1),
+            "outcome histogram drifted: {summary:?}"
+        );
+        let blocks = captured.borrow().clone();
+        blocks
+    };
+
+    let one = run(1);
+    // Exactly one typed outcome line per job, in spec order.
+    let expect = [
+        ("healthy", "\"outcome\":\"ok\""),
+        ("wedge", "\"outcome\":\"wedged\""),
+        ("overbudget", "\"outcome\":\"budget_exceeded\""),
+        ("toobig", "\"outcome\":\"budget_exceeded\""),
+        ("boom", "\"outcome\":\"panicked\""),
+    ];
+    for (block, (id, outcome)) in one.iter().zip(expect) {
+        let first = block.lines().next().unwrap();
+        assert!(first.contains(&format!("\"id\":\"{id}\"")), "{first}");
+        assert!(first.contains(outcome), "{first}");
+        validate_json_line(first).expect("outcome lines are JSONL");
+    }
+    assert!(one[2].contains("\"budget\":\"cycles\""));
+    assert!(one[3].contains("\"budget\":\"mem\""));
+    assert!(one[4].contains("\"message\""));
+    assert!(one
+        .last()
+        .unwrap()
+        .starts_with("{\"type\":\"batch_summary\""));
+
+    // Byte-identity: rerun, and every shard count.
+    assert_eq!(one, run(1), "rerun diverged");
+    assert_eq!(one, run(2), "2-shard run diverged");
+    assert_eq!(one, run(3), "3-shard run diverged");
+}

@@ -1,5 +1,5 @@
 //! Fixture suite for the determinism linter (DESIGN.md §10): one passing
-//! and one failing case per rule R1–R8, the pragma machinery, and the
+//! and one failing case per rule R1–R9, the pragma machinery, and the
 //! capstone check that the real tree is lint-clean.
 //!
 //! Fixtures are linted fully in memory via [`gat_lint::lint_sources`], so
@@ -265,6 +265,54 @@ fn r6_passes_documented_names_with_word_boundaries() {
     let f = lint_sources(&bin, "mentions --output only", "GAT_NOVEL_KNOB documented");
     assert_eq!(rules(&f), vec!["R6"]);
     let f = lint_sources(&bin, "use `--out PATH`", "GAT_NOVEL_KNOB documented");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- R9: panic capture outside the serve supervisor --------------------
+
+#[test]
+fn r9_flags_panic_capture_in_sim_tool_and_bin_code() {
+    // Unlike R1-R8, R9 applies to every scanned class: swallowing a panic
+    // anywhere but the job supervisor hides invariant violations.
+    let paths = [
+        "crates/cache/src/fixture.rs",     // sim-state library
+        "crates/serve/src/fixture.rs",     // tool library (the serve crate itself)
+        "crates/bench/src/bin/fixture.rs", // bench binary
+    ];
+    for path in paths {
+        let files = vec![SourceFile {
+            path: path.into(),
+            text: "pub fn f() { let _ = std::panic::catch_unwind(|| 1); }\n".into(),
+        }];
+        let f = lint_sources(&files, "", "");
+        assert_eq!(rules(&f), vec!["R9"], "fixture path: {path}");
+        assert!(f[0].message.contains("catch_unwind"), "{}", f[0].message);
+    }
+    // Hook manipulation is the other half of the rule: a stray set_hook
+    // can silence the supervisor's sentinel filtering for everyone.
+    let f = lint_sim("pub fn f() { std::panic::set_hook(Box::new(|_| {})); }");
+    assert_eq!(rules(&f), vec!["R9"]);
+    let f = lint_sim("pub fn f() { let _ = std::panic::take_hook(); }");
+    assert_eq!(rules(&f), vec!["R9"]);
+}
+
+#[test]
+fn r9_exempts_the_supervisor_tests_and_reasoned_pragmas() {
+    // The one sanctioned isolation site.
+    let sup = vec![SourceFile {
+        path: "crates/serve/src/supervisor.rs".into(),
+        text: "pub fn shield() { let _ = std::panic::catch_unwind(|| ()); }\n".into(),
+    }];
+    assert!(lint_sources(&sup, "", "").is_empty());
+    // Test harnesses legitimately observe panics.
+    let f = lint_sim(
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(std::panic::catch_unwind(|| panic!()).is_err()); }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // Elsewhere, only a justified pragma lets one through.
+    let f = lint_sim(
+        "// gat-lint: allow(R9, \"FFI boundary must not unwind\")\npub fn guard() { let _ = std::panic::catch_unwind(|| ()); }\n",
+    );
     assert!(f.is_empty(), "{f:?}");
 }
 
