@@ -7,18 +7,46 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-# ---- Static analysis (DESIGN.md §10): fail fast, before anything builds.
+# ---- Static analysis (DESIGN.md §10, §13): fail fast, before anything
+# builds, and under a 60-second wall budget so the structural pass (item
+# parse + call graph over the whole workspace) can never quietly grow
+# into a build-length stage. The linter binary is compiled up front so
+# the budget measures analysis, not compilation.
+echo "== static analysis: build gat-lint =="
+cargo build --release -q -p gat-lint
+
+static_t0=$SECONDS
 echo "== static analysis: fmt --check =="
 cargo fmt --check
 
-echo "== static analysis: gat-lint (workspace determinism linter) =="
-# Rules R1-R9: hash-order, ambient nondeterminism, RNG discipline,
+echo "== static analysis: gat-lint (rules R1-R12, token + structural) =="
+# Token rules R1-R9 (hash-order, ambient nondeterminism, RNG discipline,
 # library printing, NaN-unsafe ordering, docs/source drift, activity
-# polling, per-tick heap allocation in tick-path modules, and panic
-# capture outside the gat-serve supervisor.
-cargo run --release -q -p gat-lint
+# polling, per-tick heap allocation, panic capture) plus the structural
+# pass R10-R12 (wake-soundness over the workspace call graph, `_` arm
+# drift on guarded enums, cycle/millisecond unit mixing). The JSONL
+# artifact — lint_finding lines plus one per-rule lint_summary trailer —
+# is kept at /tmp/gat_ci_lint.jsonl whether or not the stage passes.
+set +e
+timeout 60 ./target/release/gat-lint --json >/tmp/gat_ci_lint.jsonl
+lint_code=$?
+set -e
+grep -F '"type":"lint_summary"' /tmp/gat_ci_lint.jsonl || true
+if [[ $lint_code -ne 0 ]]; then
+    echo "gat-lint: exit $lint_code; artifact: /tmp/gat_ci_lint.jsonl" >&2
+    ./target/release/gat-lint || true # re-run for the human-readable view
+    exit 1
+fi
+static_elapsed=$((SECONDS - static_t0))
+if ((static_elapsed >= 60)); then
+    echo "static stage blew its 60 s wall budget: ${static_elapsed}s" >&2
+    exit 1
+fi
+echo "static stage: clean in ${static_elapsed}s (artifact: /tmp/gat_ci_lint.jsonl)"
 
 echo "== static analysis: clippy -D warnings =="
+# Outside the 60 s budget on purpose: clippy type-checks every target,
+# so its wall time tracks the build, not the linter.
 # Curated allow-list lives in [workspace.lints] in Cargo.toml.
 cargo clippy --all-targets -- -D warnings
 

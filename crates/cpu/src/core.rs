@@ -81,6 +81,7 @@ pub struct Core {
     outstanding_chases: gat_sim::hashing::FastSet<u64>,
     dispatch_credit: f64,
     /// Dispatch is frozen until this cycle (branch-misprediction refill).
+    // gat-lint: wake-state (next_wake reports it as the frontend horizon)
     frontend_stall_until: Cycle,
     /// Instructions until the next (deterministically spaced) mispredict.
     instrs_to_misp: u64,
@@ -330,6 +331,7 @@ impl Core {
                 self.instrs_to_misp -= 1;
                 if self.instrs_to_misp == 0 {
                     self.instrs_to_misp = (1000.0 / profile.branch_mpki) as u64;
+                    // gat-lint: allow(R10, "certified externally: the system re-probes next_wake after every executed core tick; cores do not own a calendar slot")
                     self.frontend_stall_until = now + Cycle::from(self.cfg.branch_penalty);
                     self.branch_mispredicts.inc();
                     break;

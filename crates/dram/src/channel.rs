@@ -22,6 +22,8 @@
 //! wraps, so pick logic always compares stamps rather than trusting list
 //! position.
 
+// gat-lint: allow-file(R10, "certified externally: done_min/next_refresh feed the completion horizon that Uncore::next_wake re-probes after every executed DRAM tick; the calendar slot is owned by hetero::system")
+
 use crate::energy::{DramEnergy, DramEnergyModel};
 use crate::mapping::DramCoord;
 use crate::sched::{ReqInfo, SchedCtx, SchedulerImpl};
@@ -167,6 +169,7 @@ pub struct DramChannel {
     completions: Vec<Completion>,
     /// Exact earliest `done_at` over `completions` (`u64::MAX` when
     /// empty) — O(1) drain early-out and quiescence-probe horizon.
+    // gat-lint: wake-state (quiescence-probe horizon)
     done_min: u64,
     /// Scratch for the generic-policy scheduler view (kept empty between
     /// ticks; unused on the FR-FCFS fast path).
@@ -190,6 +193,7 @@ pub struct DramChannel {
     /// Currently in a write-drain burst.
     draining_writes: bool,
     /// Next cycle at which a REF command is due.
+    // gat-lint: wake-state (REF deadline feeds the probe horizon)
     next_refresh: u64,
     energy_model: DramEnergyModel,
     pub energy: DramEnergy,

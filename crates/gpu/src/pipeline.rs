@@ -574,6 +574,7 @@ impl GpuPipeline {
         while !self.caches.outbound.is_empty() && self.iface.len() < self.cfg.iface_queue + 16 {
             // Evictions may briefly overflow the nominal queue (the +16):
             // they cannot be refused without losing data.
+            // gat-lint: allow(R10, "drain toward quiescence; the system re-probes next_wake after every executed GPU tick")
             let req = self.caches.outbound.pop_front().unwrap();
             self.iface.push_back(req);
         }

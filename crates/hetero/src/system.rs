@@ -72,7 +72,9 @@ pub struct HeteroSystem {
     /// Named metrics, synced from component stats before each snapshot.
     registry: MetricsRegistry,
     /// Emit an [`RunEvent::EpochSnapshot`] every this many CPU cycles.
+    // gat-lint: wake-state (the epoch sampler's wake slot tracks this)
     epoch_interval: Option<Cycle>,
+    // gat-lint: wake-state
     next_epoch: Cycle,
     /// Last CPU-priority state handed to the DRAM scheduler (flip events).
     last_sched_boost: bool,
@@ -95,6 +97,7 @@ pub struct HeteroSystem {
     core_synced: Vec<Cycle>,
     /// `now` is inside a machine-wide certified-quiet window ending here;
     /// until it expires no calendar refresh is needed at all.
+    // gat-lint: wake-state
     quiet_until: Cycle,
     /// Uncore ingress count at the last calendar refresh (new requests
     /// invalidate the uncore's cached certification).

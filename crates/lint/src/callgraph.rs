@@ -1,0 +1,214 @@
+//! Approximate intra-workspace call graph.
+//!
+//! Call-site extraction walks each fn body's token range and resolves
+//! callee names against the [`crate::symbols::Symbols`] table with three
+//! heuristics, deliberately *over-approximating* (extra edges only make
+//! R10 more permissive about reachability, never noisier):
+//!
+//! * `.name(` — a method call: edges to **every** method named `name`
+//!   workspace-wide. Receiver types are not inferred; `mshr.cancel(…)`
+//!   therefore also links to `WakeCalendar::cancel` (a documented
+//!   false-negative class for R10, see DESIGN.md §13).
+//! * `Path::name(` — a qualified call: edges to methods of the last
+//!   path segment before `::`, falling back to free fns named `name`.
+//! * `name(` — an unqualified call: edges to free fns named `name`,
+//!   preferring ones defined in the same file; idents that are control
+//!   keywords or start uppercase (tuple-struct/enum constructors) are
+//!   skipped. `use` maps disambiguate nothing here today — the
+//!   workspace has no cross-crate free-fn name collisions worth the
+//!   machinery — but [`crate::parser::ParsedFile::uses`] carries the
+//!   data when one appears.
+//!
+//! On top of the edges, `reaches_primitive` is computed once via reverse
+//! BFS from the schedule/cancel primitives; R10 reads it as "can this fn
+//! notify the wake calendar?".
+
+use crate::lexer::Tok;
+use crate::parser::{self, ParsedFile};
+use crate::symbols::{FnId, Symbols};
+
+/// The call graph over [`Symbols::fns`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Sorted, deduped callee lists per fn.
+    pub edges: Vec<Vec<FnId>>,
+    /// fns[i] is a primitive or can reach one along `edges`.
+    pub reaches_primitive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Build edges + reachability for all fn bodies in `files` (the same
+    /// slice, in the same order, that built `sym`).
+    pub fn build(files: &[ParsedFile], sym: &Symbols) -> CallGraph {
+        let n = sym.fns.len();
+        let mut edges: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        for (id, gf) in sym.fns.iter().enumerate() {
+            let pf = &files[gf.file];
+            let item = &pf.fns[gf.local];
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            collect_calls(pf, gf.file, open + 1, close, sym, &mut edges[id]);
+            edges[id].sort_unstable();
+            edges[id].dedup();
+        }
+        // Reverse BFS from the primitives.
+        let mut rev: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        for (caller, callees) in edges.iter().enumerate() {
+            for &callee in callees {
+                rev[callee].push(caller);
+            }
+        }
+        let mut reaches = sym.primitive.clone();
+        let mut queue: Vec<FnId> = (0..n).filter(|&i| reaches[i]).collect();
+        while let Some(id) = queue.pop() {
+            for &caller in &rev[id] {
+                if !reaches[caller] {
+                    reaches[caller] = true;
+                    queue.push(caller);
+                }
+            }
+        }
+        CallGraph {
+            edges,
+            reaches_primitive: reaches,
+        }
+    }
+}
+
+/// Scan one body token range for call sites and append resolved callees.
+fn collect_calls(
+    pf: &ParsedFile,
+    file_idx: usize,
+    start: usize,
+    end: usize,
+    sym: &Symbols,
+    out: &mut Vec<FnId>,
+) {
+    let toks = &pf.tokens;
+    let end = end.min(toks.len());
+    let mut i = start;
+    while i < end {
+        let Tok::Ident(name) = &toks[i].tok else {
+            i += 1;
+            continue;
+        };
+        // A call site is `ident (`; generic turbofish `ident::<T>(` also
+        // appears but the `::<` form is caught by the qualified branch
+        // falling through to the open paren scan below being absent —
+        // we accept missing those (over-approximation is one-sided, so
+        // a missed edge is the conservative direction we document).
+        if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            i += 1;
+            continue;
+        }
+        let is_method = matches!((i >= 1).then(|| &toks[i - 1].tok), Some(Tok::Punct('.')));
+        let qualifier = if i >= 3
+            && matches!(&toks[i - 1].tok, Tok::Punct(':'))
+            && matches!(&toks[i - 2].tok, Tok::Punct(':'))
+        {
+            match &toks[i - 3].tok {
+                Tok::Ident(q) => Some(q.as_str()),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if is_method {
+            out.extend_from_slice(sym.methods(name));
+        } else if let Some(q) = qualifier {
+            let on_type = sym.methods_on(q, name);
+            if on_type.is_empty() {
+                out.extend_from_slice(sym.free(name));
+            } else {
+                out.extend_from_slice(&on_type);
+            }
+        } else if !parser::is_non_call_keyword(name)
+            && !name.chars().next().is_some_and(char::is_uppercase)
+        {
+            let all = sym.free(name);
+            let local: Vec<FnId> = all
+                .iter()
+                .copied()
+                .filter(|&id| sym.fns[id].file == file_idx)
+                .collect();
+            if local.is_empty() {
+                out.extend_from_slice(all);
+            } else {
+                out.extend_from_slice(&local);
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn graph(srcs: &[(&str, &str)]) -> (Vec<ParsedFile>, Symbols, CallGraph) {
+        let files: Vec<ParsedFile> = srcs.iter().map(|(p, s)| parse(p, s)).collect();
+        let sym = Symbols::build(&files);
+        let cg = CallGraph::build(&files, &sym);
+        (files, sym, cg)
+    }
+
+    fn id(sym: &Symbols, name: &str) -> FnId {
+        sym.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn method_qualified_and_free_calls_resolve() {
+        let (_f, sym, cg) = graph(&[(
+            "crates/sim/src/calendar.rs",
+            "pub struct WakeCalendar;\nimpl WakeCalendar { pub fn schedule(&mut self) {} }\n\
+             fn direct(w: &mut WakeCalendar) { w.schedule(); }\n\
+             fn qualified() { WakeCalendar::schedule(); }\n\
+             fn free_hop() { direct_helper(); }\n\
+             fn direct_helper() { helper_two(); }\n\
+             fn helper_two() {}\n\
+             fn cold() { helper_two(); }\n",
+        )]);
+        let sched = id(&sym, "schedule");
+        assert!(cg.edges[id(&sym, "direct")].contains(&sched));
+        assert!(cg.edges[id(&sym, "qualified")].contains(&sched));
+        assert!(cg.edges[id(&sym, "free_hop")].contains(&id(&sym, "direct_helper")));
+        // Reachability: primitives and their (transitive) callers only.
+        assert!(cg.reaches_primitive[sched]);
+        assert!(cg.reaches_primitive[id(&sym, "direct")]);
+        assert!(cg.reaches_primitive[id(&sym, "qualified")]);
+        assert!(!cg.reaches_primitive[id(&sym, "free_hop")]);
+        assert!(!cg.reaches_primitive[id(&sym, "cold")]);
+    }
+
+    #[test]
+    fn transitive_reachability_crosses_files() {
+        let (_f, sym, cg) = graph(&[
+            (
+                "crates/sim/src/calendar.rs",
+                "pub struct WakeCalendar;\nimpl WakeCalendar { pub fn cancel(&mut self) {} }\n",
+            ),
+            (
+                "crates/hetero/src/system.rs",
+                "impl System { fn refresh(&mut self) { self.wakes.cancel(); } \
+                 fn tick(&mut self) { self.refresh(); } fn idle(&self) {} }\n",
+            ),
+        ]);
+        assert!(cg.reaches_primitive[id(&sym, "refresh")]);
+        assert!(cg.reaches_primitive[id(&sym, "tick")]);
+        assert!(!cg.reaches_primitive[id(&sym, "idle")]);
+    }
+
+    #[test]
+    fn constructors_and_keywords_are_not_call_targets() {
+        let (_f, sym, cg) = graph(&[(
+            "crates/sim/src/x.rs",
+            "fn f() { if cond() { Some(3); } while other() {} }\nfn cond() -> bool { true }\nfn other() -> bool { false }\n",
+        )]);
+        let ef = &cg.edges[id(&sym, "f")];
+        assert!(ef.contains(&id(&sym, "cond")));
+        assert!(ef.contains(&id(&sym, "other")));
+        assert_eq!(ef.len(), 2, "{ef:?}");
+    }
+}

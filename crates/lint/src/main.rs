@@ -1,27 +1,35 @@
 //! CLI for the workspace determinism linter.
 //!
 //! ```text
-//! cargo run -p gat-lint [-- --json] [--root PATH]
+//! cargo run -p gat-lint [-- --json] [--root PATH] [--rules R10,R11] [--list-rules]
 //! ```
 //!
 //! Walks `crates/*/src` under the workspace root (default: the current
-//! directory), applies rules R1–R6 (see DESIGN.md §10), and prints one
-//! `file:line: rule: message` line per finding — or, with `--json`, the
-//! observability layer's JSONL grammar (`lint_finding` objects plus one
-//! `lint_summary` trailer).
+//! directory), applies rules R1–R12 (see DESIGN.md §10 and §13), and
+//! prints one `file:line: rule: message` line per finding — or, with
+//! `--json`, the observability layer's JSONL grammar (`lint_finding`
+//! objects plus one `lint_summary` trailer).
+//!
+//! `--rules R10,R11` keeps only the named rules' findings (pragma
+//! findings are always kept — a broken suppression comment is a problem
+//! regardless of which rules you asked about). `--list-rules` prints the
+//! catalog, one line per rule, and exits 0.
 //!
 //! Exit codes follow the workspace convention: 0 clean, 1 I/O failure,
 //! 2 bad usage, 3 findings reported.
 
+use gat_lint::report::ALL_RULES;
+use gat_lint::RuleId;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: gat-lint [--json] [--root PATH]";
+const USAGE: &str = "usage: gat-lint [--json] [--root PATH] [--rules R1,R2,..] [--list-rules]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut root = PathBuf::from(".");
+    let mut only: Option<Vec<RuleId>> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -33,6 +41,35 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rules" => match it.next() {
+                Some(spec) => {
+                    let mut wanted = Vec::new();
+                    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        match RuleId::from_pragma_name(name) {
+                            Some(r) => wanted.push(r),
+                            None => {
+                                eprintln!("gat-lint: unknown rule id {name:?} (try --list-rules)");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    if wanted.is_empty() {
+                        eprintln!("gat-lint: --rules needs at least one rule id\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                    only = Some(wanted);
+                }
+                None => {
+                    eprintln!("gat-lint: --rules needs a comma-separated id list\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in ALL_RULES {
+                    println!("{:<6} {}", r.as_str(), r.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -44,13 +81,16 @@ fn main() -> ExitCode {
         }
     }
 
-    let (files_scanned, findings) = match gat_lint::lint_workspace(&root) {
+    let (files_scanned, mut findings) = match gat_lint::lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("gat-lint: io error: {e}");
             return ExitCode::from(1);
         }
     };
+    if let Some(only) = &only {
+        findings.retain(|f| f.rule == RuleId::Pragma || only.contains(&f.rule));
+    }
 
     if json {
         let mut out = String::new();

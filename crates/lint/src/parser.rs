@@ -1,0 +1,691 @@
+//! A hand-rolled Rust *item/block* parser on top of [`crate::lexer`].
+//!
+//! The token-level rules (R1–R9) never needed to know where one function
+//! ends and the next begins; the structural rules do. Rule R10
+//! (wake-soundness) must answer "which `fn` bodies write this field, and
+//! what do those bodies call?" — which requires per-file item trees. With
+//! no crates-io access there is no `syn`, so this module parses exactly
+//! the item grammar the analyses need:
+//!
+//! * `mod name { … }` nesting (module paths accumulate onto items);
+//! * `impl Type { … }` / `impl Trait for Type { … }` (methods carry the
+//!   *type* name — the trait name is irrelevant to name-heuristic call
+//!   resolution) and `trait Name { … }` default bodies;
+//! * `fn name … { body }` with brace-matched body token ranges (or `;`
+//!   for bodyless declarations);
+//! * `use` declarations flattened into an alias → path map, including
+//!   `{a, b as c, d::*}` groups;
+//! * `struct Name { fields }` with `// gat-lint: wake-state` markers
+//!   attached to the field declared on the marker's own or directly
+//!   following line.
+//!
+//! Like the lexer, the parser never fails: unparseable stretches are
+//! skipped token-by-token and the analyses simply see fewer items. The
+//! proptest suite (`tests/proptest_lint_parser.rs`) pins the contract:
+//! no panic on arbitrary input, every recorded body span in-bounds and
+//! brace-balanced.
+
+use crate::lexer::{self, Tok, Token};
+
+/// One parsed function (free fn, method, or trait default).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// The `impl`/`trait` type this fn is a method of, `None` for free fns.
+    pub self_type: Option<String>,
+    /// Enclosing `mod` path inside the file (empty at file scope).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range `[open, close]` of the braced body; `None` for
+    /// bodyless declarations (`fn f();` in traits/extern blocks).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `use` binding: `segs` is the full path, `alias` the name it binds
+/// in this file (`d` for `use c::d`, `e` for `use c::d as e`, `"*"` for
+/// glob imports).
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    pub segs: Vec<String>,
+    pub alias: String,
+    pub line: u32,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    pub name: String,
+    pub line: u32,
+    /// Declared wake-relevant via a `// gat-lint: wake-state` marker.
+    pub wake_state: bool,
+}
+
+/// One `struct` definition (tuple/unit structs record no fields).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub module: Vec<String>,
+    pub line: u32,
+    pub fields: Vec<FieldItem>,
+}
+
+/// The per-file item tree, flattened (module paths live on the items).
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseItem>,
+    pub structs: Vec<StructItem>,
+    /// `wake-state` marker lines that attached to no struct field
+    /// (reported as pragma errors by the structural pass).
+    pub unattached_markers: Vec<u32>,
+}
+
+/// Keywords that look like call targets when followed by `(` but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "loop", "match", "return", "break", "continue", "in", "as", "let",
+    "move", "ref", "mut", "where", "unsafe", "dyn", "impl", "fn", "else", "await",
+];
+
+/// Is this ident a control keyword rather than a possible call target?
+pub fn is_non_call_keyword(name: &str) -> bool {
+    NON_CALL_KEYWORDS.contains(&name)
+}
+
+/// Parse one source file into its item tree.
+pub fn parse(path: &str, source: &str) -> ParsedFile {
+    let lexed = lexer::lex(source);
+    let mut out = ParsedFile {
+        path: path.to_string(),
+        tokens: lexed.tokens,
+        ..ParsedFile::default()
+    };
+    let mut markers: Vec<(u32, bool)> = lexed.wake_markers.iter().map(|&l| (l, false)).collect();
+    let end = out.tokens.len();
+    let mut module = Vec::new();
+    parse_items(&mut out, 0, end, &mut module, None, &mut markers);
+    out.unattached_markers = markers
+        .into_iter()
+        .filter(|(_, used)| !used)
+        .map(|(l, _)| l)
+        .collect();
+    out
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn line_at(toks: &[Token], i: usize) -> u32 {
+    toks.get(i).map_or(0, |t| t.line)
+}
+
+/// Index of the token closing the bracket opened at `open_idx`, bounded
+/// by `end` (exclusive). `None` when unbalanced — callers skip the rest.
+fn matching(toks: &[Token], open_idx: usize, end: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut k = open_idx;
+    while k < end.min(toks.len()) {
+        match &toks[k].tok {
+            Tok::Punct(c) if *c == open => depth += 1,
+            Tok::Punct(c) if *c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Parse the item sequence in token range `[start, end)` under `module`
+/// (and `self_type` inside an `impl`/`trait` body). Returns having
+/// consumed the whole range.
+fn parse_items(
+    out: &mut ParsedFile,
+    start: usize,
+    end: usize,
+    module: &mut Vec<String>,
+    self_type: Option<&str>,
+    markers: &mut [(u32, bool)],
+) {
+    // The tree can nest (mods in mods), but source depth is small; the
+    // recursion is bounded by brace depth, which `matching` keeps finite.
+    let toks_len = out.tokens.len();
+    let end = end.min(toks_len);
+    let mut i = start;
+    while i < end {
+        match ident_at(&out.tokens, i) {
+            Some("use") => i = parse_use(out, i, end),
+            Some("mod") => i = parse_mod(out, i, end, module, markers),
+            Some("fn") => i = parse_fn(out, i, end, module, self_type),
+            Some("impl") => i = parse_impl(out, i, end, module, markers),
+            Some("trait") => i = parse_trait(out, i, end, module, markers),
+            Some("struct") => i = parse_struct(out, i, end, module, markers),
+            _ => {
+                // Skip matched brace groups wholesale (expression blocks,
+                // enum bodies, …) so stray `fn` idents inside const
+                // expressions cannot desynchronize the item scan — but
+                // only when they balance; otherwise advance one token.
+                if is_punct(&out.tokens, i, '{') {
+                    match matching(&out.tokens, i, end, '{', '}') {
+                        Some(c) => i = c + 1,
+                        None => i += 1,
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `use a::b::{c, d as e, f::*};` → flattened [`UseItem`]s. Returns the
+/// index just past the terminating `;` (or the scan limit).
+fn parse_use(out: &mut ParsedFile, use_idx: usize, end: usize) -> usize {
+    let line = line_at(&out.tokens, use_idx);
+    // Find the terminating `;` first; everything between is the path.
+    let mut semi = use_idx + 1;
+    while semi < end && !is_punct(&out.tokens, semi, ';') {
+        semi += 1;
+    }
+    let mut prefix: Vec<String> = Vec::new();
+    collect_use_tree(out, use_idx + 1, semi, &mut prefix, line);
+    semi.min(end) + 1
+}
+
+/// Recursive worker for one level of a use tree in `[i, limit)`.
+fn collect_use_tree(
+    out: &mut ParsedFile,
+    i: usize,
+    limit: usize,
+    prefix: &mut Vec<String>,
+    line: u32,
+) {
+    let depth_at_entry = prefix.len();
+    let mut i = i;
+    let mut pending_alias: Option<String> = None;
+    while i < limit {
+        match &out.tokens[i].tok {
+            Tok::Ident(s) if s == "as" => {
+                if let Some(alias) = ident_at(&out.tokens, i + 1) {
+                    pending_alias = Some(alias.to_string());
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(s) => {
+                prefix.push(s.clone());
+                i += 1;
+            }
+            Tok::Punct('*') => {
+                prefix.push("*".to_string());
+                i += 1;
+            }
+            Tok::Punct('{') => {
+                let close = matching(&out.tokens, i, limit, '{', '}').unwrap_or(limit);
+                // Each comma-separated element of the group re-enters with
+                // the current prefix.
+                let mut elem_start = i + 1;
+                let mut k = i + 1;
+                let mut depth = 0i64;
+                while k <= close.min(limit.saturating_sub(1)) {
+                    let at_group_end = k == close;
+                    let at_comma = depth == 0 && is_punct(&out.tokens, k, ',');
+                    if at_group_end || at_comma {
+                        if elem_start < k {
+                            let mut sub = prefix.clone();
+                            collect_use_tree(out, elem_start, k, &mut sub, line);
+                        }
+                        elem_start = k + 1;
+                    } else if is_punct(&out.tokens, k, '{') {
+                        depth += 1;
+                    } else if is_punct(&out.tokens, k, '}') {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                prefix.truncate(depth_at_entry);
+                return; // a group ends this level
+            }
+            _ => i += 1, // `::` separators, stray tokens
+        }
+    }
+    // A plain path (no group): bind its last segment (or the alias).
+    if prefix.len() > depth_at_entry {
+        let alias = pending_alias.unwrap_or_else(|| {
+            let last = prefix.last().cloned().unwrap_or_default();
+            // `use a::b::{self}` contributes `self`: bind the parent name.
+            if last == "self" && prefix.len() >= 2 {
+                prefix[prefix.len() - 2].clone()
+            } else {
+                last
+            }
+        });
+        out.uses.push(UseItem {
+            segs: prefix.clone(),
+            alias,
+            line,
+        });
+    }
+    prefix.truncate(depth_at_entry);
+}
+
+/// `mod name { items }` (recurse) or `mod name;` (skip).
+fn parse_mod(
+    out: &mut ParsedFile,
+    mod_idx: usize,
+    end: usize,
+    module: &mut Vec<String>,
+    markers: &mut [(u32, bool)],
+) -> usize {
+    let Some(name) = ident_at(&out.tokens, mod_idx + 1).map(str::to_string) else {
+        return mod_idx + 1;
+    };
+    if is_punct(&out.tokens, mod_idx + 2, ';') {
+        return mod_idx + 3;
+    }
+    if is_punct(&out.tokens, mod_idx + 2, '{') {
+        if let Some(close) = matching(&out.tokens, mod_idx + 2, end, '{', '}') {
+            module.push(name);
+            parse_items(out, mod_idx + 3, close, module, None, markers);
+            module.pop();
+            return close + 1;
+        }
+    }
+    mod_idx + 2
+}
+
+/// `fn name …` — skip the signature to the body `{` (or `;`), record the
+/// item. Signature scanning tracks paren/bracket depth so `[u8; 4]`
+/// parameter types cannot end the signature early.
+fn parse_fn(
+    out: &mut ParsedFile,
+    fn_idx: usize,
+    end: usize,
+    module: &[String],
+    self_type: Option<&str>,
+) -> usize {
+    let Some(name) = ident_at(&out.tokens, fn_idx + 1).map(str::to_string) else {
+        return fn_idx + 1;
+    };
+    let line = line_at(&out.tokens, fn_idx);
+    let mut depth = 0i64;
+    let mut k = fn_idx + 2;
+    while k < end {
+        match &out.tokens[k].tok {
+            Tok::Punct('(' | '[') => depth += 1,
+            Tok::Punct(')' | ']') => depth -= 1,
+            Tok::Punct(';') if depth <= 0 => {
+                out.fns.push(FnItem {
+                    name,
+                    self_type: self_type.map(str::to_string),
+                    module: module.to_vec(),
+                    line,
+                    body: None,
+                });
+                return k + 1;
+            }
+            Tok::Punct('{') if depth <= 0 => {
+                // Unterminated bodies (the file would not compile) get no
+                // span rather than a half-open one — every recorded span
+                // is a matched `{`/`}` pair.
+                let body = matching(&out.tokens, k, end, '{', '}').map(|close| (k, close));
+                let next = body.map_or(end, |(_, close)| close + 1);
+                out.fns.push(FnItem {
+                    name,
+                    self_type: self_type.map(str::to_string),
+                    module: module.to_vec(),
+                    line,
+                    body,
+                });
+                return next;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    end
+}
+
+/// `impl [<…>] Path [for Path] [where …] { items }` — methods inside
+/// carry the implemented *type*'s last path segment.
+fn parse_impl(
+    out: &mut ParsedFile,
+    impl_idx: usize,
+    end: usize,
+    module: &mut Vec<String>,
+    markers: &mut [(u32, bool)],
+) -> usize {
+    // Header: collect idents until the body `{`; the type name is the
+    // last path segment seen after `for` (trait impls) or overall
+    // (inherent impls). Generic argument lists are skipped by angle
+    // tracking; a `;` aborts (malformed header).
+    let mut k = impl_idx + 1;
+    let mut angle = 0i64;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while k < end {
+        match &out.tokens[k].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct(';') => return k + 1,
+            Tok::Punct('{') => break,
+            Tok::Ident(s) if s == "for" && angle <= 0 => saw_for = true,
+            Tok::Ident(s) if s == "where" && angle <= 0 => {
+                // `where` bounds may mention types; stop updating names.
+                while k < end && !is_punct(&out.tokens, k, '{') {
+                    k += 1;
+                }
+                break;
+            }
+            Tok::Ident(s) if angle <= 0 => {
+                if saw_for {
+                    after_for = Some(s.clone());
+                } else {
+                    last_ident = Some(s.clone());
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= end || !is_punct(&out.tokens, k, '{') {
+        return k;
+    }
+    let ty = after_for.or(last_ident);
+    let close = matching(&out.tokens, k, end, '{', '}').unwrap_or(end);
+    parse_items(out, k + 1, close, module, ty.as_deref(), markers);
+    close.min(end) + 1
+}
+
+/// `trait Name { items }` — default method bodies participate in the
+/// call graph like methods of the trait.
+fn parse_trait(
+    out: &mut ParsedFile,
+    trait_idx: usize,
+    end: usize,
+    module: &mut Vec<String>,
+    markers: &mut [(u32, bool)],
+) -> usize {
+    let Some(name) = ident_at(&out.tokens, trait_idx + 1).map(str::to_string) else {
+        return trait_idx + 1;
+    };
+    let mut k = trait_idx + 2;
+    while k < end && !is_punct(&out.tokens, k, '{') {
+        if is_punct(&out.tokens, k, ';') {
+            return k + 1; // `trait X: Y;`? malformed — bail.
+        }
+        k += 1;
+    }
+    if k >= end {
+        return end;
+    }
+    let close = matching(&out.tokens, k, end, '{', '}').unwrap_or(end);
+    parse_items(out, k + 1, close, module, Some(&name), markers);
+    close.min(end) + 1
+}
+
+/// `struct Name { fields }` with wake-state marker attachment; tuple and
+/// unit structs record no fields.
+fn parse_struct(
+    out: &mut ParsedFile,
+    struct_idx: usize,
+    end: usize,
+    module: &[String],
+    markers: &mut [(u32, bool)],
+) -> usize {
+    let Some(name) = ident_at(&out.tokens, struct_idx + 1).map(str::to_string) else {
+        return struct_idx + 1;
+    };
+    let line = line_at(&out.tokens, struct_idx);
+    // Skip generics to the body `{`, a tuple `(`, or a terminating `;`.
+    let mut k = struct_idx + 2;
+    let mut angle = 0i64;
+    while k < end {
+        match &out.tokens[k].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct(';') if angle <= 0 => {
+                out.structs.push(StructItem {
+                    name,
+                    module: module.to_vec(),
+                    line,
+                    fields: Vec::new(),
+                });
+                return k + 1;
+            }
+            Tok::Punct('(') if angle <= 0 => {
+                let close = matching(&out.tokens, k, end, '(', ')').unwrap_or(end);
+                out.structs.push(StructItem {
+                    name,
+                    module: module.to_vec(),
+                    line,
+                    fields: Vec::new(),
+                });
+                return close.min(end) + 1;
+            }
+            Tok::Punct('{') if angle <= 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= end {
+        return end;
+    }
+    let close = matching(&out.tokens, k, end, '{', '}').unwrap_or(end);
+    let mut fields = Vec::new();
+    // Field grammar at depth 1: [#[attr]]* [pub[(vis)]] name ':' type ','
+    let mut i = k + 1;
+    while i < close {
+        // Skip attributes.
+        while is_punct(&out.tokens, i, '#') && is_punct(&out.tokens, i + 1, '[') {
+            match matching(&out.tokens, i + 1, close, '[', ']') {
+                Some(c) => i = c + 1,
+                None => break,
+            }
+        }
+        // Skip visibility.
+        if ident_at(&out.tokens, i) == Some("pub") {
+            i += 1;
+            if is_punct(&out.tokens, i, '(') {
+                if let Some(c) = matching(&out.tokens, i, close, '(', ')') {
+                    i = c + 1
+                }
+            }
+        }
+        if let Some(fname) = ident_at(&out.tokens, i) {
+            if is_punct(&out.tokens, i + 1, ':') && !is_punct(&out.tokens, i + 2, ':') {
+                let fline = line_at(&out.tokens, i);
+                let wake = markers.iter_mut().any(|(ml, used)| {
+                    if *ml == fline || *ml + 1 == fline {
+                        *used = true;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                fields.push(FieldItem {
+                    name: fname.to_string(),
+                    line: fline,
+                    wake_state: wake,
+                });
+            }
+        }
+        // Advance to the comma ending this field (depth-aware: generic
+        // commas inside the type do not end the field).
+        let mut depth = 0i64;
+        let mut advanced = false;
+        while i < close {
+            match &out.tokens[i].tok {
+                Tok::Punct('(' | '[' | '{' | '<') => depth += 1,
+                Tok::Punct(')' | ']' | '}' | '>') => depth -= 1,
+                Tok::Punct(',') if depth <= 0 => {
+                    i += 1;
+                    advanced = true;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    out.structs.push(StructItem {
+        name,
+        module: module.to_vec(),
+        line,
+        fields,
+    });
+    close.min(end) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_mods_impls_and_bodies_are_found() {
+        let src = r#"
+            fn top() { inner(); }
+            mod a {
+                pub mod b {
+                    pub fn nested() {}
+                }
+                impl Widget {
+                    fn method(&self) -> u64 { 7 }
+                }
+                impl Display for Widget {
+                    fn fmt(&self) {}
+                }
+            }
+            trait Probe {
+                fn declared(&self);
+                fn defaulted(&self) { self.declared() }
+            }
+        "#;
+        let p = parse("crates/sim/src/x.rs", src);
+        let names: Vec<(&str, Option<&str>, Vec<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| {
+                (
+                    f.name.as_str(),
+                    f.self_type.as_deref(),
+                    f.module.iter().map(String::as_str).collect(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top", None, vec![]),
+                ("nested", None, vec!["a", "b"]),
+                ("method", Some("Widget"), vec!["a"]),
+                ("fmt", Some("Widget"), vec!["a"]),
+                ("declared", Some("Probe"), vec![]),
+                ("defaulted", Some("Probe"), vec![]),
+            ]
+        );
+        // Bodies: `declared` has none, everything else brace-matched.
+        for f in &p.fns {
+            if f.name == "declared" {
+                assert!(f.body.is_none());
+            } else {
+                let (s, e) = f.body.expect(&f.name);
+                assert!(matches!(p.tokens[s].tok, Tok::Punct('{')));
+                assert!(matches!(p.tokens[e].tok, Tok::Punct('}')));
+            }
+        }
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases_and_globs() {
+        let src = "use std::collections::{BTreeMap, VecDeque as Q};\nuse gat_sim::calendar::WakeCalendar;\nuse crate::rules::*;\nuse a::b::{self, c::d};\n";
+        let p = parse("crates/sim/src/x.rs", src);
+        let view: Vec<(String, String)> = p
+            .uses
+            .iter()
+            .map(|u| (u.alias.clone(), u.segs.join("::")))
+            .collect();
+        assert!(view.contains(&("BTreeMap".into(), "std::collections::BTreeMap".into())));
+        assert!(view.contains(&("Q".into(), "std::collections::VecDeque".into())));
+        assert!(view.contains(&(
+            "WakeCalendar".into(),
+            "gat_sim::calendar::WakeCalendar".into()
+        )));
+        assert!(view.contains(&("*".into(), "crate::rules::*".into())));
+        assert!(view.contains(&("b".into(), "a::b::self".into())));
+        assert!(view.contains(&("d".into(), "a::b::c::d".into())));
+    }
+
+    #[test]
+    fn struct_fields_and_wake_markers_attach() {
+        let src = "\
+pub struct Slot {
+    // gat-lint: wake-state
+    armed: Option<Cycle>,
+    gen: u64,
+    // gat-lint: wake-state covers the map too
+    pending: BTreeMap<u64, Vec<u8>>,
+}
+struct Unit;
+struct Tuple(u64, u64);
+";
+        let p = parse("crates/sim/src/x.rs", src);
+        assert_eq!(p.structs.len(), 3);
+        let slot = &p.structs[0];
+        let flags: Vec<(&str, bool)> = slot
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.wake_state))
+            .collect();
+        assert_eq!(
+            flags,
+            vec![("armed", true), ("gen", false), ("pending", true)]
+        );
+        assert!(p.unattached_markers.is_empty());
+    }
+
+    #[test]
+    fn unattached_markers_are_reported() {
+        let src = "// gat-lint: wake-state\n\npub fn not_a_field() {}\n";
+        let p = parse("crates/sim/src/x.rs", src);
+        assert_eq!(p.unattached_markers, vec![1]);
+    }
+
+    #[test]
+    fn unbalanced_input_never_panics_and_spans_stay_in_bounds() {
+        for src in [
+            "fn f() {",
+            "impl X { fn g(",
+            "struct S { a: u64,",
+            "mod m { mod n { fn h() }",
+            "use a::{b, c",
+            "} } ) fn tail() {}",
+        ] {
+            let p = parse("crates/sim/src/x.rs", src);
+            for f in &p.fns {
+                if let Some((s, e)) = f.body {
+                    assert!(s <= e && e < p.tokens.len(), "{src}: {:?}", f);
+                }
+            }
+        }
+    }
+}

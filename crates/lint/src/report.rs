@@ -37,9 +37,46 @@ pub enum RuleId {
     /// swallow a panic; anywhere else it converts an invariant violation
     /// into silently-wrong simulator state.
     R9,
+    /// Wake-soundness (lost wakeups): in tick-path/wake-model modules, a
+    /// fn that writes a wake-relevant field (declared by a
+    /// `// gat-lint: wake-state` marker or `policy::WAKE_STATE_FIELDS`)
+    /// must reach a `WakeCalendar` schedule/cancel call in its forward
+    /// call graph. Mutating when-am-I-next-active state without arming a
+    /// wake is the canonical push-model DES bug: the component freezes
+    /// until the watchdog fires.
+    R10,
+    /// Match-exhaustiveness drift: a `_` arm in a `match` over a guarded
+    /// enum (`SimError`, `JobOutcome`, `QosEvent`) inside library
+    /// crates. Wildcards silently swallow variants added by later PRs;
+    /// listing every variant makes the compiler flag each consumer.
+    R11,
+    /// Unit confusion: one expression mixing `Cycle`-flavoured values
+    /// with wall-clock milliseconds (`*_ms`, `Duration`) via `+ - < >`
+    /// in sim crates. Cycles and milliseconds are both bare u64s, so the
+    /// type system cannot catch the mix-up.
+    R12,
     /// Pragma problems: malformed, unknown rule, or unused suppression.
     Pragma,
 }
+
+/// All catalog rules in order, for `--list-rules` and per-rule summary
+/// counts. `Pragma` is included — its findings appear in exports and CI
+/// logs like any other.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::R1,
+    RuleId::R2,
+    RuleId::R3,
+    RuleId::R4,
+    RuleId::R5,
+    RuleId::R6,
+    RuleId::R7,
+    RuleId::R8,
+    RuleId::R9,
+    RuleId::R10,
+    RuleId::R11,
+    RuleId::R12,
+    RuleId::Pragma,
+];
 
 impl RuleId {
     pub fn as_str(self) -> &'static str {
@@ -53,7 +90,29 @@ impl RuleId {
             RuleId::R7 => "R7",
             RuleId::R8 => "R8",
             RuleId::R9 => "R9",
+            RuleId::R10 => "R10",
+            RuleId::R11 => "R11",
+            RuleId::R12 => "R12",
             RuleId::Pragma => "pragma",
+        }
+    }
+
+    /// One-line summary for `--list-rules` and the DESIGN.md catalog.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::R1 => "no std HashMap/HashSet in sim-state crates",
+            RuleId::R2 => "no ambient nondeterminism (clocks, threads, env, OS RNG)",
+            RuleId::R3 => "SimRng construction/forking only in approved modules",
+            RuleId::R4 => "no direct stdout/stderr printing from library crates",
+            RuleId::R5 => "no NaN-unsafe float comparisons",
+            RuleId::R6 => "CLI flags and GAT_* knobs must be documented",
+            RuleId::R7 => "no polling activity probes; use the WakeCalendar",
+            RuleId::R8 => "no per-tick heap allocation in tick-path modules",
+            RuleId::R9 => "no panic capture outside the serve supervisor",
+            RuleId::R10 => "wake-relevant writes must reach a WakeCalendar schedule/cancel",
+            RuleId::R11 => "no `_` arms in matches over SimError/JobOutcome/QosEvent",
+            RuleId::R12 => "no arithmetic mixing Cycle values with wall-clock milliseconds",
+            RuleId::Pragma => "pragmas must be well-formed, known, and in active use",
         }
     }
 
@@ -71,6 +130,9 @@ impl RuleId {
             "R7" => Some(RuleId::R7),
             "R8" => Some(RuleId::R8),
             "R9" => Some(RuleId::R9),
+            "R10" => Some(RuleId::R10),
+            "R11" => Some(RuleId::R11),
+            "R12" => Some(RuleId::R12),
             _ => None,
         }
     }
@@ -99,8 +161,17 @@ impl RuleId {
             RuleId::R9 => {
                 "let the panic propagate (or return a typed error); per-job isolation lives in gat-serve's supervisor"
             }
+            RuleId::R10 => {
+                "call wakes.schedule(source, at) (or cancel) after mutating wake-relevant state, or route the write through a fn that does"
+            }
+            RuleId::R11 => {
+                "list every variant explicitly so new variants are compile errors at each consumer, not silently swallowed"
+            }
+            RuleId::R12 => {
+                "convert at the boundary (cycles_per_ms) and keep each expression in one unit; rename the variable if it is not milliseconds"
+            }
             RuleId::Pragma => {
-                "fix the pragma: gat-lint: allow(R1..R9, \"reason\"); delete it if the violation is gone"
+                "fix the pragma: gat-lint: allow(R1..R12, \"reason\"); delete it if the violation is gone"
             }
         }
     }
@@ -141,12 +212,24 @@ impl Finding {
     }
 }
 
-/// The `{"type":"lint_summary",...}` trailer line.
+/// The `{"type":"lint_summary",...}` trailer line, with per-rule counts
+/// (every catalog rule appears, zero or not, so dashboards diffing two
+/// runs never chase a missing key).
 pub fn summary_json(files_scanned: usize, findings: &[Finding]) -> String {
+    let mut by_rule = String::from("{");
+    for (i, r) in ALL_RULES.iter().enumerate() {
+        let n = findings.iter().filter(|f| f.rule == *r).count();
+        if i > 0 {
+            by_rule.push(',');
+        }
+        by_rule.push_str(&format!("\"{}\":{}", r.as_str(), n));
+    }
+    by_rule.push('}');
     Obj::new()
         .str("type", "lint_summary")
         .u64("files_scanned", files_scanned as u64)
         .u64("findings", findings.len() as u64)
+        .raw("by_rule", &by_rule)
         .bool("clean", findings.is_empty())
         .finish()
 }
@@ -183,20 +266,30 @@ mod tests {
 
     #[test]
     fn every_rule_id_round_trips_except_pragma() {
-        for r in [
-            RuleId::R1,
-            RuleId::R2,
-            RuleId::R3,
-            RuleId::R4,
-            RuleId::R5,
-            RuleId::R6,
-            RuleId::R7,
-            RuleId::R8,
-            RuleId::R9,
-        ] {
-            assert_eq!(RuleId::from_pragma_name(r.as_str()), Some(r));
+        for r in ALL_RULES.iter().copied() {
+            if r == RuleId::Pragma {
+                assert_eq!(RuleId::from_pragma_name(r.as_str()), None);
+            } else {
+                assert_eq!(RuleId::from_pragma_name(r.as_str()), Some(r));
+            }
+            // Catalog metadata exists for every rule.
+            assert!(!r.summary().is_empty());
+            assert!(!r.hint().is_empty());
         }
-        assert_eq!(RuleId::from_pragma_name("pragma"), None);
-        assert_eq!(RuleId::from_pragma_name("R10"), None);
+        assert_eq!(RuleId::from_pragma_name("R13"), None);
+    }
+
+    #[test]
+    fn summary_reports_per_rule_counts() {
+        let f = Finding {
+            rule: RuleId::R10,
+            file: "crates/hetero/src/system.rs".into(),
+            line: 9,
+            message: "write without wake".into(),
+        };
+        let s = summary_json(5, &[f.clone(), f]);
+        validate_json_line(&s).unwrap();
+        assert!(s.contains("\"R10\":2"), "{s}");
+        assert!(s.contains("\"R11\":0"), "{s}");
     }
 }

@@ -72,7 +72,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
                 rule: RuleId::Pragma,
                 file: rel_path.into(),
                 line: p.line,
-                message: format!("pragma names unknown rule {:?} (known: R1..R9)", p.rule),
+                message: format!("pragma names unknown rule {:?} (known: R1..R12)", p.rule),
             }),
         }
     }
@@ -89,10 +89,17 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
         check_r5_nan(rel_path, toks, &in_test, &mut raw);
         check_r7_activity_polling(rel_path, toks, &in_test, &mut raw);
         check_r8_tick_alloc(rel_path, toks, &in_test, &mut raw);
+        check_r12_unit_mix(rel_path, toks, &in_test, &mut raw);
     }
     // R9 runs for every scanned class — a stray catch_unwind in bench or
     // serve code hides job corruption just as well as one in a sim crate.
     check_r9_panic_capture(rel_path, toks, &in_test, &mut raw);
+    // R11 covers library code (sim and tool libs); bench *binaries* may
+    // wildcard freely — their match arms are CLI plumbing, and a missed
+    // variant there fails loudly at the terminal.
+    if matches!(class, FileClass::SimLib | FileClass::ToolLib) {
+        check_r11_match_wildcard(rel_path, toks, &in_test, &mut raw);
+    }
     dedupe(&mut raw);
     let survived = suppress(raw, &mut out.pragmas);
     out.findings.extend(survived);
@@ -137,7 +144,7 @@ pub fn suppress(findings: Vec<Finding>, pragmas: &mut [CheckedPragma]) -> Vec<Fi
 }
 
 /// Per-token "is inside a `#[test]` / `#[cfg(test)]` item" mask.
-fn test_mask(toks: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -535,11 +542,201 @@ fn check_r9_panic_capture(file: &str, toks: &[Token], in_test: &[bool], raw: &mu
     }
 }
 
+/// R11: `_` arms in `match`es whose *patterns* name a guarded enum
+/// (`policy::GUARDED_ENUMS`). Guardedness is read off the arm patterns —
+/// `JobOutcome::Done => …` — not the scrutinee, whose type the linter
+/// cannot see; a match that never names a guarded enum in a pattern is
+/// left alone even if its arm bodies construct one.
+fn check_r11_match_wildcard(file: &str, toks: &[Token], in_test: &[bool], raw: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if in_test[i] || ident_at(toks, i) != Some("match") {
+            i += 1;
+            continue;
+        }
+        // The body is the first `{` after the scrutinee at bracket depth
+        // 0 (struct literals inside the scrutinee are parenthesized by
+        // rustfmt in match position, so depth-0 is the body in practice).
+        let mut k = i + 1;
+        let mut depth = 0i32;
+        let mut open = None;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct('(' | '[') => depth += 1,
+                Tok::Punct(')' | ']') => depth -= 1,
+                Tok::Punct('{') if depth <= 0 => {
+                    open = Some(k);
+                    break;
+                }
+                Tok::Punct(';') if depth <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let close = matching(toks, open, '{', '}').unwrap_or(toks.len().saturating_sub(1));
+        // Walk the arms: combined bracket depth starts at 1 inside the
+        // body; `=>` at depth 1 enters the arm value, `,` at depth 1 (or
+        // an arm block closing back to depth 1) returns to pattern
+        // position.
+        let mut d = 1i32;
+        let mut in_pattern = true;
+        let mut guarded = false;
+        let mut wildcards: Vec<u32> = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            match &toks[k].tok {
+                Tok::Punct('{' | '(' | '[') => d += 1,
+                Tok::Punct('}' | ')' | ']') => {
+                    d -= 1;
+                    if d == 1 {
+                        in_pattern = true;
+                    }
+                }
+                Tok::Punct('=') if d == 1 && is_punct(toks, k + 1, '>') => {
+                    if in_pattern
+                        && ident_at(toks, k - 1) == Some("_")
+                        && !is_punct(toks, k.wrapping_sub(2), ':')
+                    {
+                        wildcards.push(toks[k - 1].line);
+                    }
+                    in_pattern = false;
+                    k += 1; // consume the '>'
+                }
+                Tok::Punct(',') if d == 1 => in_pattern = true,
+                Tok::Ident(name)
+                    if in_pattern
+                        && policy::GUARDED_ENUMS.contains(&name.as_str())
+                        && is_punct(toks, k + 1, ':')
+                        && is_punct(toks, k + 2, ':') =>
+                {
+                    guarded = true;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if guarded {
+            for line in wildcards {
+                push(
+                    raw,
+                    RuleId::R11,
+                    file,
+                    line,
+                    "`_` arm in a match over a guarded enum (SimError/JobOutcome/QosEvent) \
+                     swallows variants added later"
+                        .into(),
+                );
+            }
+        }
+        i = open + 1; // nested matches inside arm bodies are scanned too
+    }
+}
+
+/// R12: one expression mixing cycle-domain and millisecond-domain values.
+/// `Cycle` is a plain `u64` alias, so `deadline_cycles + budget_ms`
+/// compiles clean and corrupts the timeline silently. The matcher splits
+/// the token stream into expression segments at `; , ( ) { }` and flags
+/// a segment containing a cycle-flavoured ident AND a millis-flavoured
+/// ident AND an additive/comparison operator. Multiplicative operators
+/// are deliberately excluded — `cycles_per_ms * budget_ms` is the
+/// *conversion* idiom, not the bug.
+fn check_r12_unit_mix(file: &str, toks: &[Token], in_test: &[bool], raw: &mut Vec<Finding>) {
+    let mut seg_start = 0usize;
+    let mut i = 0usize;
+    while i <= toks.len() {
+        let boundary =
+            i == toks.len() || matches!(toks[i].tok, Tok::Punct(';' | ',' | '(' | ')' | '{' | '}'));
+        if boundary {
+            scan_segment(file, toks, in_test, seg_start, i, raw);
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+}
+
+fn is_cycle_ident(name: &str) -> bool {
+    matches!(name, "Cycle" | "cycle" | "cycles")
+        || name.ends_with("_cycle")
+        || name.ends_with("_cycles")
+}
+
+fn is_millis_ident(name: &str) -> bool {
+    matches!(
+        name,
+        "ms" | "millis" | "Duration" | "as_millis" | "from_millis"
+    ) || name.ends_with("_ms")
+        || name.ends_with("_millis")
+}
+
+/// Can this token end/begin a value operand (rules out `Vec<T>` angle
+/// brackets and `::<` turbofish masquerading as comparisons)?
+fn is_value_operand(toks: &[Token], i: usize) -> bool {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Num) => true,
+        Some(Tok::Ident(s)) => !s.starts_with(char::is_uppercase),
+        _ => false,
+    }
+}
+
+fn scan_segment(
+    file: &str,
+    toks: &[Token],
+    in_test: &[bool],
+    start: usize,
+    end: usize,
+    raw: &mut Vec<Finding>,
+) {
+    let mut has_cycle = false;
+    let mut has_ms = false;
+    let mut op_line: Option<u32> = None;
+    for k in start..end.min(toks.len()) {
+        if in_test[k] {
+            return;
+        }
+        match &toks[k].tok {
+            Tok::Ident(name) => {
+                has_cycle |= is_cycle_ident(name);
+                has_ms |= is_millis_ident(name);
+            }
+            Tok::Punct('+') => op_line = op_line.or(Some(toks[k].line)),
+            // `-` is additive unless it is half of a `->` return arrow.
+            Tok::Punct('-') if !is_punct(toks, k + 1, '>') => {
+                op_line = op_line.or(Some(toks[k].line));
+            }
+            // `<`/`>` count only between value operands, which excludes
+            // generics (`Vec<Cycle>`), arrows and turbofish.
+            Tok::Punct('<' | '>')
+                if k > start && is_value_operand(toks, k - 1) && is_value_operand(toks, k + 1) =>
+            {
+                op_line = op_line.or(Some(toks[k].line));
+            }
+            _ => {}
+        }
+    }
+    if has_cycle && has_ms {
+        if let Some(line) = op_line {
+            push(
+                raw,
+                RuleId::R12,
+                file,
+                line,
+                "expression mixes cycle-domain and millisecond-domain values \
+                 (Cycle is a bare u64 — the compiler cannot catch this)"
+                    .into(),
+            );
+        }
+    }
+}
+
 /// Per-token "is inside a `fn new` body" mask (R8's constructor
 /// exemption). Scans for `fn new`, skips the signature to the opening
 /// brace (or a terminating `;` for trait declarations), and masks the
 /// braced body.
-fn ctor_mask(toks: &[Token]) -> Vec<bool> {
+pub(crate) fn ctor_mask(toks: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {

@@ -1,0 +1,318 @@
+//! The structural pass: rule R10 (wake-soundness) over the whole
+//! workspace at once.
+//!
+//! Token rules see one file at a time; R10 cannot — whether a mutation
+//! is sound depends on functions it calls in *other* files. The pass
+//! therefore parses every scanned file ([`crate::parser`]), builds the
+//! symbol table ([`crate::symbols`]) and call graph
+//! ([`crate::callgraph`]), and then checks, for each fn in a
+//! wake-checked module ([`crate::policy::is_wake_checked_module`]), that
+//! every write to a wake-relevant field happens in a fn from which a
+//! `WakeCalendar` schedule/cancel primitive is reachable.
+//!
+//! What counts as a *write*: `.field` followed by an assignment
+//! (`=`, compound `+=`-style, `<<=`/`>>=`) or by a mutating container
+//! method (`.field.push(..)`, `.clear()`, …). Struct-literal
+//! initialization (`field:`) is not a write — constructors build state
+//! before the calendar exists — and `fn new` bodies plus test-gated code
+//! are exempt wholesale, mirroring R8's constructor exemption.
+//!
+//! Deliberate over-approximations (they make R10 *quieter*, never
+//! noisier; DESIGN.md §13 records them as known false-negative classes):
+//! receiver types of method calls are not inferred, so any `.cancel(..)`
+//! call links to `WakeCalendar::cancel`; and `&mut self.field` escapes
+//! are not tracked, so a write through a borrowed-out reference is
+//! invisible.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::Tok;
+use crate::parser::{self, ParsedFile};
+use crate::policy;
+use crate::report::{Finding, RuleId};
+use crate::rules;
+use crate::symbols::Symbols;
+use crate::SourceFile;
+
+/// Container methods that mutate the receiver (`.field.push(..)` is a
+/// wake-relevant write just like `.field = ..`).
+const MUTATING_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "insert",
+    "remove",
+    "clear",
+    "drain",
+    "extend",
+    "take",
+    "replace",
+    "retain",
+    "set",
+];
+
+/// Run the structural pass. Returns per-file finding lists, parallel to
+/// `files` (the caller suppresses each list with that file's pragmas).
+pub fn analyze(files: &[SourceFile]) -> Vec<Vec<Finding>> {
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .map(|f| parser::parse(&f.path, &f.text))
+        .collect();
+    let sym = Symbols::build(&parsed);
+    let cg = CallGraph::build(&parsed, &sym);
+
+    let mut out: Vec<Vec<Finding>> = vec![Vec::new(); files.len()];
+    for (fi, pf) in parsed.iter().enumerate() {
+        for &line in &pf.unattached_markers {
+            out[fi].push(Finding {
+                rule: RuleId::Pragma,
+                file: pf.path.clone(),
+                line,
+                message: "wake-state marker attaches to no struct field (it must sit on the \
+                          field's line or the line directly above)"
+                    .into(),
+            });
+        }
+    }
+
+    for (fi, pf) in parsed.iter().enumerate() {
+        if !policy::is_wake_checked_module(&pf.path) {
+            continue;
+        }
+        let in_test = rules::test_mask(&pf.tokens);
+        let in_ctor = rules::ctor_mask(&pf.tokens);
+        let exempt: Vec<bool> = in_test
+            .iter()
+            .zip(&in_ctor)
+            .map(|(t, c)| *t || *c)
+            .collect();
+        for (id, gf) in sym.fns.iter().enumerate() {
+            if gf.file != fi || cg.reaches_primitive[id] {
+                continue;
+            }
+            let Some((open, close)) = pf.fns[gf.local].body else {
+                continue;
+            };
+            for (field, line) in wake_writes(pf, &sym, open + 1, close, &exempt) {
+                out[fi].push(Finding {
+                    rule: RuleId::R10,
+                    file: pf.path.clone(),
+                    line,
+                    message: format!(
+                        "fn `{}` writes wake-relevant field `{}` but reaches no WakeCalendar \
+                         schedule/cancel call (lost wakeup)",
+                        gf.name, field
+                    ),
+                });
+            }
+        }
+    }
+    for findings in &mut out {
+        findings.sort_by(|a, b| {
+            (a.line, a.rule, a.message.as_str()).cmp(&(b.line, b.rule, b.message.as_str()))
+        });
+        findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.message == b.message);
+    }
+    out
+}
+
+/// Scan one fn body for writes to wake-relevant fields; returns
+/// `(field_name, line)` per write site. Token indices flagged in
+/// `exempt` (test- or constructor-masked) are skipped.
+fn wake_writes(
+    pf: &ParsedFile,
+    sym: &Symbols,
+    start: usize,
+    end: usize,
+    exempt: &[bool],
+) -> Vec<(String, u32)> {
+    let toks = &pf.tokens;
+    let end = end.min(toks.len());
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if exempt.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        // `.field` access?
+        let accessed = matches!(toks[i].tok, Tok::Punct('.'))
+            .then(|| match toks.get(i + 1).map(|t| &t.tok) {
+                Some(Tok::Ident(name)) if sym.wake_fields.contains(name) => Some(name.clone()),
+                _ => None,
+            })
+            .flatten();
+        let Some(field) = accessed else {
+            i += 1;
+            continue;
+        };
+        let line = toks[i + 1].line;
+        // Skip an optional index expression: `.field[k]`.
+        let mut j = i + 2;
+        if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('['))) {
+            let mut depth = 0i64;
+            let mut k = j;
+            let mut closed = None;
+            while k < end {
+                match toks[k].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            closed = Some(k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            match closed {
+                Some(c) => j = c + 1,
+                None => {
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        if is_assignment_at(toks, j) || is_mutating_method_at(toks, j) {
+            out.push((field, line));
+        }
+        i += 2;
+    }
+    out
+}
+
+fn punct(toks: &[crate::lexer::Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Does an assignment operator start at `j` (the token right after the
+/// field access)? Plain `=` (not `==`, not `=>`), compound
+/// `+= -= *= /= %= &= |= ^=`, and shifted `<<=`/`>>=`. `<=`/`>=` are
+/// comparisons, not writes.
+fn is_assignment_at(toks: &[crate::lexer::Token], j: usize) -> bool {
+    match punct(toks, j) {
+        Some('=') => !matches!(punct(toks, j + 1), Some('=' | '>')),
+        // `&&`/`||` boolean chains never match: their second char is not `=`.
+        Some('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^') => punct(toks, j + 1) == Some('='),
+        // `<<=` / `>>=`; plain `<=`/`>=` are comparisons.
+        Some(c @ ('<' | '>')) => punct(toks, j + 1) == Some(c) && punct(toks, j + 2) == Some('='),
+        _ => false,
+    }
+}
+
+/// `.method(` with a mutating container method right after the field.
+fn is_mutating_method_at(toks: &[crate::lexer::Token], j: usize) -> bool {
+    punct(toks, j) == Some('.')
+        && matches!(
+            toks.get(j + 1).map(|t| &t.tok),
+            Some(Tok::Ident(m)) if MUTATING_METHODS.contains(&m.as_str())
+        )
+        && punct(toks, j + 2) == Some('(')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(p, s)| SourceFile {
+                path: (*p).to_string(),
+                text: (*s).to_string(),
+            })
+            .collect();
+        analyze(&files).into_iter().flatten().collect()
+    }
+
+    const WAKE_PATH: &str = "crates/hetero/src/system.rs";
+
+    #[test]
+    fn mutation_without_schedule_fires_r10() {
+        let calendar = (
+            "crates/sim/src/calendar.rs",
+            "pub struct WakeCalendar;\nimpl WakeCalendar { pub fn schedule(&mut self, s: u32, at: u64) {} }\n",
+        );
+        let system = (
+            WAKE_PATH,
+            "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\n\
+             impl System {\n    pub fn drift(&mut self) { self.next_epoch += 4; }\n}\n",
+        );
+        let fs = run(&[calendar, system]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, RuleId::R10);
+        assert!(fs[0].message.contains("next_epoch"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn mutation_that_reaches_schedule_passes() {
+        let calendar = (
+            "crates/sim/src/calendar.rs",
+            "pub struct WakeCalendar;\nimpl WakeCalendar { pub fn schedule(&mut self, s: u32, at: u64) {} }\n",
+        );
+        let system = (
+            WAKE_PATH,
+            "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\n\
+             impl System {\n\
+                 pub fn direct(&mut self) { self.next_epoch += 4; self.wakes.schedule(0, 9); }\n\
+                 pub fn via_helper(&mut self) { self.next_epoch = 7; self.rearm(); }\n\
+                 fn rearm(&mut self) { self.wakes.schedule(0, 1); }\n\
+             }\n",
+        );
+        assert!(run(&[calendar, system]).is_empty());
+    }
+
+    #[test]
+    fn constructors_and_unchecked_modules_are_exempt() {
+        let system = (
+            WAKE_PATH,
+            "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\n\
+             impl System {\n    pub fn new() -> Self { let mut s = Self { next_epoch: 0 };\n        s.next_epoch = 5; s }\n}\n",
+        );
+        assert!(run(&[system]).is_empty(), "{:?}", run(&[system]));
+        let elsewhere = (
+            "crates/hetero/src/config.rs",
+            "pub struct C { // gat-lint: wake-state\n next_epoch: u64 }\n\
+             impl C { pub fn f(&mut self) { self.next_epoch = 3; } }\n",
+        );
+        assert!(run(&[elsewhere]).is_empty());
+    }
+
+    #[test]
+    fn container_mutation_counts_as_a_write() {
+        let system = (
+            WAKE_PATH,
+            "pub struct System {\n    // gat-lint: wake-state\n    pending: VecDeque<u64>,\n}\n\
+             impl System {\n    pub fn enqueue(&mut self, x: u64) { self.pending.push_back(x); }\n}\n",
+        );
+        let fs = run(&[system]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("pending"));
+    }
+
+    #[test]
+    fn comparisons_are_not_writes() {
+        let system = (
+            WAKE_PATH,
+            "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\n\
+             impl System {\n    pub fn probe(&self) -> bool {\n        self.next_epoch == 4 || self.next_epoch <= 9 || self.next_epoch >= 1\n    }\n}\n",
+        );
+        assert!(run(&[system]).is_empty(), "{:?}", run(&[system]));
+    }
+
+    #[test]
+    fn unattached_marker_is_a_pragma_finding() {
+        let sys = (WAKE_PATH, "// gat-lint: wake-state\n\npub fn lonely() {}\n");
+        let fs = run(&[sys]);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, RuleId::Pragma);
+        assert!(fs[0].message.contains("wake-state"));
+    }
+}

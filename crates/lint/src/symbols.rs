@@ -1,0 +1,148 @@
+//! Workspace symbol table for the structural analyses.
+//!
+//! Flattens the per-file item trees produced by [`crate::parser`] into a
+//! global function list with deterministic ids (files are fed in sorted
+//! path order; within a file, parse order), plus name → id indices used
+//! by the call-graph heuristics:
+//!
+//! * `free_by_name` — free functions (no `impl`/`trait` owner);
+//! * `methods_by_name` — methods, keyed by bare name regardless of type
+//!   (the caller filters by receiver type when one is syntactically
+//!   visible);
+//! * `wake_fields` — field names declared wake-relevant, from in-source
+//!   `// gat-lint: wake-state` markers plus the
+//!   [`crate::policy::WAKE_STATE_FIELDS`] fallback list;
+//! * `primitive` — the functions that *are* the wake discipline: methods
+//!   named in [`crate::policy::WAKE_SCHEDULE_FNS`] on the types in
+//!   [`crate::policy::WAKE_CALENDAR_TYPES`]. R10 asks whether a mutating
+//!   fn can reach one of these.
+
+use crate::parser::ParsedFile;
+use crate::policy;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a function in [`Symbols::fns`] (and in the call graph).
+pub type FnId = usize;
+
+/// One function, globalized: which file it lives in and where.
+#[derive(Debug, Clone)]
+pub struct GlobalFn {
+    /// Index into the `files` slice handed to [`Symbols::build`].
+    pub file: usize,
+    /// Index into that file's `fns` vec.
+    pub local: usize,
+    pub name: String,
+    pub self_type: Option<String>,
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    pub fns: Vec<GlobalFn>,
+    /// Free-fn name → ids, sorted.
+    pub free_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Method name → ids (all receiver types), sorted.
+    pub methods_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Field names declared wake-relevant anywhere in the workspace.
+    ///
+    /// Field names are treated globally rather than per-type: the writer
+    /// side (`self.armed = …`) rarely names the receiver type, so R10
+    /// over-approximates by name. Collisions only *widen* checking.
+    pub wake_fields: BTreeSet<String>,
+    /// fns[i] is a schedule/cancel primitive of the wake calendar.
+    pub primitive: Vec<bool>,
+}
+
+impl Symbols {
+    /// Build the table from parsed files (callers pass them in sorted
+    /// path order for deterministic ids).
+    pub fn build(files: &[ParsedFile]) -> Symbols {
+        let mut sym = Symbols::default();
+        for name in policy::WAKE_STATE_FIELDS {
+            sym.wake_fields.insert((*name).to_string());
+        }
+        for (fi, pf) in files.iter().enumerate() {
+            for st in &pf.structs {
+                for field in &st.fields {
+                    if field.wake_state {
+                        sym.wake_fields.insert(field.name.clone());
+                    }
+                }
+            }
+            for (li, f) in pf.fns.iter().enumerate() {
+                let id = sym.fns.len();
+                let is_primitive = f
+                    .self_type
+                    .as_deref()
+                    .is_some_and(|t| policy::WAKE_CALENDAR_TYPES.contains(&t))
+                    && policy::WAKE_SCHEDULE_FNS.contains(&f.name.as_str());
+                sym.fns.push(GlobalFn {
+                    file: fi,
+                    local: li,
+                    name: f.name.clone(),
+                    self_type: f.self_type.clone(),
+                });
+                sym.primitive.push(is_primitive);
+                let bucket = if f.self_type.is_some() {
+                    sym.methods_by_name.entry(f.name.clone()).or_default()
+                } else {
+                    sym.free_by_name.entry(f.name.clone()).or_default()
+                };
+                bucket.push(id);
+            }
+        }
+        sym
+    }
+
+    /// Ids of every method with this name, regardless of receiver type.
+    pub fn methods(&self, name: &str) -> &[FnId] {
+        self.methods_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ids of every method with this name on this receiver type.
+    pub fn methods_on(&self, ty: &str, name: &str) -> Vec<FnId> {
+        self.methods(name)
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].self_type.as_deref() == Some(ty))
+            .collect()
+    }
+
+    /// Ids of every free fn with this name.
+    pub fn free(&self, name: &str) -> &[FnId] {
+        self.free_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn table_indexes_frees_methods_and_primitives() {
+        let a = parse(
+            "crates/sim/src/calendar.rs",
+            "pub struct WakeCalendar;\nimpl WakeCalendar {\n  pub fn schedule(&mut self) {}\n  pub fn cancel(&mut self) {}\n  pub fn len(&self) -> usize { 0 }\n}\npub fn helper() {}\n",
+        );
+        let b = parse(
+            "crates/sim/src/other.rs",
+            "struct S { // gat-lint: wake-state\n  next_due: u64,\n}\nimpl S { fn schedule(&self) {} }\n",
+        );
+        let sym = Symbols::build(&[a, b]);
+        assert_eq!(sym.free("helper").len(), 1);
+        assert_eq!(sym.methods("schedule").len(), 2);
+        assert_eq!(sym.methods_on("WakeCalendar", "schedule").len(), 1);
+        // Only the WakeCalendar methods are primitives, and only the
+        // scheduling ones — `len` is not.
+        let prim_names: Vec<&str> = sym
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sym.primitive[*i])
+            .map(|(_, f)| f.name.as_str())
+            .collect();
+        assert_eq!(prim_names, vec!["schedule", "cancel"]);
+        assert!(sym.wake_fields.contains("next_due"));
+    }
+}

@@ -12,6 +12,8 @@
 //! (so heavy GPU fill traffic does add cycles), but not flit-level
 //! wormhole detail.
 
+// gat-lint: allow-file(R10, "certified externally: wheel_min/wheel_dirty cache the horizon that Uncore::next_wake re-probes via next_delivery after every executed uncore tick; the calendar slot is owned by hetero::system")
+
 use gat_sim::{faults::DelayInjector, stats::Counter, Cycle};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -126,7 +128,9 @@ pub struct Ring {
     /// the fast-forward engine's quiescence-probe path, so it must stay
     /// O(1); the probe rescans the wheel only after a drain actually
     /// removed wheel entries (`Cell`s because the probe takes `&self`).
+    // gat-lint: wake-state (cached horizon read by the uncore's probe)
     wheel_min: std::cell::Cell<Cycle>,
+    // gat-lint: wake-state
     wheel_dirty: std::cell::Cell<bool>,
     /// Deliveries beyond the wheel horizon, ordered `(deliver_at, seq)`.
     overflow: BinaryHeap<Flight>,

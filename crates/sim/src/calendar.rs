@@ -82,8 +82,10 @@ impl EventCalendar {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     /// Generation stamp; heap entries from older generations are stale.
+    // gat-lint: wake-state (stale-entry detection is wake bookkeeping)
     gen: u64,
     /// Currently armed wake, `None` when the source is active/cancelled.
+    // gat-lint: wake-state
     armed: Option<Cycle>,
 }
 

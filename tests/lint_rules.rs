@@ -316,6 +316,227 @@ fn r9_exempts_the_supervisor_tests_and_reasoned_pragmas() {
     assert!(f.is_empty(), "{f:?}");
 }
 
+// --- R10: wake-soundness (structural) ----------------------------------
+
+/// A minimal calendar file so the structural pass has schedule/cancel
+/// primitives to compute reachability against.
+fn calendar_fixture() -> SourceFile {
+    SourceFile {
+        path: "crates/sim/src/calendar.rs".into(),
+        text: "pub struct WakeCalendar;\nimpl WakeCalendar {\n    pub fn schedule(&mut self, source: u32, at: u64) {}\n    pub fn cancel(&mut self, source: u32) {}\n}\n".into(),
+    }
+}
+
+fn lint_wake(system_src: &str) -> Vec<Finding> {
+    let files = vec![
+        calendar_fixture(),
+        SourceFile {
+            path: "crates/hetero/src/system.rs".into(),
+            text: system_src.into(),
+        },
+    ];
+    lint_sources(&files, "", "")
+}
+
+#[test]
+fn r10_flags_mutation_without_a_reachable_schedule() {
+    let f = lint_wake(
+        "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\nimpl System {\n    pub fn drift(&mut self) { self.next_epoch += 4; }\n}\n",
+    );
+    assert_eq!(rules(&f), vec!["R10"], "{f:?}");
+    assert_eq!(f[0].line, 6);
+    assert!(f[0].message.contains("next_epoch"), "{}", f[0].message);
+    assert!(f[0].message.contains("drift"), "{}", f[0].message);
+}
+
+#[test]
+fn r10_passes_when_schedule_is_reachable_directly_or_transitively() {
+    let f = lint_wake(
+        "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\nimpl System {\n    pub fn direct(&mut self) { self.next_epoch = 1; self.wakes.schedule(3, 9); }\n    pub fn via_helper(&mut self) { self.next_epoch = 2; self.rearm(); }\n    fn rearm(&mut self) { self.wakes.cancel(3); }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r10_exempts_constructors_and_unchecked_modules() {
+    // `fn new` builds state before the calendar exists.
+    let f = lint_wake(
+        "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\nimpl System {\n    pub fn new() -> Self {\n        let mut s = Self { next_epoch: 0 };\n        s.next_epoch = 5;\n        s\n    }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // The same mutation outside a wake-checked module is not R10's business.
+    let files = vec![SourceFile {
+        path: "crates/hetero/src/config.rs".into(),
+        text: "pub struct C {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\nimpl C {\n    pub fn f(&mut self) { self.next_epoch = 3; }\n}\n".into(),
+    }];
+    assert!(lint_sources(&files, "", "").is_empty());
+}
+
+#[test]
+fn r10_suppressible_with_a_reasoned_pragma() {
+    let f = lint_wake(
+        "pub struct System {\n    // gat-lint: wake-state\n    next_epoch: u64,\n}\nimpl System {\n    pub fn drift(&mut self) {\n        // gat-lint: allow(R10, \"certified externally by the tick-loop re-probe\")\n        self.next_epoch += 4;\n    }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn unattached_wake_marker_is_a_pragma_error() {
+    let f = lint_wake("// gat-lint: wake-state\n\npub fn lonely() {}\n");
+    assert_eq!(rules(&f), vec!["pragma"], "{f:?}");
+    assert!(f[0].message.contains("wake-state"), "{}", f[0].message);
+}
+
+// --- R11: match-exhaustiveness drift ------------------------------------
+
+#[test]
+fn r11_flags_wildcard_arms_over_guarded_enums() {
+    let f = lint_sim(
+        "pub fn f(o: JobOutcome) -> u32 {\n    match o {\n        JobOutcome::Done => 1,\n        _ => 0,\n    }\n}\n",
+    );
+    assert_eq!(rules(&f), vec!["R11"], "{f:?}");
+    assert_eq!(f[0].line, 4);
+    // Serve's library code is covered too (JobOutcome lives there).
+    let files = vec![SourceFile {
+        path: "crates/serve/src/sink.rs".into(),
+        text: "pub fn g(e: SimError) -> bool {\n    matches(e)\n}\nfn matches(e: SimError) -> bool {\n    match e { SimError::Wedged { .. } => true, _ => false }\n}\n".into(),
+    }];
+    let f = lint_sources(&files, "", "");
+    assert_eq!(rules(&f), vec!["R11"], "{f:?}");
+}
+
+#[test]
+fn r11_passes_exhaustive_matches_and_unguarded_enums() {
+    // Every variant listed: nothing to flag.
+    let f = lint_sim(
+        "pub fn f(o: JobOutcome) -> u32 {\n    match o {\n        JobOutcome::Done => 1,\n        JobOutcome::Panicked => 2,\n    }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // `_` over a non-guarded enum is fine.
+    let f = lint_sim(
+        "pub fn f(x: Option<u32>) -> u32 {\n    match x {\n        Some(v) => v,\n        _ => 0,\n    }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // Bench binaries may wildcard (CLI plumbing fails loudly).
+    let files = vec![SourceFile {
+        path: "crates/bench/src/bin/fixture.rs".into(),
+        text: "fn main() {\n    match outcome() {\n        JobOutcome::Done => {}\n        _ => {}\n    }\n}\n".into(),
+    }];
+    assert!(lint_sources(&files, "", "").is_empty());
+}
+
+#[test]
+fn r11_sees_nested_matches_and_binding_arms() {
+    // The wildcard lives in a match nested inside an arm body.
+    let f = lint_sim(
+        "pub fn f(a: Option<u32>, e: QosEvent) -> u32 {\n    match a {\n        Some(_) => match e {\n            QosEvent::Throttle => 1,\n            _ => 2,\n        },\n        None => 0,\n    }\n}\n",
+    );
+    assert_eq!(rules(&f), vec!["R11"], "{f:?}");
+    // A named binding (`other => ..`) is not a `_` wildcard: rebinding is
+    // visible in review; silent discard is what drifts.
+    let f = lint_sim(
+        "pub fn f(e: QosEvent) -> u32 {\n    match e {\n        QosEvent::Throttle => 1,\n        other => tag(other),\n    }\n}\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- R12: cycle/millisecond unit confusion ------------------------------
+
+#[test]
+fn r12_flags_cycle_millis_arithmetic() {
+    let f = lint_sim(
+        "pub fn f(deadline_cycles: u64, budget_ms: u64) -> u64 {\n    deadline_cycles + budget_ms\n}\n",
+    );
+    assert_eq!(rules(&f), vec!["R12"], "{f:?}");
+    assert_eq!(f[0].line, 2);
+    // Comparisons confuse units just as silently as sums.
+    let f = lint_sim(
+        "pub fn late(now_cycle: u64, wall_ms: u64) -> bool {\n    now_cycle > wall_ms\n}\n",
+    );
+    assert_eq!(rules(&f), vec!["R12"], "{f:?}");
+}
+
+#[test]
+fn r12_passes_single_unit_code_and_conversions() {
+    // One unit per expression: fine.
+    let f = lint_sim("pub fn f(a_cycles: u64, b_cycles: u64) -> u64 { a_cycles + b_cycles }\n");
+    assert!(f.is_empty(), "{f:?}");
+    let f = lint_sim("pub fn f(a_ms: u64, b_ms: u64) -> u64 { a_ms + b_ms }\n");
+    assert!(f.is_empty(), "{f:?}");
+    // Multiplication/division is the conversion idiom, not the bug.
+    let f = lint_sim(
+        "pub fn to_cycles(budget_ms: u64, cycles_per_ms: u64) -> u64 { budget_ms * cycles_per_ms }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // Generic positions (`Vec<Cycle>`) are not comparisons.
+    let f = lint_sim("pub struct S { window_ms: u64, marks: Vec<Cycle> }\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- Pragma/marker census ----------------------------------------------
+
+/// The audited inventory of suppression pragmas and wake-state markers in
+/// the scanned tree. A new pragma (or a deleted one) must update these
+/// counts *and* survive the capstone's unused-pragma check — so a stale
+/// exemption cannot slip in quietly, and neither can an unreviewed new
+/// one.
+#[test]
+fn pragma_census_matches_the_audited_inventory() {
+    const EXPECTED_PRAGMAS: usize = 13;
+    const EXPECTED_WAKE_MARKERS: usize = 11;
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut paths = Vec::new();
+    collect_rs(&root.join("crates"), &mut paths);
+    paths.sort();
+    let mut pragmas: Vec<String> = Vec::new();
+    let mut markers: Vec<String> = Vec::new();
+    for p in &paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        if gat_lint::policy::classify(&rel) == gat_lint::policy::FileClass::Skip {
+            continue;
+        }
+        let text = std::fs::read_to_string(p).unwrap();
+        let lexed = gat_lint::lexer::lex(&text);
+        for pr in &lexed.pragmas {
+            pragmas.push(format!("{rel}:{} allow({})", pr.line, pr.rule));
+        }
+        for line in &lexed.wake_markers {
+            markers.push(format!("{rel}:{line}"));
+        }
+    }
+    assert_eq!(
+        pragmas.len(),
+        EXPECTED_PRAGMAS,
+        "pragma inventory drifted — re-audit and update the census:\n{}",
+        pragmas.join("\n")
+    );
+    assert_eq!(
+        markers.len(),
+        EXPECTED_WAKE_MARKERS,
+        "wake-state marker inventory drifted — update the census:\n{}",
+        markers.join("\n")
+    );
+}
+
+fn collect_rs(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
 // --- Pragmas -----------------------------------------------------------
 
 #[test]
